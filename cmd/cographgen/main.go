@@ -1,0 +1,65 @@
+// Command cographgen emits cotree instances in the text format consumed
+// by cmd/pathcover, for scripting experiments.
+//
+// Usage:
+//
+//	cographgen -n 1000 -seed 7 -shape caterpillar > instance.cotree
+//	cographgen -family bipartite -a 300 -b 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pathcover"
+)
+
+var (
+	n      = flag.Int("n", 100, "number of vertices")
+	seed   = flag.Uint64("seed", 1, "random seed")
+	shape  = flag.String("shape", "mixed", "random cotree shape: mixed | balanced | caterpillar")
+	family = flag.String("family", "", "fixed family instead of random: clique | empty | star | threshold | bipartite | multiclique")
+	a      = flag.Int("a", 10, "first parameter for parametric families")
+	bb     = flag.Int("b", 10, "second parameter for parametric families")
+)
+
+func main() {
+	flag.Parse()
+	var g *pathcover.Graph
+	switch *family {
+	case "":
+		var sh pathcover.Shape
+		switch *shape {
+		case "mixed":
+			sh = pathcover.Mixed
+		case "balanced":
+			sh = pathcover.Balanced
+		case "caterpillar":
+			sh = pathcover.Caterpillar
+		default:
+			fail(fmt.Errorf("unknown -shape %q", *shape))
+		}
+		g = pathcover.Random(*seed, *n, sh)
+	case "clique":
+		g = pathcover.Clique(*n)
+	case "empty":
+		g = pathcover.Empty(*n)
+	case "star":
+		g = pathcover.Star(*n)
+	case "threshold":
+		g = pathcover.Threshold(*seed, *n)
+	case "bipartite":
+		g = pathcover.CompleteBipartite(*a, *bb)
+	case "multiclique":
+		g = pathcover.UnionOfCliques(*a, *bb)
+	default:
+		fail(fmt.Errorf("unknown -family %q", *family))
+	}
+	fmt.Println(g.String())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cographgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,188 @@
+// Command pathcover computes minimum path covers, Hamiltonian paths and
+// Hamiltonian cycles of cographs given as cotrees.
+//
+// Usage:
+//
+//	pathcover [flags] [file]
+//
+// The input is a cotree in the text format, read from the file argument
+// or standard input:
+//
+//	tree  := leaf | "(" label tree tree ... ")"
+//	label := "0" (union) | "1" (join)
+//
+// Examples:
+//
+//	echo "(1 (0 a b) c)" | pathcover
+//	pathcover -algo seq -render graph.cotree
+//	pathcover -gen random -n 100000 -stats /dev/null
+//	pathcover -ham -cycle instance.cotree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"pathcover"
+)
+
+var (
+	algo    = flag.String("algo", "parallel", "algorithm: parallel | seq | naive")
+	procs   = flag.Int("procs", 0, "simulated PRAM processors (0 = n/log n)")
+	workers = flag.Int("workers", 0, "goroutines for parallel phases (0 = auto)")
+	seed    = flag.Uint64("seed", 1, "randomization seed")
+	stats   = flag.Bool("stats", false, "print simulated PRAM time and work")
+	render  = flag.Bool("render", false, "draw the cotree")
+	check   = flag.Bool("verify", true, "verify validity and minimality of the cover")
+	ham     = flag.Bool("ham", false, "also report a Hamiltonian path if one exists")
+	cycle   = flag.Bool("cycle", false, "also report a Hamiltonian cycle if one exists")
+	quiet   = flag.Bool("q", false, "print only the path count")
+	gen     = flag.String("gen", "", "generate instead of reading: random | clique | empty | star | threshold")
+	genN    = flag.Int("n", 1000, "size for -gen")
+	edges   = flag.Bool("edges", false, "input is an edge list (first line: n; then one 'u v' pair per line); the graph must be a cograph")
+)
+
+func main() {
+	flag.Parse()
+	g, err := input()
+	if err != nil {
+		fail(err)
+	}
+	if *render {
+		fmt.Print(g.Render())
+	}
+
+	var opts []pathcover.Option
+	switch *algo {
+	case "parallel":
+		opts = append(opts, pathcover.WithAlgorithm(pathcover.Parallel))
+	case "seq":
+		opts = append(opts, pathcover.WithAlgorithm(pathcover.Sequential))
+	case "naive":
+		opts = append(opts, pathcover.WithAlgorithm(pathcover.Naive))
+	default:
+		fail(fmt.Errorf("unknown -algo %q", *algo))
+	}
+	if *procs > 0 {
+		opts = append(opts, pathcover.WithProcessors(*procs))
+	}
+	if *workers > 0 {
+		opts = append(opts, pathcover.WithWorkers(*workers))
+	}
+	opts = append(opts, pathcover.WithSeed(*seed))
+
+	cov, err := g.MinimumPathCover(opts...)
+	if err != nil {
+		fail(err)
+	}
+	if *check {
+		if err := g.Verify(cov.Paths); err != nil {
+			fail(fmt.Errorf("verification failed: %w", err))
+		}
+	}
+	if *quiet {
+		fmt.Println(cov.NumPaths)
+	} else {
+		fmt.Printf("%d vertices, %d edges, minimum path cover: %d path(s)\n",
+			g.N(), g.NumEdges(), cov.NumPaths)
+		fmt.Print(g.RenderCover(cov.Paths))
+	}
+	if *stats && cov.Stats.Time > 0 {
+		fmt.Printf("simulated PRAM: %d processors, %d time steps, %d work\n",
+			cov.Stats.Procs, cov.Stats.Time, cov.Stats.Work)
+	}
+	if *ham {
+		if p, ok := g.HamiltonianPath(); ok {
+			fmt.Printf("hamiltonian path: %s\n", names(g, p))
+		} else {
+			fmt.Println("no hamiltonian path")
+		}
+	}
+	if *cycle {
+		if c, ok := g.HamiltonianCycle(); ok {
+			fmt.Printf("hamiltonian cycle: %s\n", names(g, c))
+		} else {
+			fmt.Println("no hamiltonian cycle")
+		}
+	}
+}
+
+func input() (*pathcover.Graph, error) {
+	if *gen != "" {
+		switch *gen {
+		case "random":
+			return pathcover.Random(*seed, *genN, pathcover.Mixed), nil
+		case "clique":
+			return pathcover.Clique(*genN), nil
+		case "empty":
+			return pathcover.Empty(*genN), nil
+		case "star":
+			return pathcover.Star(*genN), nil
+		case "threshold":
+			return pathcover.Threshold(*seed, *genN), nil
+		default:
+			return nil, fmt.Errorf("unknown -gen %q", *gen)
+		}
+	}
+	var src []byte
+	var err error
+	if flag.NArg() > 0 && flag.Arg(0) != "-" {
+		src, err = os.ReadFile(flag.Arg(0))
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if *edges {
+		return parseEdges(string(src))
+	}
+	return pathcover.ParseCotree(string(src))
+}
+
+// parseEdges reads "n" on the first line and "u v" pairs after it, then
+// recognizes the cograph (rejecting graphs with an induced P4).
+func parseEdges(src string) (*pathcover.Graph, error) {
+	fields := strings.Fields(src)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("edge input: empty")
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil || n <= 0 {
+		return nil, fmt.Errorf("edge input: bad vertex count %q", fields[0])
+	}
+	rest := fields[1:]
+	if len(rest)%2 != 0 {
+		return nil, fmt.Errorf("edge input: odd number of endpoints")
+	}
+	list := make([][2]int, 0, len(rest)/2)
+	for i := 0; i < len(rest); i += 2 {
+		u, err1 := strconv.Atoi(rest[i])
+		v, err2 := strconv.Atoi(rest[i+1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("edge input: bad pair %q %q", rest[i], rest[i+1])
+		}
+		list = append(list, [2]int{u, v})
+	}
+	return pathcover.FromEdges(n, list, nil)
+}
+
+func names(g *pathcover.Graph, vs []int) string {
+	out := ""
+	for i, v := range vs {
+		if i > 0 {
+			out += " "
+		}
+		out += g.Name(v)
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pathcover:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// Quickstart: build a cograph, compute its minimum path cover, and
+// check Hamiltonicity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathcover"
+)
+
+func main() {
+	// The cograph of the paper's Fig. 10 example: the join of
+	// {P3 on a,c,b ... structured as (1 (0 (1 a b) c))} with the
+	// edgeless {d,e,f}.
+	g, err := pathcover.ParseCotree("(1 (0 (1 a b) c) (0 d e f))")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cograph with %d vertices and %d edges\n", g.N(), g.NumEdges())
+	fmt.Print(g.Render())
+
+	// The default algorithm is the paper's O(log n)-time parallel one,
+	// running on the PRAM cost simulator with n/log n processors.
+	cover, err := g.MinimumPathCover()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nminimum path cover: %d path(s)\n", cover.NumPaths)
+	fmt.Print(g.RenderCover(cover.Paths))
+	if err := g.Verify(cover.Paths); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verified: valid and minimum")
+
+	if path, ok := g.HamiltonianPath(); ok {
+		fmt.Print("\nhamiltonian path:")
+		for _, v := range path {
+			fmt.Printf(" %s", g.Name(v))
+		}
+		fmt.Println()
+	}
+	if _, ok := g.HamiltonianCycle(); ok {
+		fmt.Println("the graph also has a hamiltonian cycle")
+	}
+
+	// Graphs can be built programmatically too. K_{3,3}:
+	k33 := pathcover.CompleteBipartite(3, 3)
+	c, _ := k33.MinimumPathCover(pathcover.WithAlgorithm(pathcover.Sequential))
+	fmt.Printf("\nK(3,3): %d path(s): %s", c.NumPaths, k33.RenderCover(c.Paths))
+}

@@ -1,0 +1,59 @@
+// Ring protocol: token-ring construction over a compatibility graph.
+//
+// The paper lists "ring protocols" among the applications: a token ring
+// threads every station exactly once and returns to the start — a
+// Hamiltonian cycle of the "can-link" graph. Station clusters built by
+// union (isolated segments) and join (full crossbars between clusters)
+// give cographs, for which the existence test and the construction are
+// exact.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathcover"
+)
+
+func cluster(prefix string, k int) *pathcover.Graph {
+	parts := make([]*pathcover.Graph, k)
+	for i := range parts {
+		parts[i] = pathcover.Vertex(fmt.Sprintf("%s%d", prefix, i))
+	}
+	return pathcover.Union(parts...) // stations in one rack do not link directly
+}
+
+func main() {
+	// Three racks, fully cross-connected: stations of different racks
+	// can link, stations of the same rack cannot (they share a switch).
+	net := pathcover.Join(cluster("east", 5), cluster("west", 4), cluster("north", 3))
+	fmt.Printf("network: %d stations, %d possible links\n", net.N(), net.NumEdges())
+
+	if ring, ok := net.HamiltonianCycle(); ok {
+		fmt.Println("token ring found:")
+		for i, v := range ring {
+			if i > 0 {
+				fmt.Print(" -> ")
+			}
+			fmt.Print(net.Name(v))
+		}
+		fmt.Printf(" -> %s\n", net.Name(ring[0]))
+	} else {
+		log.Fatal("no ring exists (unexpected for this topology)")
+	}
+
+	// Unbalanced networks may not admit a ring: one oversized rack
+	// starves the others. Fall back to the minimum set of open chains —
+	// a minimum path cover.
+	lopsided := pathcover.Join(cluster("big", 9), cluster("tiny", 3))
+	if _, ok := lopsided.HamiltonianCycle(); ok {
+		log.Fatal("unexpected ring in lopsided network")
+	}
+	cover, err := lopsided.MinimumPathCover()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlopsided network has no ring; %d open chain(s) cover it:\n\n",
+		cover.NumPaths)
+	fmt.Print(lopsided.RenderCover(cover.Paths))
+}

@@ -1,0 +1,80 @@
+// Scheduling: mapping a series-parallel workflow onto pipeline stages.
+//
+// The paper's introduction lists "mapping parallel programs to parallel
+// architectures" among the applications of path covers. Workflows
+// assembled from sequential and parallel composition induce *cograph*
+// compatibility structures: two tasks can share a pipeline stage
+// when they belong to parallel branches (they are independent), and the
+// compatibility graph of a series-parallel task algebra is built by
+// exactly the union/join closure that defines cographs.
+//
+// A set of tasks that can be chained through consecutive stages is a
+// path in the compatibility graph, so the minimum number of pipeline
+// lanes that covers all tasks is a minimum path cover — NP-complete in
+// general, exact and fast here.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathcover"
+)
+
+// stage builds the compatibility graph of a parallel block of k tasks:
+// all independent, pairwise compatible -> a clique.
+func parallelBlock(prefix string, k int) *pathcover.Graph {
+	parts := make([]*pathcover.Graph, k)
+	for i := range parts {
+		parts[i] = pathcover.Vertex(fmt.Sprintf("%s%d", prefix, i))
+	}
+	return pathcover.Join(parts...)
+}
+
+func main() {
+	// A workflow: three phases. Tasks inside a phase run in parallel
+	// (compatible); tasks of different phases are strictly ordered
+	// (incompatible — they cannot share a lane at the same time).
+	//
+	//	phase A: 4-way fan-out
+	//	phase B: 6-way map
+	//	phase C: 3-way reduce
+	//
+	// The compatibility graph is the disjoint union of three cliques.
+	workflow := pathcover.Union(
+		parallelBlock("extract", 4),
+		parallelBlock("map", 6),
+		parallelBlock("reduce", 3),
+	)
+	cover, err := workflow.MinimumPathCover()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workflow of %d tasks needs %d pipeline lanes:\n\n",
+		workflow.N(), cover.NumPaths)
+	fmt.Print(workflow.RenderCover(cover.Paths))
+
+	// Now allow the reduce tasks to overlap with anything (e.g. they
+	// stream): join them in instead.
+	streaming := pathcover.Join(
+		pathcover.Union(parallelBlock("extract", 4), parallelBlock("map", 6)),
+		parallelBlock("reduce", 3),
+	)
+	cover2, err := streaming.MinimumPathCover()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith streaming reducers, %d lane(s) suffice:\n\n", cover2.NumPaths)
+	fmt.Print(streaming.RenderCover(cover2.Paths))
+
+	if order, ok := streaming.HamiltonianPath(); ok {
+		fmt.Println("\na single lane can execute every task consecutively:")
+		for i, v := range order {
+			if i > 0 {
+				fmt.Print(" -> ")
+			}
+			fmt.Print(streaming.Name(v))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,59 @@
+package pathcover
+
+import (
+	"pathcover/internal/cotree"
+	"pathcover/internal/workload"
+)
+
+// Shape selects the silhouette of a random cograph's cotree.
+type Shape = workload.Shape
+
+// Shapes for Random.
+const (
+	Mixed       = workload.Mixed
+	Balanced    = workload.Balanced
+	Caterpillar = workload.Caterpillar
+)
+
+// Random returns a random cograph with n vertices, deterministic in the
+// seed.
+func Random(seed uint64, n int, shape Shape) *Graph {
+	return &Graph{t: workload.Random(seed, n, shape)}
+}
+
+// Clique returns the complete graph K_n.
+func Clique(n int) *Graph { return &Graph{t: workload.Clique(n)} }
+
+// Empty returns the edgeless graph on n vertices.
+func Empty(n int) *Graph { return &Graph{t: workload.Empty(n)} }
+
+// CompleteBipartite returns K_{a,b}.
+func CompleteBipartite(a, b int) *Graph {
+	return &Graph{t: workload.CompleteBipartite(a, b)}
+}
+
+// CompleteMultipartite returns the complete multipartite graph with the
+// given part sizes.
+func CompleteMultipartite(sizes ...int) *Graph {
+	return &Graph{t: workload.CompleteMultipartite(sizes...)}
+}
+
+// UnionOfCliques returns k disjoint copies of K_size.
+func UnionOfCliques(k, size int) *Graph {
+	return &Graph{t: workload.UnionOfCliques(k, size)}
+}
+
+// Star returns the star K_{1,n-1}.
+func Star(n int) *Graph { return &Graph{t: workload.Star(n)} }
+
+// Threshold returns a random threshold graph on n vertices (each vertex
+// added isolated or dominating); its cotree is a caterpillar, the
+// worst-case shape for naive bottom-up parallelization.
+func Threshold(seed uint64, n int) *Graph {
+	return &Graph{t: workload.Threshold(seed, n)}
+}
+
+// MustParseCotree is ParseCotree for known-good literals.
+func MustParseCotree(src string) *Graph {
+	return &Graph{t: cotree.MustParse(src)}
+}

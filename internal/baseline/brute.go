@@ -1,0 +1,118 @@
+package baseline
+
+import "pathcover/internal/cograph"
+
+// BruteMinPathCover computes the exact minimum number of vertex-disjoint
+// paths covering all vertices of g by Held–Karp style dynamic
+// programming over subsets: dp[mask][last] = fewest paths covering mask
+// with the current path ending at last. Exponential — the minimality
+// oracle for graphs with up to ~14 vertices.
+func BruteMinPathCover(g *cograph.Graph) int {
+	n := g.N
+	if n == 0 {
+		return 0
+	}
+	if n > 20 {
+		panic("baseline: brute force limited to small graphs")
+	}
+	size := 1 << n
+	const inf = 1 << 29
+	dp := make([][]int, size)
+	for m := range dp {
+		dp[m] = make([]int, n)
+		for l := range dp[m] {
+			dp[m][l] = inf
+		}
+	}
+	for v := 0; v < n; v++ {
+		dp[1<<v][v] = 1
+	}
+	adj := make([]uint32, n)
+	for x := 0; x < n; x++ {
+		for _, y := range g.Neighbors(x) {
+			adj[x] |= 1 << y
+		}
+	}
+	for mask := 1; mask < size; mask++ {
+		for last := 0; last < n; last++ {
+			cur := dp[mask][last]
+			if cur >= inf {
+				continue
+			}
+			rest := (size - 1) &^ mask
+			for m := rest; m != 0; m &= m - 1 {
+				v := trailingZeros(uint32(m & -m))
+				nm := mask | 1<<v
+				// Extend the current path along an edge.
+				if adj[last]&(1<<v) != 0 && cur < dp[nm][v] {
+					dp[nm][v] = cur
+				}
+				// Start a new path at v.
+				if cur+1 < dp[nm][v] {
+					dp[nm][v] = cur + 1
+				}
+			}
+		}
+	}
+	best := inf
+	for last := 0; last < n; last++ {
+		if dp[size-1][last] < best {
+			best = dp[size-1][last]
+		}
+	}
+	return best
+}
+
+// BruteHasHamiltonianCycle reports whether g has a Hamiltonian cycle, by
+// bitmask DP anchored at vertex 0. Exponential; for small graphs only.
+func BruteHasHamiltonianCycle(g *cograph.Graph) bool {
+	n := g.N
+	if n < 3 {
+		return false
+	}
+	if n > 20 {
+		panic("baseline: brute force limited to small graphs")
+	}
+	adj := make([]uint32, n)
+	for x := 0; x < n; x++ {
+		for _, y := range g.Neighbors(x) {
+			adj[x] |= 1 << y
+		}
+	}
+	size := 1 << n
+	reach := make([][]bool, size)
+	for m := range reach {
+		reach[m] = make([]bool, n)
+	}
+	reach[1][0] = true
+	for mask := 1; mask < size; mask++ {
+		if mask&1 == 0 {
+			continue
+		}
+		for last := 0; last < n; last++ {
+			if !reach[mask][last] {
+				continue
+			}
+			rest := (size - 1) &^ mask
+			for m := rest & int(adj[last]); m != 0; m &= m - 1 {
+				v := trailingZeros(uint32(m & -m))
+				reach[mask|1<<v][v] = true
+			}
+		}
+	}
+	for last := 1; last < n; last++ {
+		if reach[size-1][last] && adj[last]&1 != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func trailingZeros(x uint32) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}

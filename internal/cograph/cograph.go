@@ -1,0 +1,276 @@
+// Package cograph provides explicit graph machinery around cotrees:
+// materializing a cograph's edge set, the union/join/complement algebra
+// on adjacency structures, and recognition (graph -> cotree) by the
+// defining property that every induced subgraph of a cograph with at
+// least two vertices is disconnected or co-disconnected.
+//
+// The paper takes the cotree as the input representation (recognition on
+// the PRAM is He's separate result); this package exists so the public
+// API can accept plain graphs and so tests can verify covers against
+// real adjacency.
+package cograph
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pathcover/internal/cotree"
+)
+
+// Graph is a simple undirected graph on vertices 0..N-1 with bitset rows.
+type Graph struct {
+	N    int
+	rows [][]uint64
+}
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph {
+	words := (n + 63) / 64
+	rows := make([][]uint64, n)
+	backing := make([]uint64, n*words)
+	for i := range rows {
+		rows[i], backing = backing[:words:words], backing[words:]
+	}
+	return &Graph{N: n, rows: rows}
+}
+
+// AddEdge inserts the undirected edge {x, y}. Self-loops are ignored.
+func (g *Graph) AddEdge(x, y int) {
+	if x == y {
+		return
+	}
+	g.rows[x][y/64] |= 1 << (y % 64)
+	g.rows[y][x/64] |= 1 << (x % 64)
+}
+
+// HasEdge reports adjacency.
+func (g *Graph) HasEdge(x, y int) bool {
+	return x != y && g.rows[x][y/64]&(1<<(y%64)) != 0
+}
+
+// Degree returns the degree of x.
+func (g *Graph) Degree(x int) int {
+	d := 0
+	for _, w := range g.rows[x] {
+		d += bits.OnesCount64(w)
+	}
+	return d
+}
+
+// NumEdges counts edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for x := 0; x < g.N; x++ {
+		total += g.Degree(x)
+	}
+	return total / 2
+}
+
+// Neighbors returns the adjacency list of x.
+func (g *Graph) Neighbors(x int) []int {
+	var out []int
+	for w, word := range g.rows[x] {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			out = append(out, w*64+b)
+			word &= word - 1
+		}
+	}
+	return out
+}
+
+// Complement returns the complement graph.
+func Complement(g *Graph) *Graph {
+	out := NewGraph(g.N)
+	for x := 0; x < g.N; x++ {
+		for y := x + 1; y < g.N; y++ {
+			if !g.HasEdge(x, y) {
+				out.AddEdge(x, y)
+			}
+		}
+	}
+	return out
+}
+
+// Union returns the disjoint union of two graphs (vertices of b are
+// shifted by a.N).
+func Union(a, b *Graph) *Graph {
+	out := NewGraph(a.N + b.N)
+	copyEdges(out, a, 0)
+	copyEdges(out, b, a.N)
+	return out
+}
+
+// Join returns the join: the union plus all edges between the two sides.
+func Join(a, b *Graph) *Graph {
+	out := Union(a, b)
+	for x := 0; x < a.N; x++ {
+		for y := 0; y < b.N; y++ {
+			out.AddEdge(x, a.N+y)
+		}
+	}
+	return out
+}
+
+func copyEdges(dst, src *Graph, base int) {
+	for x := 0; x < src.N; x++ {
+		for _, y := range src.Neighbors(x) {
+			if y > x {
+				dst.AddEdge(base+x, base+y)
+			}
+		}
+	}
+}
+
+// FromCotree materializes the cograph represented by a cotree: an edge
+// for every leaf pair whose LCA is a 1-node. O(n + m) via a recursion
+// that crosses child leaf sets at 1-nodes.
+func FromCotree(t *cotree.Tree) *Graph {
+	g := NewGraph(t.NumVertices())
+	// leafSets[u] built bottom-up; process in reverse BFS order.
+	order := bfsOrder(t)
+	leafSet := make([][]int, t.NumNodes())
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		if t.Label[u] == cotree.LabelLeaf {
+			leafSet[u] = []int{t.VertexOf[u]}
+			continue
+		}
+		var all []int
+		for _, c := range t.Children[u] {
+			if t.Label[u] == cotree.Label1 {
+				for _, x := range all {
+					for _, y := range leafSet[c] {
+						g.AddEdge(x, y)
+					}
+				}
+			}
+			all = append(all, leafSet[c]...)
+			leafSet[c] = nil
+		}
+		leafSet[u] = all
+	}
+	return g
+}
+
+func bfsOrder(t *cotree.Tree) []int {
+	order := make([]int, 0, t.NumNodes())
+	queue := []int{t.Root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		queue = append(queue, t.Children[u]...)
+	}
+	return order
+}
+
+// Recognize builds the cotree of g, or reports that g is not a cograph
+// (it contains an induced P4). Complexity O(n^2 / 64)-ish per level with
+// bitsets; ample for tests and for accepting graph input in the API.
+func Recognize(g *Graph, names []string) (*cotree.Tree, error) {
+	verts := make([]int, g.N)
+	for i := range verts {
+		verts[i] = i
+	}
+	name := func(v int) string {
+		if names != nil && v < len(names) && names[v] != "" {
+			return names[v]
+		}
+		return fmt.Sprintf("v%d", v)
+	}
+	if g.N == 0 {
+		return nil, fmt.Errorf("cograph: empty graph has no cotree")
+	}
+	return recognize(g, verts, name)
+}
+
+func recognize(g *Graph, verts []int, name func(int) string) (*cotree.Tree, error) {
+	if len(verts) == 1 {
+		return cotree.Single(name(verts[0])), nil
+	}
+	comps := components(g, verts, false)
+	if len(comps) > 1 {
+		parts := make([]*cotree.Tree, len(comps))
+		for i, c := range comps {
+			t, err := recognize(g, c, name)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = t
+		}
+		return cotree.Union(parts...), nil
+	}
+	coComps := components(g, verts, true)
+	if len(coComps) > 1 {
+		parts := make([]*cotree.Tree, len(coComps))
+		for i, c := range coComps {
+			t, err := recognize(g, c, name)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = t
+		}
+		return cotree.Join(parts...), nil
+	}
+	return nil, fmt.Errorf("cograph: induced subgraph on %d vertices is connected and co-connected (contains a P4): not a cograph", len(verts))
+}
+
+// components returns the connected components of g restricted to verts
+// (of the complement restriction when co is set).
+func components(g *Graph, verts []int, co bool) [][]int {
+	words := (g.N + 63) / 64
+	inSet := make([]uint64, words)
+	for _, v := range verts {
+		inSet[v/64] |= 1 << (v % 64)
+	}
+	unseen := make([]uint64, words)
+	copy(unseen, inSet)
+	var comps [][]int
+	row := make([]uint64, words)
+	for _, start := range verts {
+		if unseen[start/64]&(1<<(start%64)) == 0 {
+			continue
+		}
+		var comp []int
+		frontier := []int{start}
+		unseen[start/64] &^= 1 << (start % 64)
+		for len(frontier) > 0 {
+			v := frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			comp = append(comp, v)
+			// row = neighbors of v (complemented if co) within unseen.
+			gr := g.rows[v]
+			for w := 0; w < words; w++ {
+				if co {
+					row[w] = ^gr[w] & unseen[w]
+				} else {
+					row[w] = gr[w] & unseen[w]
+				}
+			}
+			if co {
+				row[v/64] &^= 1 << (v % 64)
+			}
+			for w := 0; w < words; w++ {
+				word := row[w]
+				unseen[w] &^= word
+				for word != 0 {
+					b := bits.TrailingZeros64(word)
+					frontier = append(frontier, w*64+b)
+					word &= word - 1
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsCograph reports whether g is a cograph.
+func IsCograph(g *Graph) bool {
+	if g.N == 0 {
+		return false
+	}
+	_, err := Recognize(g, nil)
+	return err == nil
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"strings"
+
+	"pathcover/internal/cotree"
+	"pathcover/internal/par"
+	"pathcover/internal/pram"
+)
+
+// Kind identifies a bracket. Square brackets build the bridge structure
+// of the path trees; round brackets attach insert and dummy vertices.
+// The two families are matched independently (paper §4).
+type Kind uint8
+
+const (
+	KSqOpenP  Kind = iota // "[" — the emitting vertex seeks a parent
+	KSqCloseR             // "]" — right-child slot of a bridge vertex
+	KSqCloseL             // "]" — left-child slot of a bridge vertex
+	KRdOpenL              // "(" — left-child slot
+	KRdOpenR              // "(" — right-child slot (a dummy's only slot)
+	KRdCloseP             // ")" — the emitting vertex seeks a parent
+)
+
+// IsSquare reports whether the kind belongs to the square family.
+func (k Kind) IsSquare() bool { return k <= KSqCloseL }
+
+// IsOpen reports whether the kind is an opening bracket of its family.
+func (k Kind) IsOpen() bool {
+	return k == KSqOpenP || k == KRdOpenL || k == KRdOpenR
+}
+
+// Rune returns the display character.
+func (k Kind) Rune() byte {
+	switch k {
+	case KSqOpenP:
+		return '['
+	case KSqCloseR, KSqCloseL:
+		return ']'
+	case KRdOpenL, KRdOpenR:
+		return '('
+	default:
+		return ')'
+	}
+}
+
+// BracketSeq is the sequence B(R) of Step 4 in struct-of-arrays form.
+// Vert[i] is the emitting vertex (>= NumVertices for dummies).
+type BracketSeq struct {
+	Vert []int
+	Kind []Kind
+	// EffDummies is the number of dummy vertices actually emitted
+	// (0 when the generator ran in the paper's pre-§4 form without
+	// dummies, as in Fig. 10).
+	EffDummies int
+}
+
+// Len returns the number of brackets.
+func (bs *BracketSeq) Len() int { return len(bs.Vert) }
+
+// String renders the bare bracket characters.
+func (bs *BracketSeq) String() string {
+	var sb strings.Builder
+	for _, k := range bs.Kind {
+		sb.WriteByte(k.Rune())
+	}
+	return sb.String()
+}
+
+// Annotated renders the sequence with the emitting vertex before each
+// bracket, e.g. "a[ a( a( b) ...", using the provided namer.
+func (bs *BracketSeq) Annotated(name func(id int) string) string {
+	var sb strings.Builder
+	for i := range bs.Vert {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(name(bs.Vert[i]))
+		sb.WriteByte(bs.Kind[i].Rune())
+	}
+	return sb.String()
+}
+
+// GenBrackets emits B(R) (paper Step 4). The sequence is the
+// concatenation, over the leaves of Tblr in left-to-right order, of
+//
+//	primary leaf x:            x[ x( x(
+//	block of active 1-node u:  (]] [)^NB  )^NI  )^ND  (^ND  (()^NI
+//
+// where a block sits at the leaf-rank interval of u's right-child bundle
+// (the right subtree's leaves are exactly the last leaves of u's
+// subtree, so the recursive definition B(u) = B(v)·block(u) linearizes
+// to leaf-rank order). Offsets come from one prefix sum; every bracket
+// is then decoded independently in O(1).
+func GenBrackets(s *pram.Sim, b *cotree.Bin, red *Reduction, withDummies bool) *BracketSeq {
+	n := red.NumVertices
+	unitLen := make([]int, n)
+	s.ParallelFor(n, func(r int) {
+		x := red.VertAt[r]
+		u := red.Owner[x]
+		if u < 0 {
+			unitLen[r] = 3
+			return
+		}
+		if r == red.Start[b.Right[u]] {
+			nd := 0
+			if withDummies {
+				nd = red.ND[u]
+			}
+			unitLen[r] = 3*red.NB[u] + 3*red.NI[u] + 2*nd
+		}
+	})
+	owner, off, total := par.Distribute(s, unitLen)
+	bs := &BracketSeq{
+		Vert: make([]int, total),
+		Kind: make([]Kind, total),
+	}
+	if withDummies {
+		bs.EffDummies = red.TotalDummies
+	}
+	s.ForCost(total, 2, func(i int) {
+		r := owner[i]
+		j := off[i]
+		x := red.VertAt[r]
+		u := red.Owner[x]
+		if u < 0 { // primary leaf
+			bs.Vert[i] = x
+			switch j {
+			case 0:
+				bs.Kind[i] = KSqOpenP
+			case 1:
+				bs.Kind[i] = KRdOpenL
+			default:
+				bs.Kind[i] = KRdOpenR
+			}
+			return
+		}
+		nb, ni := red.NB[u], red.NI[u]
+		nd := 0
+		if withDummies {
+			nd = red.ND[u]
+		}
+		start := red.Start[b.Right[u]]
+		switch {
+		case j < 3*nb: // bridge triple ] ] [
+			bv := red.VertAt[start+j/3]
+			bs.Vert[i] = bv
+			switch j % 3 {
+			case 0:
+				bs.Kind[i] = KSqCloseR
+			case 1:
+				bs.Kind[i] = KSqCloseL
+			default:
+				bs.Kind[i] = KSqOpenP
+			}
+		case j < 3*nb+ni: // insert parent brackets )
+			t := red.VertAt[start+nb+(j-3*nb)]
+			bs.Vert[i] = t
+			bs.Kind[i] = KRdCloseP
+		case j < 3*nb+ni+nd: // dummy parent brackets )
+			d := red.DummyBase[u] + (j - 3*nb - ni)
+			bs.Vert[i] = n + d
+			bs.Kind[i] = KRdCloseP
+		case j < 3*nb+ni+2*nd: // dummy child slots (
+			d := red.DummyBase[u] + (j - 3*nb - ni - nd)
+			bs.Vert[i] = n + d
+			bs.Kind[i] = KRdOpenR
+		default: // insert child slots ( (
+			j2 := j - 3*nb - ni - 2*nd
+			t := red.VertAt[start+nb+j2/2]
+			bs.Vert[i] = t
+			if j2%2 == 0 {
+				bs.Kind[i] = KRdOpenL
+			} else {
+				bs.Kind[i] = KRdOpenR
+			}
+		}
+	})
+	return bs
+}

@@ -1,0 +1,173 @@
+// Package core implements the primary contribution of Nakano, Olariu and
+// Zomaya: the time- and work-optimal EREW algorithm that reports all
+// paths of a minimum path cover of a cograph in O(log n) time with
+// n/log n processors (Theorem 5.3).
+//
+// The pipeline follows §5 of the paper:
+//
+//	Step 1  binarize the cotree                    (cotree.Binarize)
+//	Step 2  leaf counts + leftist reorder          (cotree.MakeLeftist)
+//	Step 3  p(u) by tree contraction; reduction    (ComputeP, Reduce)
+//	Step 4  bracket sequence B(R)                  (GenBrackets)
+//	Step 5  bracket matching -> pseudo path trees  (BuildPseudo)
+//	Step 6  exchange illegal inserts with dummies  (FixIllegal)
+//	Step 7  bypass dummy vertices                  (Bypass)
+//	Step 8  paths by Euler-tour inorder            (ExtractPaths)
+//
+// All phases run on the pram.Sim cost model through the primitives of
+// internal/par, so the simulated time/work counters measure the paper's
+// bounds directly.
+package core
+
+import (
+	"fmt"
+
+	"pathcover/internal/cotree"
+	"pathcover/internal/par"
+	"pathcover/internal/pram"
+)
+
+// Role classifies the vertices of the reduced cotree Tblr (paper §2):
+// primary vertices keep their path-tree structure; bridge vertices glue
+// path trees together at a 1-node; insert vertices are spliced into path
+// trees as leaves; dummy vertices are placeholders added in Step 4 and
+// removed in Step 7.
+type Role uint8
+
+const (
+	RolePrimary Role = iota
+	RoleBridge
+	RoleInsert
+	RoleDummy
+)
+
+func (r Role) String() string {
+	switch r {
+	case RolePrimary:
+		return "primary"
+	case RoleBridge:
+		return "bridge"
+	case RoleInsert:
+		return "insert"
+	case RoleDummy:
+		return "dummy"
+	}
+	return fmt.Sprintf("Role(%d)", uint8(r))
+}
+
+// Cover is the result of the parallel minimum path cover computation.
+type Cover struct {
+	Paths    [][]int    // vertex-disjoint paths covering all vertices
+	NumPaths int        // == p(root), the provable minimum
+	Stats    pram.Stats // simulated PRAM cost of the run
+}
+
+// Options tune the pipeline (mostly for tests and experiments).
+type Options struct {
+	Seed         uint64     // randomization seed for list ranking
+	WithoutDummy bool       // skip dummy vertices (Fig. 9/10 demonstrations only: produces pseudo path trees that may be invalid)
+	SkipFix      bool       // skip Step 6 (for observing illegal inserts)
+	Trace        *StepTrace // when non-nil, per-step simulated costs are recorded
+}
+
+// StepTrace records the simulated cost of each pipeline step — the
+// phase breakdown behind the E4 totals.
+type StepTrace struct {
+	Names []string
+	Time  []int64
+	Work  []int64
+}
+
+func (tr *StepTrace) add(s *pram.Sim, name string, t0, w0 int64) (int64, int64) {
+	t1, w1 := s.Time(), s.Work()
+	if tr != nil {
+		tr.Names = append(tr.Names, name)
+		tr.Time = append(tr.Time, t1-t0)
+		tr.Work = append(tr.Work, w1-w0)
+	}
+	return t1, w1
+}
+
+// String renders the trace as an aligned table.
+func (tr *StepTrace) String() string {
+	out := fmt.Sprintf("%-28s %12s %14s\n", "step", "simtime", "simwork")
+	for i := range tr.Names {
+		out += fmt.Sprintf("%-28s %12d %14d\n", tr.Names[i], tr.Time[i], tr.Work[i])
+	}
+	return out
+}
+
+// ParallelCover runs the full pipeline on a cotree. The number of
+// simulated processors (and the goroutine parallelism) comes from s.
+func ParallelCover(s *pram.Sim, t *cotree.Tree, opt Options) (*Cover, error) {
+	t0, w0 := s.Time(), s.Work()
+	b := t.Binarize(s) // Step 1
+	t0, w0 = opt.Trace.add(s, "1 binarize", t0, w0)
+	L := b.MakeLeftist(s, opt.Seed) // Step 2
+	opt.Trace.add(s, "2 leaf counts + leftist", t0, w0)
+	return ParallelCoverBin(s, b, L, opt)
+}
+
+// ParallelCoverBin runs Steps 3-8 on an already leftist binarized cotree.
+func ParallelCoverBin(s *pram.Sim, b *cotree.Bin, L []int, opt Options) (*Cover, error) {
+	n := b.NumVertices()
+	if n == 1 {
+		return &Cover{Paths: [][]int{{0}}, NumPaths: 1, Stats: s.Stats()}, nil
+	}
+	t0, w0 := s.Time(), s.Work()
+	tour := par.TourBinary(s, b.BinTree, opt.Seed^0x9e37)
+	t0, w0 = opt.Trace.add(s, "3a euler tour", t0, w0)
+	p := ComputeP(s, b, L, tour) // Step 3 (Lemma 2.4)
+	t0, w0 = opt.Trace.add(s, "3b p(u) contraction", t0, w0)
+	red := Reduce(s, b, L, p, tour)
+	t0, w0 = opt.Trace.add(s, "3c reduction", t0, w0)
+	seq := GenBrackets(s, b, red, !opt.WithoutDummy) // Step 4
+	t0, w0 = opt.Trace.add(s, "4 bracket generation", t0, w0)
+	ps, err := BuildPseudo(s, n, red, seq) // Step 5
+	if err != nil {
+		return nil, err
+	}
+	t0, w0 = opt.Trace.add(s, "5 matching + pseudo trees", t0, w0)
+	if !opt.SkipFix && !opt.WithoutDummy {
+		if _, err := FixIllegal(s, ps, red, opt.Seed^0xabcd); err != nil {
+			return nil, err
+		}
+	}
+	t0, w0 = opt.Trace.add(s, "6 illegal-insert exchange", t0, w0)
+	final := Bypass(s, ps, red, opt.Seed^0x1234) // Step 7
+	t0, w0 = opt.Trace.add(s, "7 dummy bypass", t0, w0)
+	paths := ExtractPaths(s, final, opt.Seed^0x7777) // Step 8
+	opt.Trace.add(s, "8 extract paths", t0, w0)
+	if len(paths) != p[b.Root] {
+		return nil, fmt.Errorf("core: produced %d paths, p(root)=%d", len(paths), p[b.Root])
+	}
+	return &Cover{Paths: paths, NumPaths: len(paths), Stats: s.Stats()}, nil
+}
+
+// ComputeP evaluates the Lin et al. recurrence (Lemma 2.4)
+//
+//	p(leaf)   = 1
+//	p(0-node) = p(left) + p(right)
+//	p(1-node) = max(p(left) - L(right), 1)
+//
+// for every node of the leftist binarized cotree by parallel tree
+// contraction in O(log n) time and O(n) work.
+func ComputeP(s *pram.Sim, b *cotree.Bin, L []int, tour *par.Tour) []int {
+	nn := b.NumNodes()
+	op := make([]par.NodeOp, nn)
+	leafVal := make([]int64, nn)
+	s.ParallelFor(nn, func(u int) {
+		if b.IsLeaf(u) {
+			leafVal[u] = 1
+		} else if b.One[u] {
+			op[u] = par.NodeOp{Kind: par.OpJoinClamp, C: int64(L[b.Right[u]])}
+		} else {
+			op[u] = par.NodeOp{Kind: par.OpSum}
+		}
+	})
+	ranks, _ := tour.LeafRanks(s, b.BinTree)
+	vals := par.EvalTree(s, b.BinTree, op, leafVal, ranks)
+	p := make([]int, nn)
+	s.ParallelFor(nn, func(u int) { p[u] = int(vals[u]) })
+	return p
+}

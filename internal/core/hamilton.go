@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+
+	"pathcover/internal/cotree"
+	"pathcover/internal/par"
+	"pathcover/internal/pram"
+)
+
+// The paper's abstract singles out Hamiltonicity: "our result implies
+// that for this class of graphs the task of finding a Hamiltonian path
+// can be solved time- and work-optimally in parallel". This file
+// provides the parallel Hamiltonian path (a cover of size one) and the
+// parallel Hamiltonian cycle: the decision is the join condition
+// p(v) <= L(w) at the root (computable by Step 3 alone), and the
+// construction splits a parallel cover of G(v) into exactly L(w)
+// segments and interleaves the vertices of G(w) around the cycle with
+// prefix-sum arithmetic — O(log n) time, O(n) work end to end.
+
+// ParallelHamiltonianPath returns a Hamiltonian path computed by the
+// optimal parallel algorithm, or ok=false when none exists.
+func ParallelHamiltonianPath(s *pram.Sim, t *cotree.Tree, opt Options) ([]int, bool, error) {
+	cov, err := ParallelCover(s, t, opt)
+	if err != nil {
+		return nil, false, err
+	}
+	if cov.NumPaths != 1 {
+		return nil, false, nil
+	}
+	return cov.Paths[0], true, nil
+}
+
+// ParallelHamiltonianCycle returns a Hamiltonian cycle computed by the
+// parallel pipeline, or ok=false when none exists.
+func ParallelHamiltonianCycle(s *pram.Sim, t *cotree.Tree, opt Options) ([]int, bool, error) {
+	b := t.Binarize(s)
+	L := b.MakeLeftist(s, opt.Seed)
+	n := b.NumVertices()
+	root := b.Root
+	if n < 3 || b.IsLeaf(root) || !b.One[root] {
+		return nil, false, nil
+	}
+	tour := par.TourBinary(s, b.BinTree, opt.Seed^0x5ca1e)
+	p := ComputeP(s, b, L, tour)
+	v, w := b.Left[root], b.Right[root]
+	k := L[w]
+	if p[v] > k {
+		return nil, false, nil
+	}
+
+	// Cover G(v) with the parallel algorithm on the extracted subtree.
+	sub, toSub, fromSub := ExtractSubtree(s, b, v, tour)
+	subL := make([]int, sub.NumNodes())
+	s.ParallelFor(b.NumNodes(), func(u int) {
+		if su := toSub[u]; su >= 0 {
+			subL[su] = L[u]
+		}
+	})
+	cov, err := ParallelCoverBin(s, sub, subL, opt)
+	if err != nil {
+		return nil, false, err
+	}
+
+	// Flatten the cover: order[] is the concatenation of the paths;
+	// pathEnd[j] marks the last vertex of each path.
+	nv := L[v]
+	order := make([]int, nv)
+	pathEnd := make([]bool, nv)
+	offs := make([]int, len(cov.Paths))
+	lens := make([]int, len(cov.Paths))
+	s.ParallelFor(len(cov.Paths), func(i int) { lens[i] = len(cov.Paths[i]) })
+	offs, _ = par.Scan(s, lens, 0, func(a, b int) int { return a + b })
+	s.ParallelFor(len(cov.Paths), func(i int) {
+		for j, sv := range cov.Paths[i] { // cost folded into ForCost below
+			order[offs[i]+j] = fromSub[sv]
+			pathEnd[offs[i]+j] = j == len(cov.Paths[i])-1
+		}
+	})
+	s.Charge(0, int64(nv)) // account the copy above
+
+	// Split into exactly k segments: the p(v) path ends plus the first
+	// k - p(v) interior positions become segment ends.
+	cuts := k - len(cov.Paths)
+	interiorRank, _ := par.Scan(s, boolInts(s, pathEnd, true), 0, func(a, b int) int { return a + b })
+	segEnd := make([]bool, nv)
+	s.ParallelFor(nv, func(j int) {
+		if pathEnd[j] {
+			segEnd[j] = true
+		} else if interiorRank[j] < cuts {
+			segEnd[j] = true
+		}
+	})
+	// Output index of order[j] = j + (number of segment ends before j);
+	// the w vertex after segment i goes right after that segment's end.
+	endsBefore, totalEnds := par.Scan(s, boolInts(s, segEnd, false), 0, func(a, b int) int { return a + b })
+	if totalEnds != k {
+		return nil, false, fmt.Errorf("core: cycle split produced %d segments, want %d", totalEnds, k)
+	}
+	ws := subtreeLeafVertices(s, b, w, tour)
+	cycle := make([]int, n)
+	s.ParallelFor(nv, func(j int) {
+		pos := j + endsBefore[j]
+		cycle[pos] = order[j]
+		if segEnd[j] {
+			cycle[pos+1] = ws[endsBefore[j]]
+		}
+	})
+	return cycle, true, nil
+}
+
+// boolInts converts a flag slice to 0/1 ints; when invert is set the
+// flags are negated (1 for false).
+func boolInts(s *pram.Sim, flags []bool, invert bool) []int {
+	out := make([]int, len(flags))
+	s.ParallelFor(len(flags), func(i int) {
+		if flags[i] != invert {
+			out[i] = 1
+		}
+	})
+	return out
+}
+
+// ExtractSubtree carves the subtree of node v out of a binarized cotree
+// as a self-contained Bin with renumbered nodes and vertices. It returns
+// the new tree plus the node mapping old->new (-1 outside the subtree)
+// and the vertex mapping new vertex -> old vertex.
+func ExtractSubtree(s *pram.Sim, b *cotree.Bin, v int, tour *par.Tour) (*cotree.Bin, []int, []int) {
+	nn := b.NumNodes()
+	inSub := make([]bool, nn)
+	s.ParallelFor(nn, func(x int) {
+		inSub[x] = tour.Pre[v] <= tour.Pre[x] && tour.Post[x] <= tour.Post[v]
+	})
+	nodes := par.IndexPack(s, inSub)
+	toSub := make([]int, nn)
+	s.ParallelFor(nn, func(x int) { toSub[x] = -1 })
+	s.ParallelFor(len(nodes), func(i int) { toSub[nodes[i]] = i })
+
+	// Vertices: leaves of the subtree, renumbered by leaf order.
+	isLeafIn := make([]bool, nn)
+	s.ParallelFor(nn, func(x int) { isLeafIn[x] = inSub[x] && b.IsLeaf(x) })
+	leaves := par.IndexPack(s, isLeafIn)
+	fromSub := make([]int, len(leaves))
+	vertSub := make([]int, nn) // old node -> new vertex id
+	s.ParallelFor(len(leaves), func(i int) {
+		fromSub[i] = b.VertexOf[leaves[i]]
+		vertSub[leaves[i]] = i
+	})
+
+	sub := &cotree.Bin{
+		BinTree:  par.NewBinTree(len(nodes)),
+		One:      make([]bool, len(nodes)),
+		VertexOf: make([]int, len(nodes)),
+		LeafOf:   make([]int, len(leaves)),
+		Root:     toSub[v],
+	}
+	s.ForCost(len(nodes), 2, func(i int) {
+		x := nodes[i]
+		sub.One[i] = b.One[x]
+		sub.VertexOf[i] = -1
+		if l := b.Left[x]; l >= 0 {
+			sub.Left[i] = toSub[l]
+			sub.Parent[toSub[l]] = i
+		}
+		if r := b.Right[x]; r >= 0 {
+			sub.Right[i] = toSub[r]
+			sub.Parent[toSub[r]] = i
+		}
+		if b.IsLeaf(x) {
+			sub.VertexOf[i] = vertSub[x]
+			sub.LeafOf[vertSub[x]] = i
+		}
+	})
+	sub.Parent[sub.Root] = -1
+	return sub, toSub, fromSub
+}
+
+// subtreeLeafVertices lists the vertices under node w in leaf order.
+func subtreeLeafVertices(s *pram.Sim, b *cotree.Bin, w int, tour *par.Tour) []int {
+	nn := b.NumNodes()
+	flags := make([]bool, nn)
+	s.ParallelFor(nn, func(x int) {
+		flags[x] = b.IsLeaf(x) && tour.Pre[w] <= tour.Pre[x] && tour.Post[x] <= tour.Post[w]
+	})
+	leaves := par.IndexPack(s, flags)
+	out := make([]int, len(leaves))
+	s.ParallelFor(len(leaves), func(i int) { out[i] = b.VertexOf[leaves[i]] })
+	return out
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+
+	"pathcover/internal/par"
+	"pathcover/internal/pram"
+)
+
+// Pseudo is the pseudo path forest of Step 5: binary trees over the n
+// real vertices plus the dummy vertices (ids n..n+EffDummies-1), whose
+// inorder traversals spell out candidate paths. Until Step 6 it may
+// contain illegal insert vertices (paper Fig. 9).
+type Pseudo struct {
+	par.BinTree
+	NumVertices int
+	EffDummies  int
+}
+
+// BuildPseudo matches the square and round bracket families
+// independently (Lemma 5.1(3)) and decodes the matched pairs into the
+// edges of the pseudo path forest:
+//
+//	a[ ... b]   (right kind)  ->  a becomes the right child of bridge b
+//	a[ ... b]   (left kind)   ->  a becomes the left child of bridge b
+//	a( ... b)   (left slot)   ->  b becomes the left child of a
+//	a( ... b)   (right slot)  ->  b becomes the right child of a
+//
+// Unmatched "[" mark path tree roots; unmatched "(" are free slots. An
+// unmatched ")" would leave an insert or dummy without a parent — the
+// capacity invariant S(x) >= L(x)+p(x) of §4 rules it out, and the
+// builder reports it as an error if it ever happens.
+func BuildPseudo(s *pram.Sim, n int, red *Reduction, seq *BracketSeq) (*Pseudo, error) {
+	total := seq.Len()
+	N := n + seq.EffDummies
+	ps := &Pseudo{BinTree: par.NewBinTree(N), NumVertices: n, EffDummies: seq.EffDummies}
+
+	for _, square := range []bool{true, false} {
+		square := square
+		inFam := make([]bool, total)
+		s.ParallelFor(total, func(i int) { inFam[i] = seq.Kind[i].IsSquare() == square })
+		pos := par.IndexPack(s, inFam)
+		m := len(pos)
+		open := make([]bool, m)
+		s.ParallelFor(m, func(k int) { open[k] = seq.Kind[pos[k]].IsOpen() })
+		match := par.MatchBrackets(s, open)
+
+		bad := make([]int, m)
+		s.ForCost(m, 2, func(k int) {
+			i := pos[k]
+			if match[k] < 0 {
+				if seq.Kind[i] == KRdCloseP {
+					bad[k] = 1 // an insert/dummy without a parent
+				}
+				return
+			}
+			j := pos[match[k]]
+			if square {
+				if seq.Kind[i] != KSqOpenP {
+					return // handle each pair once, from the open side
+				}
+				a, b := seq.Vert[i], seq.Vert[j]
+				ps.Parent[a] = b
+				if seq.Kind[j] == KSqCloseL {
+					ps.Left[b] = a
+				} else {
+					ps.Right[b] = a
+				}
+			} else {
+				if seq.Kind[i] != KRdCloseP {
+					return
+				}
+				child, parent := seq.Vert[i], seq.Vert[j]
+				ps.Parent[child] = parent
+				if seq.Kind[j] == KRdOpenL {
+					ps.Left[parent] = child
+				} else {
+					ps.Right[parent] = child
+				}
+			}
+		})
+		if nbad := par.Reduce(s, bad, 0, func(a, b int) int { return a + b }); nbad > 0 {
+			return nil, fmt.Errorf("core: %d unmatched parent brackets (capacity invariant violated)", nbad)
+		}
+	}
+	return ps, nil
+}
+
+// FixIllegal is Step 6. An insert vertex is illegal when one of its
+// *effective* inorder neighbours — the nearest non-dummy in each
+// direction — is a bridge or insert vertex of the same active 1-node:
+// such pairs both live in G(w) of that node and carry no adjacency
+// guarantee. (The paper checks the immediate neighbours only; because a
+// dummy spliced out in Step 7 joins its two neighbours, and because
+// splicing a node with at most one child preserves inorder, the
+// effective neighbours are exactly the adjacencies of the final paths,
+// so checking them closes the cross-level gap the literal check leaves
+// open — see DESIGN.md.)
+//
+// Each illegal insert is exchanged, subtree and all, with a legal dummy
+// of the same 1-node. A swap can create a fresh effective adjacency
+// elsewhere (the spots vacated by two swapped inserts can become
+// effectively adjacent), so the check-and-exchange is iterated until no
+// illegal insert remains; each round is one O(log n) phase and the rounds
+// observed in practice are 1-3 (asserted bounded here).
+//
+// It returns the total number of exchanges performed.
+func FixIllegal(s *pram.Sim, ps *Pseudo, red *Reduction, seed uint64) (int, error) {
+	n := red.NumVertices
+	N := ps.Len()
+	nd := ps.EffDummies
+	if nd == 0 {
+		return 0, nil
+	}
+
+	type seg struct {
+		sum   int
+		reset bool
+	}
+	segOp := func(a, b seg) seg {
+		if b.reset {
+			return b
+		}
+		return seg{a.sum + b.sum, a.reset}
+	}
+
+	// Inserts in (owner, idx) order = leaf-rank order filtered to inserts.
+	isIns := make([]bool, n)
+	s.ParallelFor(n, func(r int) { isIns[r] = red.Role[red.VertAt[r]] == RoleInsert })
+	insRanks := par.IndexPack(s, isIns)
+	ni := len(insRanks)
+
+	totalSwaps := 0
+	const maxRounds = 48
+	for round := 0; ; round++ {
+		if round >= maxRounds {
+			return totalSwaps, fmt.Errorf("core: illegal-insert exchange did not converge in %d rounds", maxRounds)
+		}
+		tour := par.TourBinary(s, ps.BinTree, seed+uint64(round))
+
+		// Effective neighbours: nearest non-dummy left/right in inorder.
+		lastReal := make([]int, N)
+		s.ParallelFor(N, func(i int) {
+			x := tour.InSeq[i]
+			if x < n {
+				lastReal[i] = i
+			} else {
+				lastReal[i] = -1
+			}
+		})
+		prevReal := par.MaxScanInt(s, lastReal)
+		// next non-dummy via a max-scan over the reversed sequence.
+		rev := make([]int, N)
+		s.ParallelFor(N, func(i int) {
+			j := N - 1 - i
+			if tour.InSeq[j] < n {
+				rev[i] = -(j + 1) // encode so that max = smallest j
+			} else {
+				rev[i] = minIntSentinel
+			}
+		})
+		nextRealEnc := par.MaxScanInt(s, rev)
+
+		effNeighbor := func(x int, left bool) int {
+			in := tour.In[x]
+			if left {
+				if in == 0 {
+					return -1
+				}
+				p := prevReal[in-1]
+				if p < 0 {
+					return -1
+				}
+				y := tour.InSeq[p]
+				if tour.Root[y] != tour.Root[x] {
+					return -1
+				}
+				return y
+			}
+			if in == N-1 {
+				return -1
+			}
+			enc := nextRealEnc[N-1-(in+1)]
+			if enc == minIntSentinel {
+				return -1
+			}
+			y := tour.InSeq[-enc-1]
+			if tour.Root[y] != tour.Root[x] {
+				return -1
+			}
+			return y
+		}
+		sameLevelW := func(x, y int) bool {
+			if y < 0 {
+				return false
+			}
+			ry := red.RoleOf(y)
+			return (ry == RoleBridge || ry == RoleInsert) &&
+				red.OwnerOf(y) == red.OwnerOf(x)
+		}
+		illegal := make([]bool, N)
+		s.ForCost(N, 4, func(x int) {
+			role := red.RoleOf(x)
+			if role != RoleInsert && role != RoleDummy {
+				return
+			}
+			illegal[x] = sameLevelW(x, effNeighbor(x, true)) ||
+				sameLevelW(x, effNeighbor(x, false))
+		})
+
+		// Rank illegal inserts per owner.
+		insItems := make([]seg, ni)
+		s.ForCost(ni, 2, func(k int) {
+			x := red.VertAt[insRanks[k]]
+			v := 0
+			if illegal[x] {
+				v = 1
+			}
+			reset := k == 0 || red.Owner[red.VertAt[insRanks[k-1]]] != red.Owner[x]
+			insItems[k] = seg{v, reset}
+		})
+		insScan := par.InclusiveScan(s, insItems, seg{}, segOp)
+		nIllegal := 0
+		{
+			flags := make([]int, ni)
+			s.ParallelFor(ni, func(k int) { flags[k] = insItems[k].sum })
+			nIllegal = par.Reduce(s, flags, 0, func(a, b int) int { return a + b })
+		}
+		if nIllegal == 0 {
+			return totalSwaps, nil
+		}
+
+		// Rank legal dummies per owner (dummies are grouped by owner in
+		// id order) and count them per owner.
+		dumItems := make([]seg, nd)
+		s.ForCost(nd, 2, func(d int) {
+			v := 0
+			if !illegal[n+d] {
+				v = 1
+			}
+			reset := d == 0 || red.DummyOwner[d-1] != red.DummyOwner[d]
+			dumItems[d] = seg{v, reset}
+		})
+		dumScan := par.InclusiveScan(s, dumItems, seg{}, segOp)
+		legalAt := make([]int, nd)
+		legalCount := make([]int, nd) // per owner, stored at DummyBase
+		s.ParallelFor(nd, func(d int) { legalAt[d] = -1 })
+		s.ParallelFor(nd, func(d int) {
+			u := red.DummyOwner[d]
+			if !illegal[n+d] {
+				legalAt[red.DummyBase[u]+dumScan[d].sum-1] = n + d
+			}
+			if d == nd-1 || red.DummyOwner[d+1] != u {
+				legalCount[red.DummyBase[u]] = dumScan[d].sum
+			}
+		})
+
+		// Exchange: k-th illegal insert of node u takes the
+		// (k+round)-mod-legalCount legal dummy of u (the rotation breaks
+		// potential ping-pong cycles across rounds).
+		missing := make([]int, ni)
+		s.ForCost(ni, 4, func(k int) {
+			x := red.VertAt[insRanks[k]]
+			if !illegal[x] {
+				return
+			}
+			u := red.Owner[x]
+			base := red.DummyBase[u]
+			lc := legalCount[base]
+			rank := insScan[k].sum - 1
+			if lc == 0 || rank >= lc {
+				missing[k] = 1
+				return
+			}
+			d := legalAt[base+(rank+round)%lc]
+			if d < 0 {
+				missing[k] = 1
+				return
+			}
+			swapPositions(ps, x, d)
+		})
+		if nm := par.Reduce(s, missing, 0, func(a, b int) int { return a + b }); nm > 0 {
+			return totalSwaps, fmt.Errorf("core: %d illegal inserts without a legal dummy partner", nm)
+		}
+		totalSwaps += nIllegal
+	}
+}
+
+const minIntSentinel = -int(^uint(0)>>1) - 1
+
+// swapPositions exchanges the tree positions of x and y, carrying their
+// subtrees along (only the parent links and the two parents' child slots
+// change).
+func swapPositions(ps *Pseudo, x, y int) {
+	px, py := ps.Parent[x], ps.Parent[y]
+	xLeft := px >= 0 && ps.Left[px] == x
+	yLeft := py >= 0 && ps.Left[py] == y
+	if px >= 0 {
+		if xLeft {
+			ps.Left[px] = y
+		} else {
+			ps.Right[px] = y
+		}
+	}
+	if py >= 0 {
+		if yLeft {
+			ps.Left[py] = x
+		} else {
+			ps.Right[py] = x
+		}
+	}
+	ps.Parent[x], ps.Parent[y] = py, px
+}
+
+// Bypass is Step 7: dummy vertices are spliced out. A dummy has at most
+// one child (its only slot is the right one), so the dummies form
+// downward chains; chain collapse (list ranking on the dummy links)
+// finds each chain's first real descendant in O(log n) time.
+func Bypass(s *pram.Sim, ps *Pseudo, red *Reduction, seed uint64) par.BinTree {
+	n := ps.NumVertices
+	N := ps.Len()
+	next := make([]int, N)
+	s.ParallelFor(N, func(x int) {
+		if x >= n { // dummy: follow its single (right) child
+			next[x] = ps.Right[x]
+		} else {
+			next[x] = -1
+		}
+	})
+	_, last := par.RankOpt(s, next, seed)
+
+	final := par.NewBinTree(n)
+	s.ForCost(n, 4, func(x int) {
+		for _, side := range [2]bool{true, false} {
+			var c int
+			if side {
+				c = ps.Left[x]
+			} else {
+				c = ps.Right[x]
+			}
+			if c < 0 {
+				continue
+			}
+			t := c
+			if c >= n {
+				t = last[c]
+				if t >= n { // childless dummy chain: slot empties
+					continue
+				}
+			}
+			if side {
+				final.Left[x] = t
+			} else {
+				final.Right[x] = t
+			}
+			final.Parent[t] = x
+		}
+	})
+	return final
+}
+
+// ExtractPaths is Step 8: the paths are the inorder traversals of the
+// final path trees, read off from one Euler tour of the forest.
+func ExtractPaths(s *pram.Sim, final par.BinTree, seed uint64) [][]int {
+	n := final.Len()
+	if n == 0 {
+		return nil
+	}
+	tour := par.TourBinary(s, final, seed)
+	size, _ := tour.SubtreeCounts(s, final)
+	// Global inorder sequence; trees occupy consecutive blocks in root
+	// order.
+	seq := make([]int, n)
+	s.ParallelFor(n, func(x int) { seq[tour.In[x]] = x })
+	roots := tour.Roots
+	sizes := make([]int, len(roots))
+	s.ParallelFor(len(roots), func(k int) { sizes[k] = size[roots[k]] })
+	offs, _ := par.Scan(s, sizes, 0, func(a, b int) int { return a + b })
+	paths := make([][]int, len(roots))
+	s.ParallelFor(len(roots), func(k int) {
+		paths[k] = seq[offs[k] : offs[k]+sizes[k]]
+	})
+	return paths
+}

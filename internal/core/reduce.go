@@ -1,0 +1,172 @@
+package core
+
+import (
+	"pathcover/internal/cotree"
+	"pathcover/internal/par"
+	"pathcover/internal/pram"
+)
+
+// Reduction is the reduced leftist binarized cotree Tblr of the paper's
+// §2 in implicit array form: for every 1-node u that is not itself inside
+// the right subtree of another 1-node ("active"), the subtree of u's
+// right child w is flattened into L(w) classified leaves (bridge or
+// insert vertices, plus the dummy placeholders of §4), because the edges
+// inside G(w) are never used by the cover.
+type Reduction struct {
+	NumVertices int
+
+	// Per cotree node of b:
+	Active     []bool // u is an active 1-node (emits a bracket block)
+	NB, NI, ND []int  // bridge / insert / dummy counts at active nodes
+	DummyBase  []int  // first dummy index belonging to u's block
+	Start      []int  // leaf rank of the leftmost leaf under the node
+
+	// Per vertex (0..n-1):
+	Role     []Role
+	Owner    []int // active 1-node that classified the vertex; -1 for primary
+	RoleIdx  []int // index among its node's bridges or inserts
+	LeafRank []int // inorder leaf rank of the vertex in b
+	VertAt   []int // leaf rank -> vertex
+
+	// Dummies (ids n..n+TotalDummies-1):
+	TotalDummies int
+	DummyOwner   []int // per dummy index: owning active 1-node
+
+	P []int // p(u) per node (kept for the bracket generator)
+	L []int // L(u) per node
+}
+
+// IsDummy reports whether a pseudo-tree id denotes a dummy vertex.
+func (r *Reduction) IsDummy(id int) bool { return id >= r.NumVertices }
+
+// RoleOf returns the role of any pseudo-tree id (vertex or dummy).
+func (r *Reduction) RoleOf(id int) Role {
+	if r.IsDummy(id) {
+		return RoleDummy
+	}
+	return r.Role[id]
+}
+
+// OwnerOf returns the owning active 1-node of any pseudo-tree id.
+func (r *Reduction) OwnerOf(id int) int {
+	if r.IsDummy(id) {
+		return r.DummyOwner[id-r.NumVertices]
+	}
+	return r.Owner[id]
+}
+
+// Reduce performs the classification half of Step 3: it determines the
+// active 1-nodes, sizes their blocks (Case 1: L(w) bridges; Case 2:
+// p(v)-1 bridges, L(w)-p(v)+1 inserts, 2p(v)-2 dummies), and assigns
+// every vertex its role. O(log n) time, O(n) work: the bundle intervals
+// are resolved with leaf-rank scatter + prefix scans rather than
+// per-vertex ancestor walks.
+func Reduce(s *pram.Sim, b *cotree.Bin, L, p []int, tour *par.Tour) *Reduction {
+	nn := b.NumNodes()
+	n := b.NumVertices()
+	red := &Reduction{
+		NumVertices: n,
+		Active:      make([]bool, nn),
+		NB:          make([]int, nn),
+		NI:          make([]int, nn),
+		ND:          make([]int, nn),
+		Start:       tour.LeafStarts(s, b.BinTree),
+		Role:        make([]Role, n),
+		Owner:       make([]int, n),
+		RoleIdx:     make([]int, n),
+		LeafRank:    make([]int, n),
+		VertAt:      make([]int, n),
+		P:           p,
+		L:           L,
+	}
+
+	// flag[v]: v is the right child of a 1-node. A node with no flagged
+	// proper ancestor and flagCnt 0 is in the active region.
+	flag := make([]bool, nn)
+	s.ParallelFor(nn, func(v int) {
+		pa := b.Parent[v]
+		flag[v] = pa >= 0 && b.One[pa] && b.Right[pa] == v
+	})
+	flagCnt := tour.AncestorFlagCounts(s, flag)
+
+	s.ParallelFor(nn, func(u int) {
+		if !b.IsLeaf(u) && b.One[u] && flagCnt[u] == 0 {
+			red.Active[u] = true
+			v, w := b.Left[u], b.Right[u]
+			pv, lw := p[v], L[w]
+			if pv > lw { // Case 1
+				red.NB[u] = lw
+			} else { // Case 2
+				red.NB[u] = pv - 1
+				red.NI[u] = lw - pv + 1
+				red.ND[u] = 2*pv - 2
+			}
+		}
+	})
+	red.DummyBase, red.TotalDummies = par.Scan(s, red.ND, 0,
+		func(a, b int) int { return a + b })
+
+	// Leaf ranks and the rank->vertex map.
+	ranks, _ := tour.LeafRanks(s, b.BinTree)
+	s.ParallelFor(nn, func(v int) {
+		if b.IsLeaf(v) {
+			x := b.VertexOf[v]
+			red.LeafRank[x] = ranks[v]
+			red.VertAt[ranks[v]] = x
+		}
+	})
+
+	// Owner per leaf rank: bundle w of active node u covers ranks
+	// [Start[w], Start[w]+L[w]). Scatter end-markers first, then start
+	// markers (starts win shared cells), then a "last marker" scan.
+	const unset = -2
+	markers := make([]int, n)
+	s.ParallelFor(n, func(i int) { markers[i] = unset })
+	s.ParallelFor(nn, func(u int) {
+		if red.Active[u] {
+			w := b.Right[u]
+			if e := red.Start[w] + L[w]; e < n {
+				markers[e] = -1
+			}
+		}
+	})
+	s.ParallelFor(nn, func(u int) {
+		if red.Active[u] {
+			markers[red.Start[b.Right[u]]] = u
+		}
+	})
+	owners := par.InclusiveScan(s, markers, unset, func(a, b int) int {
+		if b != unset {
+			return b
+		}
+		return a
+	})
+
+	// Classify vertices.
+	s.ParallelFor(n, func(x int) {
+		r := red.LeafRank[x]
+		u := owners[r]
+		if u < 0 {
+			red.Role[x] = RolePrimary
+			red.Owner[x] = -1
+			return
+		}
+		red.Owner[x] = u
+		idx := r - red.Start[b.Right[u]]
+		if idx < red.NB[u] {
+			red.Role[x] = RoleBridge
+			red.RoleIdx[x] = idx
+		} else {
+			red.Role[x] = RoleInsert
+			red.RoleIdx[x] = idx - red.NB[u]
+		}
+	})
+
+	// Dummy owners.
+	if red.TotalDummies > 0 {
+		red.DummyOwner = make([]int, red.TotalDummies)
+		downer, _, _ := par.Distribute(s, red.ND)
+		s.ParallelFor(red.TotalDummies, func(d int) { red.DummyOwner[d] = downer[d] })
+	}
+	return red
+}

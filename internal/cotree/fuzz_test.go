@@ -1,0 +1,38 @@
+package cotree
+
+import "testing"
+
+// FuzzParse: the parser must never panic, and any accepted input must
+// produce a validating tree that round-trips through String.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"a",
+		"(0 a b)",
+		"(1 (0 a b) c)",
+		"(1 (0 (1 a b) c) (0 d e f))",
+		"((((",
+		"(0 a",
+		"(2 a b)",
+		")",
+		"(1 a b))",
+		"(0 (1 x y) z",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tr, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("Parse accepted %q but Validate failed: %v", src, verr)
+		}
+		back, err := Parse(tr.String())
+		if err != nil {
+			t.Fatalf("round trip of %q failed: %v", src, err)
+		}
+		if back.String() != tr.String() {
+			t.Fatalf("round trip not stable: %q -> %q", tr.String(), back.String())
+		}
+	})
+}

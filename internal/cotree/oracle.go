@@ -1,0 +1,88 @@
+package cotree
+
+// AdjOracle answers vertex-adjacency queries against a cotree via lowest
+// common ancestors (property (6) of the paper: x ~ y iff LCA(leaf(x),
+// leaf(y)) is a 1-node). It uses binary lifting: O(n log n) setup and
+// O(log n) per query, which is ample for verification workloads.
+type AdjOracle struct {
+	t     *Tree
+	depth []int
+	up    [][]int // up[k][v] = 2^k-th ancestor, -1 above the root
+}
+
+// NewAdjOracle builds the oracle.
+func NewAdjOracle(t *Tree) *AdjOracle {
+	n := t.NumNodes()
+	o := &AdjOracle{t: t, depth: make([]int, n)}
+	// Depths by iterative DFS.
+	stack := []int{t.Root}
+	o.depth[t.Root] = 0
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range t.Children[v] {
+			o.depth[c] = o.depth[v] + 1
+			stack = append(stack, c)
+		}
+	}
+	levels := 1
+	for v := 1; v < n; v <<= 1 {
+		levels++
+	}
+	o.up = make([][]int, levels)
+	o.up[0] = append([]int(nil), t.Parent...)
+	for k := 1; k < levels; k++ {
+		o.up[k] = make([]int, n)
+		for v := 0; v < n; v++ {
+			if a := o.up[k-1][v]; a >= 0 {
+				o.up[k][v] = o.up[k-1][a]
+			} else {
+				o.up[k][v] = -1
+			}
+		}
+	}
+	return o
+}
+
+// LCA returns the lowest common ancestor of two nodes.
+func (o *AdjOracle) LCA(a, b int) int {
+	if o.depth[a] < o.depth[b] {
+		a, b = b, a
+	}
+	diff := o.depth[a] - o.depth[b]
+	for k := 0; diff > 0; k++ {
+		if diff&1 == 1 {
+			a = o.up[k][a]
+		}
+		diff >>= 1
+	}
+	if a == b {
+		return a
+	}
+	for k := len(o.up) - 1; k >= 0; k-- {
+		if o.up[k][a] != o.up[k][b] {
+			a, b = o.up[k][a], o.up[k][b]
+		}
+	}
+	return o.up[0][a]
+}
+
+// Adjacent reports whether vertices x and y are adjacent in the cograph.
+func (o *AdjOracle) Adjacent(x, y int) bool {
+	if x == y {
+		return false
+	}
+	l := o.LCA(o.t.LeafOf[x], o.t.LeafOf[y])
+	return o.t.Label[l] == Label1
+}
+
+// Degree returns the degree of vertex x (O(n) per call; for tests).
+func (o *AdjOracle) Degree(x int) int {
+	d := 0
+	for y := 0; y < o.t.NumVertices(); y++ {
+		if o.Adjacent(x, y) {
+			d++
+		}
+	}
+	return d
+}

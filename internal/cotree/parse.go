@@ -1,0 +1,154 @@
+package cotree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The text format is an s-expression per node:
+//
+//	tree  := leaf | "(" label tree tree ... ")"
+//	label := "0" | "1"
+//	leaf  := identifier (no whitespace or parentheses)
+//
+// Example (the cograph of the paper's Fig. 1 has the shape):
+//
+//	(0 (1 a (0 b c)) (1 d e))
+//
+// Whitespace separates tokens and is otherwise ignored.
+
+// String serialises the cotree in the text format.
+func (t *Tree) String() string {
+	var sb strings.Builder
+	t.write(&sb, t.Root)
+	return sb.String()
+}
+
+func (t *Tree) write(sb *strings.Builder, u int) {
+	if t.Label[u] == LabelLeaf {
+		sb.WriteString(t.Name(t.VertexOf[u]))
+		return
+	}
+	fmt.Fprintf(sb, "(%d", t.Label[u])
+	for _, c := range t.Children[u] {
+		sb.WriteByte(' ')
+		t.write(sb, c)
+	}
+	sb.WriteByte(')')
+}
+
+type parser struct {
+	toks []string
+	pos  int
+	t    *Tree
+}
+
+// Parse reads a cotree from the text format and validates it.
+func Parse(src string) (*Tree, error) {
+	toks := tokenize(src)
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("cotree: empty input")
+	}
+	p := &parser{toks: toks, t: &Tree{Root: 0}}
+	root, err := p.node(-1)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("cotree: trailing input at token %d (%q)", p.pos, p.toks[p.pos])
+	}
+	p.t.Root = root
+	if err := p.t.Validate(); err != nil {
+		return nil, err
+	}
+	return p.t, nil
+}
+
+// MustParse is Parse for known-good literals in tests and examples.
+func MustParse(src string) *Tree {
+	t, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func tokenize(src string) []string {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '(' || c == ')':
+			toks = append(toks, string(c))
+			i++
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		default:
+			j := i
+			for j < len(src) && !strings.ContainsRune("() \t\n\r", rune(src[j])) {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		}
+	}
+	return toks
+}
+
+func (p *parser) node(parent int) (int, error) {
+	if p.pos >= len(p.toks) {
+		return -1, fmt.Errorf("cotree: unexpected end of input")
+	}
+	tok := p.toks[p.pos]
+	p.pos++
+	t := p.t
+	if tok == ")" {
+		return -1, fmt.Errorf("cotree: unexpected ')' at token %d", p.pos-1)
+	}
+	if tok != "(" {
+		// Leaf.
+		id := len(t.Label)
+		v := len(t.LeafOf)
+		t.Label = append(t.Label, LabelLeaf)
+		t.Parent = append(t.Parent, parent)
+		t.Children = append(t.Children, nil)
+		t.VertexOf = append(t.VertexOf, v)
+		t.LeafOf = append(t.LeafOf, id)
+		t.Names = append(t.Names, tok)
+		return id, nil
+	}
+	if p.pos >= len(p.toks) {
+		return -1, fmt.Errorf("cotree: missing label after '('")
+	}
+	var label int8
+	switch p.toks[p.pos] {
+	case "0":
+		label = Label0
+	case "1":
+		label = Label1
+	default:
+		return -1, fmt.Errorf("cotree: invalid label %q (want 0 or 1)", p.toks[p.pos])
+	}
+	p.pos++
+	id := len(t.Label)
+	t.Label = append(t.Label, label)
+	t.Parent = append(t.Parent, parent)
+	t.Children = append(t.Children, nil)
+	t.VertexOf = append(t.VertexOf, -1)
+	for {
+		if p.pos >= len(p.toks) {
+			return -1, fmt.Errorf("cotree: missing ')'")
+		}
+		if p.toks[p.pos] == ")" {
+			p.pos++
+			break
+		}
+		c, err := p.node(id)
+		if err != nil {
+			return -1, err
+		}
+		t.Children[id] = append(t.Children[id], c)
+	}
+	return id, nil
+}

@@ -1,0 +1,121 @@
+// Package lowerbound implements §2 of the paper: the reduction from the
+// OR-of-n-bits problem to minimum path cover counting on cographs
+// (Theorem 2.2, Fig. 2), which transfers the Ω(log n) CREW time lower
+// bound of Cook, Dwork and Reischuk, plus the matching O(log n) CREW
+// upper bound for OR itself.
+//
+// The reduction: the cotree has a 0-labelled root R and one 1-labelled
+// child u. Leaf a_i hangs from u when b_i = 1 and from R otherwise;
+// auxiliary leaves x (under R) and y, z (under u) keep every internal
+// node at arity >= 2. If the input has k ones, the graph is the disjoint
+// union of n-k isolated vertices, the isolated x, and the clique
+// K_{k+2} on {ones, y, z}; a minimum path cover therefore has n-k+2
+// paths and the path through y has k+2 vertices. Hence
+//
+//	OR(b) = 1  <=>  #paths < n+2  <=>  |path containing y| > 2.
+package lowerbound
+
+import (
+	"fmt"
+
+	"pathcover/internal/cotree"
+	"pathcover/internal/pram"
+)
+
+// Instance is the Fig. 2 gadget for a bit string.
+type Instance struct {
+	Tree *cotree.Tree
+	N    int // number of input bits
+	// Vertex ids in the gadget's cotree:
+	Bits []int // vertex of a_i
+	X    int   // auxiliary leaf under the root
+	Y, Z int   // auxiliary leaves under the 1-node
+}
+
+// Build constructs the gadget cotree for the given bits. The
+// construction is O(n) size and O(1) cotree depth, mirroring the paper's
+// observation that n CREW processors build it in constant time.
+func Build(bits []bool) *Instance {
+	n := len(bits)
+	inst := &Instance{N: n, Bits: make([]int, n)}
+	// Children of the 1-node: the one-bits, then y, z.
+	var oneParts []*cotree.Tree
+	var zeroParts []*cotree.Tree
+	names := map[string]int{}
+	for i, b := range bits {
+		leaf := cotree.Single(fmt.Sprintf("a%d", i))
+		if b {
+			oneParts = append(oneParts, leaf)
+		} else {
+			zeroParts = append(zeroParts, leaf)
+		}
+	}
+	oneParts = append(oneParts, cotree.Single("y"), cotree.Single("z"))
+	u := cotree.Join(oneParts...)
+	zeroParts = append(zeroParts, cotree.Single("x"), u)
+	inst.Tree = cotree.Union(zeroParts...)
+	for v := 0; v < inst.Tree.NumVertices(); v++ {
+		names[inst.Tree.Name(v)] = v
+	}
+	for i := range bits {
+		inst.Bits[i] = names[fmt.Sprintf("a%d", i)]
+	}
+	inst.X, inst.Y, inst.Z = names["x"], names["y"], names["z"]
+	return inst
+}
+
+// ExpectedPaths returns the number of paths a minimum cover must have
+// for an input with k ones: n - k + 2.
+func (inst *Instance) ExpectedPaths(k int) int { return inst.N - k + 2 }
+
+// Decode answers the OR problem from a minimum path cover of the gadget
+// (either characterization works; both are checked for consistency).
+func (inst *Instance) Decode(paths [][]int) (bool, error) {
+	byCount := len(paths) < inst.N+2
+	byYPath := false
+	found := false
+	for _, p := range paths {
+		for _, v := range p {
+			if v == inst.Y {
+				byYPath = len(p) > 2
+				found = true
+			}
+		}
+	}
+	if !found {
+		return false, fmt.Errorf("lowerbound: no path contains y")
+	}
+	if byCount != byYPath {
+		return false, fmt.Errorf("lowerbound: characterizations disagree (count: %v, y-path: %v)",
+			byCount, byYPath)
+	}
+	return byCount, nil
+}
+
+// ORTreeCREW computes the OR of n bits on the checked PRAM machine by a
+// binary reduction tree: ceil(log2 n) supersteps with n/2 processors —
+// the matching upper bound for Lemma 2.1 (it is even exclusive-read, so
+// it passes the EREW auditor too).
+func ORTreeCREW(m *pram.Machine, bits []bool) bool {
+	n := len(bits)
+	if n == 0 {
+		return false
+	}
+	a := m.NewIntArray(n)
+	m.Step(func(p int) {
+		if p < n && bits[p] {
+			a.Write(p, p, 1)
+		}
+	})
+	for stride := 1; stride < n; stride *= 2 {
+		st := stride
+		m.Step(func(p int) {
+			i := p * 2 * st
+			if i+st < n {
+				v := a.Read(p, i) | a.Read(p, i+st)
+				a.Write(p, i, v)
+			}
+		})
+	}
+	return a.Snapshot()[0] != 0
+}

@@ -1,0 +1,113 @@
+package lowerbound
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"pathcover/internal/baseline"
+	"pathcover/internal/core"
+	"pathcover/internal/pram"
+	"pathcover/internal/verify"
+)
+
+func TestBuildShape(t *testing.T) {
+	// The Fig. 2 example: bits 0,0,0,0,0,1,0,1.
+	bits := []bool{false, false, false, false, false, true, false, true}
+	inst := Build(bits)
+	if err := inst.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Tree.NumVertices() != 8+3 {
+		t.Fatalf("gadget has %d vertices, want 11", inst.Tree.NumVertices())
+	}
+	// k=2 ones: the cover has n-k+2 = 8 paths and y's path has k+2 = 4
+	// vertices.
+	paths := baseline.Run(inst.Tree)
+	if len(paths) != inst.ExpectedPaths(2) {
+		t.Fatalf("%d paths, want %d", len(paths), inst.ExpectedPaths(2))
+	}
+	for _, p := range paths {
+		for _, v := range p {
+			if v == inst.Y && len(p) != 4 {
+				t.Fatalf("y's path has %d vertices, want 4: %v", len(p), p)
+			}
+		}
+	}
+	or, err := inst.Decode(paths)
+	if err != nil || !or {
+		t.Fatalf("Decode = %v, %v; want true", or, err)
+	}
+}
+
+func TestAllZeros(t *testing.T) {
+	bits := make([]bool, 6)
+	inst := Build(bits)
+	paths := baseline.Run(inst.Tree)
+	if len(paths) != 6+2 {
+		t.Fatalf("%d paths, want 8", len(paths))
+	}
+	or, err := inst.Decode(paths)
+	if err != nil || or {
+		t.Fatalf("Decode = %v, %v; want false", or, err)
+	}
+}
+
+// Property (Theorem 2.2 correspondence): for random bit strings, the OR
+// decoded from a minimum path cover — computed by the *parallel*
+// algorithm — equals the actual OR, via both characterizations.
+func TestORReductionProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, density uint8) bool {
+		n := int(nRaw%40) + 1
+		rng := rand.New(rand.NewPCG(seed, 13))
+		bits := make([]bool, n)
+		want := false
+		for i := range bits {
+			bits[i] = rng.IntN(10) < int(density%11)
+			want = want || bits[i]
+		}
+		inst := Build(bits)
+		s := pram.New(4, pram.WithGrain(16))
+		cov, err := core.ParallelCover(s, inst.Tree, core.Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		if verify.MinimumCover(inst.Tree, cov.Paths) != nil {
+			return false
+		}
+		got, err := inst.Decode(cov.Paths)
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestORTreeCREWStepsAndResult(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 100, 1024} {
+		for _, hot := range []int{-1, 0, n / 2, n - 1} {
+			bits := make([]bool, n)
+			want := false
+			if hot >= 0 && hot < n {
+				bits[hot] = true
+				want = true
+			}
+			m := pram.NewMachine(n, pram.EREW)
+			got := ORTreeCREW(m, bits)
+			if got != want {
+				t.Fatalf("n=%d hot=%d: OR=%v want %v", n, hot, got, want)
+			}
+			if !m.Ok() {
+				t.Fatalf("n=%d: reduction tree violated EREW: %v", n, m.Violations())
+			}
+			// ceil(log2 n) + 1 (init) steps.
+			lg := 0
+			for v := 1; v < n; v <<= 1 {
+				lg++
+			}
+			if m.StepCount() != lg+1 {
+				t.Fatalf("n=%d: %d supersteps, want %d", n, m.StepCount(), lg+1)
+			}
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package par
+
+import "pathcover/internal/pram"
+
+// MatchBrackets finds all matching pairs in a (not necessarily balanced)
+// bracket sequence: open[i] reports whether position i holds an opening
+// bracket. It returns match[i] = index of i's partner, or -1 for
+// unmatched brackets. This is Lemma 5.1(3) of the paper and the engine
+// behind Step 5 of the path-cover algorithm.
+//
+// The parallel algorithm is the classical block-decomposition scheme
+// (Bar-On–Vishkin family), O(log n) time and O(n) work on the simulator:
+//
+//  1. Depths by prefix sums. A closing bracket at depth d matches the
+//     last opening bracket at depth d+1 before it, so matching pairs
+//     share a "level".
+//  2. Each of the p blocks matches internally with a sequential stack
+//     (ceil(n/p) time). A block's surviving brackets form a canonical
+//     sequence )...)(...( whose closes and opens each occupy consecutive
+//     levels — two "runs" described by O(1) integers.
+//  3. A merge tree over the blocks determines, per tree node, how many
+//     pairs (m) form between the top m surviving opens of its left group
+//     and the top m surviving closes of its right group — a consecutive
+//     level interval.
+//  4. Every run walks up the merge tree, splitting off the consumed top
+//     part of its level interval as a "chunk" per node. O(p log p) ⊆ O(n)
+//     work, O(log p) time.
+//  5. Chunks scatter (block, level) into per-node pair slots, and each
+//     pair resolves its bracket indices by O(1) arithmetic into the
+//     block-local survivor lists.
+func MatchBrackets(s *pram.Sim, open []bool) []int {
+	n := len(open)
+	match := make([]int, n)
+	nb := s.NumBlocks(n)
+	if nb <= 1 {
+		s.Sequential(n, func() { matchSerial(open, match) })
+		return match
+	}
+	s.ParallelFor(n, func(i int) { match[i] = -1 })
+
+	// Phase 1: depths. D[i] = depth after position i.
+	w := make([]int, n)
+	s.ParallelFor(n, func(i int) {
+		if open[i] {
+			w[i] = 1
+		} else {
+			w[i] = -1
+		}
+	})
+	depth := InclusiveScan(s, w, 0, func(a, b int) int { return a + b })
+
+	// Phase 2: block-local matching.
+	bs := s.BlockSize(n)
+	locO := make([][]int, nb) // surviving opens per block, ascending position
+	locC := make([][]int, nb) // surviving closes per block, ascending position
+	s.Blocks(n, func(b, lo, hi int) {
+		var stack []int
+		var closes []int
+		for i := lo; i < hi; i++ {
+			if open[i] {
+				stack = append(stack, i)
+			} else if len(stack) > 0 {
+				j := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				match[i], match[j] = j, i
+			} else {
+				closes = append(closes, i)
+			}
+		}
+		locO[b], locC[b] = stack, closes
+	})
+
+	// Run descriptors: the level of an open at i is depth[i]; of a close,
+	// depth[i]+1. Surviving closes occupy consecutive descending levels
+	// from cTop; surviving opens consecutive ascending levels up to oTop.
+	cTop := make([]int, nb)
+	oLo := make([]int, nb)
+	s.ParallelFor(nb, func(b int) {
+		if len(locC[b]) > 0 {
+			cTop[b] = depth[locC[b][0]] + 1
+		}
+		if len(locO[b]) > 0 {
+			oLo[b] = depth[locO[b][0]]
+		}
+	})
+
+	// Phase 3: merge tree (heap layout, p2 leaves).
+	p2 := 1
+	for p2 < nb {
+		p2 <<= 1
+	}
+	size := 2 * p2
+	oCnt := make([]int, size)
+	cCnt := make([]int, size)
+	mCnt := make([]int, size)
+	splitD := make([]int, size)
+	s.ParallelFor(p2, func(b int) {
+		if b < nb {
+			oCnt[p2+b] = len(locO[b])
+			cCnt[p2+b] = len(locC[b])
+		}
+	})
+	for lvl := p2 / 2; lvl >= 1; lvl /= 2 {
+		lvl := lvl
+		span := p2 / lvl // blocks covered per node at this level
+		s.ForCost(lvl, 2, func(i int) {
+			v := lvl + i
+			l, r := 2*v, 2*v+1
+			m := min(oCnt[l], cCnt[r])
+			mCnt[v] = m
+			oCnt[v] = oCnt[r] + oCnt[l] - m
+			cCnt[v] = cCnt[l] + cCnt[r] - m
+			boundary := (i*span + span/2) * bs // first position of the right group
+			if boundary > n {
+				boundary = n
+			}
+			if boundary == 0 {
+				splitD[v] = 0
+			} else {
+				splitD[v] = depth[boundary-1]
+			}
+		})
+	}
+
+	// Pair slot offsets per merge-tree node.
+	pairOff, totalPairs := ScanInt(s, mCnt)
+	if totalPairs == 0 {
+		return match
+	}
+
+	// Phase 4: run walk-up. Runs 2b (closes) and 2b+1 (opens).
+	type chunk struct {
+		node   int
+		levLo  int // inclusive
+		levHi  int // inclusive
+		block  int
+		isOpen bool
+	}
+	nRuns := 2 * nb
+	runNode := make([]int, nRuns)
+	runHi := make([]int, nRuns)
+	runLo := make([]int, nRuns)
+	runAlive := make([]bool, nRuns)
+	s.ForCost(nb, 2, func(b int) {
+		if c := len(locC[b]); c > 0 {
+			runNode[2*b] = p2 + b
+			runHi[2*b] = cTop[b]
+			runLo[2*b] = cTop[b] - c + 1
+			runAlive[2*b] = true
+		}
+		if o := len(locO[b]); o > 0 {
+			runNode[2*b+1] = p2 + b
+			runHi[2*b+1] = oLo[b] + o - 1
+			runLo[2*b+1] = oLo[b]
+			runAlive[2*b+1] = true
+		}
+	})
+	var chunks []chunk
+	buf := make([]chunk, nRuns)
+	emitted := make([]bool, nRuns)
+	for lvl := p2; lvl > 1; lvl /= 2 {
+		s.ForCost(nRuns, 3, func(ri int) {
+			emitted[ri] = false
+			if !runAlive[ri] {
+				return
+			}
+			v := runNode[ri]
+			pv := v / 2
+			runNode[ri] = pv
+			isOpen := ri%2 == 1
+			isLeftChild := v%2 == 0
+			if mCnt[pv] == 0 || isOpen != isLeftChild {
+				return // opens are consumed from left groups, closes from right
+			}
+			t := splitD[pv] - mCnt[pv]
+			if runHi[ri] <= t {
+				return
+			}
+			lo := t + 1
+			if lo < runLo[ri] {
+				lo = runLo[ri]
+			}
+			buf[ri] = chunk{node: pv, levLo: lo, levHi: runHi[ri], block: ri / 2, isOpen: isOpen}
+			emitted[ri] = true
+			runHi[ri] = lo - 1
+			if runHi[ri] < runLo[ri] {
+				runAlive[ri] = false
+			}
+		})
+		chunks = append(chunks, Pack(s, buf, emitted)...)
+	}
+
+	// Phase 5: scatter chunks into pair slots, then resolve each pair.
+	lens := make([]int, len(chunks))
+	s.ParallelFor(len(chunks), func(k int) { lens[k] = chunks[k].levHi - chunks[k].levLo + 1 })
+	owner, offset, items := Distribute(s, lens)
+	pairOpen := make([]int, totalPairs)
+	pairClose := make([]int, totalPairs)
+	s.ForCost(items, 2, func(t int) {
+		ck := chunks[owner[t]]
+		lev := ck.levLo + offset[t]
+		slot := pairOff[ck.node] + lev - (splitD[ck.node] - mCnt[ck.node] + 1)
+		if ck.isOpen {
+			pairOpen[slot] = ck.block
+		} else {
+			pairClose[slot] = ck.block
+		}
+	})
+
+	nodeOf, slotOff, _ := Distribute(s, mCnt)
+	s.ForCost(totalPairs, 3, func(k int) {
+		v := nodeOf[k]
+		lev := splitD[v] - mCnt[v] + 1 + slotOff[k]
+		bO, bC := pairOpen[k], pairClose[k]
+		oi := locO[bO][lev-oLo[bO]]
+		ci := locC[bC][cTop[bC]-lev]
+		match[oi], match[ci] = ci, oi
+	})
+	return match
+}
+
+// matchSerial is the sequential stack matcher, used for single-block
+// inputs and as the differential-testing reference.
+func matchSerial(open []bool, match []int) {
+	var stack []int
+	for i := range open {
+		if open[i] {
+			match[i] = -1
+			stack = append(stack, i)
+		} else if len(stack) > 0 {
+			j := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			match[i], match[j] = j, i
+		} else {
+			match[i] = -1
+		}
+	}
+}

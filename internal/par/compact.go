@@ -1,0 +1,57 @@
+package par
+
+import "pathcover/internal/pram"
+
+// Pack returns the elements of in whose keep flag is set, preserving
+// order (stable stream compaction). O(log n) time, O(n) work via one scan
+// and one scatter.
+func Pack[T any](s *pram.Sim, in []T, keep []bool) []T {
+	idx := IndexPack(s, keep)
+	out := make([]T, len(idx))
+	s.ParallelFor(len(idx), func(i int) { out[i] = in[idx[i]] })
+	return out
+}
+
+// IndexPack returns, in increasing order, the indices i with keep[i]
+// set.
+func IndexPack(s *pram.Sim, keep []bool) []int {
+	n := len(keep)
+	flags := make([]int, n)
+	s.ParallelFor(n, func(i int) {
+		if keep[i] {
+			flags[i] = 1
+		}
+	})
+	pos, total := ScanInt(s, flags)
+	out := make([]int, total)
+	s.ParallelFor(n, func(i int) {
+		if keep[i] {
+			out[pos[i]] = i
+		}
+	})
+	return out
+}
+
+// Distribute expands variable-length segments: given segment lengths,
+// it returns (owner, offset, total) where for each item t in [0, total)
+// of the concatenation, owner[t] is the segment it belongs to and
+// offset[t] its position within that segment.
+//
+// This is the scatter-heads-then-max-scan idiom: the head position of
+// each segment receives the segment id, and an inclusive prefix maximum
+// broadcasts ids across items — O(log n) time, O(total + segments) work,
+// EREW.
+func Distribute(s *pram.Sim, lengths []int) (owner, offset []int, total int) {
+	starts, tot := ScanInt(s, lengths)
+	heads := make([]int, tot)
+	s.ParallelFor(tot, func(i int) { heads[i] = minInt })
+	s.ParallelFor(len(lengths), func(g int) {
+		if lengths[g] > 0 {
+			heads[starts[g]] = g
+		}
+	})
+	owner = MaxScanInt(s, heads)
+	offset = make([]int, tot)
+	s.ParallelFor(tot, func(t int) { offset[t] = t - starts[owner[t]] })
+	return owner, offset, tot
+}

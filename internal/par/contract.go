@@ -1,0 +1,228 @@
+package par
+
+import "pathcover/internal/pram"
+
+// Tree contraction (Abrahamson–Dadoun–Kirkpatrick–Przytycka style) for
+// expression evaluation over binary trees, used by Step 3 of the paper to
+// evaluate Lin et al.'s recurrence
+//
+//	p(u) = p(v) + p(w)          at a 0-node
+//	p(u) = max(p(v) - L(w), 1)  at a 1-node
+//
+// for every internal node in O(log n) time and O(n) work.
+//
+// The unary function class closed under the partial applications of both
+// operators is f(x) = max(x + a, b) with saturating a. Raking a leaf
+// partially applies its parent's operator and composes the result onto
+// the sibling; the rake schedule (odd-numbered left-child leaves, then
+// odd-numbered right-child leaves, then renumber) guarantees
+// conflict-free parallel rounds. Recording every rake and replaying the
+// record backwards recovers the value of every internal node, not just
+// the root.
+
+// OpKind identifies the operator at an internal expression node.
+type OpKind uint8
+
+const (
+	// OpSum combines children as left + right (the 0-node rule).
+	OpSum OpKind = iota
+	// OpJoinClamp combines children as max(left - C, 1), ignoring the
+	// right child's value (the 1-node rule: C = L(w) is a constant of the
+	// node, not a child value).
+	OpJoinClamp
+)
+
+// NodeOp is the operator of one internal node.
+type NodeOp struct {
+	Kind OpKind
+	C    int64
+}
+
+const negInf = int64(-1) << 46
+
+func satAdd(a, b int64) int64 {
+	s := a + b
+	if s < negInf {
+		return negInf
+	}
+	return s
+}
+
+// MaxPlus is the unary function f(x) = max(x + A, B). The identity is
+// {0, negInf}; constants are {negInf, c}.
+type MaxPlus struct{ A, B int64 }
+
+// idMaxPlus is the identity function.
+func idMaxPlus() MaxPlus { return MaxPlus{0, negInf} }
+
+// Apply evaluates the function.
+func (f MaxPlus) Apply(x int64) int64 {
+	v := satAdd(x, f.A)
+	if v < f.B {
+		return f.B
+	}
+	return v
+}
+
+// then returns g∘f: first f, then g.
+func (f MaxPlus) then(g MaxPlus) MaxPlus {
+	b := satAdd(f.B, g.A)
+	if b < g.B {
+		b = g.B
+	}
+	return MaxPlus{A: satAdd(f.A, g.A), B: b}
+}
+
+// partial returns the unary function of the unknown child when the other
+// child's value is known.
+func partial(op NodeOp, knownLeft bool, known int64) MaxPlus {
+	switch op.Kind {
+	case OpSum:
+		return MaxPlus{A: known, B: negInf}
+	case OpJoinClamp:
+		if knownLeft {
+			// value is already determined: max(known - C, 1)
+			v := known - op.C
+			if v < 1 {
+				v = 1
+			}
+			return MaxPlus{A: negInf, B: v}
+		}
+		// function of the left child
+		return MaxPlus{A: -op.C, B: 1}
+	}
+	panic("par: unknown OpKind")
+}
+
+// applyOp evaluates an operator on two known children.
+func applyOp(op NodeOp, left, right int64) int64 {
+	switch op.Kind {
+	case OpSum:
+		return left + right
+	case OpJoinClamp:
+		v := left - op.C
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	panic("par: unknown OpKind")
+}
+
+type rakeRec struct {
+	x, p, sib int
+	fx, fs    MaxPlus
+	xLeft     bool
+}
+
+// EvalTree evaluates the expression tree t — op[v] for internal nodes,
+// leafVal[v] for leaves — and returns the value of every node. t must be
+// a single binary tree in which every internal node has exactly two
+// children. leafRank must number the leaves 0..m-1 left to right (as
+// produced by Tour.LeafRanks).
+func EvalTree(s *pram.Sim, t BinTree, op []NodeOp, leafVal []int64, leafRank []int) []int64 {
+	n := t.Len()
+	val := make([]int64, n)
+	if n == 0 {
+		return val
+	}
+	// Working copies of the mutable link structure.
+	left := make([]int, n)
+	right := make([]int, n)
+	parent := make([]int, n)
+	f := make([]MaxPlus, n)
+	num := make([]int, n)
+	isLeaf := make([]bool, n)
+	s.ForCost(n, 2, func(v int) {
+		left[v], right[v], parent[v] = t.Left[v], t.Right[v], t.Parent[v]
+		f[v] = idMaxPlus()
+		isLeaf[v] = t.IsLeaf(v)
+		if isLeaf[v] {
+			num[v] = leafRank[v] + 1 // 1-based for the odd/even schedule
+			val[v] = leafVal[v]
+		}
+	})
+	leaves := IndexPack(s, isLeaf)
+
+	var rounds [][]rakeRec
+	rakeSub := func(wantLeft bool) {
+		cand := make([]bool, len(leaves))
+		s.ParallelFor(len(leaves), func(k int) {
+			x := leaves[k]
+			p := parent[x]
+			if num[x]%2 == 1 && p >= 0 {
+				if wantLeft {
+					cand[k] = left[p] == x
+				} else {
+					cand[k] = right[p] == x
+				}
+			}
+		})
+		sel := Pack(s, leaves, cand)
+		if len(sel) == 0 {
+			return
+		}
+		recs := make([]rakeRec, len(sel))
+		s.ForCost(len(sel), 4, func(k int) {
+			x := sel[k]
+			p := parent[x]
+			var sib int
+			if left[p] == x {
+				sib = right[p]
+			} else {
+				sib = left[p]
+			}
+			recs[k] = rakeRec{x: x, p: p, sib: sib, fx: f[x], fs: f[sib], xLeft: left[p] == x}
+			// Splice p out: sib takes p's place under p's parent.
+			g := parent[p]
+			if g >= 0 {
+				if left[g] == p {
+					left[g] = sib
+				} else {
+					right[g] = sib
+				}
+			}
+			parent[sib] = g
+			a := f[x].Apply(val[x])
+			f[sib] = f[sib].then(partial(op[p], left[p] == x, a)).then(f[p])
+		})
+		rounds = append(rounds, recs)
+	}
+
+	guard := 2
+	for v := 1; v < n; v <<= 1 {
+		guard += 2
+	}
+	for len(leaves) > 1 && guard > 0 {
+		guard--
+		rakeSub(true)
+		rakeSub(false)
+		// All odd-numbered leaves are gone; halve the even numbers and
+		// compact the leaf set.
+		live := make([]bool, len(leaves))
+		s.ParallelFor(len(leaves), func(k int) {
+			x := leaves[k]
+			if num[x]%2 == 0 {
+				num[x] /= 2
+				live[k] = true
+			}
+		})
+		leaves = Pack(s, leaves, live)
+	}
+
+	// Replay the rakes backwards to assign every internal node its value.
+	for r := len(rounds) - 1; r >= 0; r-- {
+		recs := rounds[r]
+		s.ForCost(len(recs), 3, func(k int) {
+			rec := recs[k]
+			a := rec.fx.Apply(val[rec.x])
+			b := rec.fs.Apply(val[rec.sib])
+			if rec.xLeft {
+				val[rec.p] = applyOp(op[rec.p], a, b)
+			} else {
+				val[rec.p] = applyOp(op[rec.p], b, a)
+			}
+		})
+	}
+	return val
+}

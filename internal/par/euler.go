@@ -1,0 +1,259 @@
+package par
+
+import "pathcover/internal/pram"
+
+// BinTree is a binary forest in arena form. All three slices have the
+// same length; -1 denotes absence. Roots have Parent -1. An internal node
+// may have one or two children (path trees are like that); full binary
+// trees (cotrees) always have both.
+type BinTree struct {
+	Left, Right, Parent []int
+}
+
+// Len returns the number of nodes.
+func (t BinTree) Len() int { return len(t.Parent) }
+
+// NewBinTree allocates an n-node forest with every link empty.
+func NewBinTree(n int) BinTree {
+	t := BinTree{
+		Left:   make([]int, n),
+		Right:  make([]int, n),
+		Parent: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		t.Left[i], t.Right[i], t.Parent[i] = -1, -1, -1
+	}
+	return t
+}
+
+// IsLeaf reports whether v has no children.
+func (t BinTree) IsLeaf(v int) bool { return t.Left[v] < 0 && t.Right[v] < 0 }
+
+// Tour is the Euler tour of a binary forest together with the numberings
+// derived from it (paper Lemma 5.2). Each node contributes three tour
+// items — pre (first visit), in (between the two subtrees) and post
+// (last visit) — and the items of all trees are chained root after root
+// in increasing root order.
+type Tour struct {
+	N   int
+	Pos []int // Pos[item] = position of tour item; items are 3v, 3v+1, 3v+2
+	Seq []int // Seq[pos] = item at that position (inverse of Pos)
+
+	Pre, In, Post []int // numberings of the nodes, 0-based across the forest
+	InSeq         []int // InSeq[k] = node with inorder number k
+	Root          []int // root of each node's tree
+	Roots         []int // the roots, in increasing index order
+}
+
+// item encoding helpers.
+func preItem(v int) int   { return 3 * v }
+func inItem(v int) int    { return 3*v + 1 }
+func postItem(v int) int  { return 3*v + 2 }
+func itemNode(it int) int { return it / 3 }
+
+// TourBinary builds the Euler tour of t and the pre/in/post numberings.
+// seed drives the randomized work-optimal list ranking.
+func TourBinary(s *pram.Sim, t BinTree, seed uint64) *Tour {
+	n := t.Len()
+	tr := &Tour{N: n}
+	if n == 0 {
+		return tr
+	}
+
+	isRoot := make([]bool, n)
+	s.ParallelFor(n, func(v int) { isRoot[v] = t.Parent[v] < 0 })
+	roots := IndexPack(s, isRoot)
+	tr.Roots = roots
+
+	// Successor links between the 3n items.
+	next := make([]int, 3*n)
+	s.ForCost(n, 3, func(v int) {
+		// pre(v) -> first of left subtree, else in(v)
+		if l := t.Left[v]; l >= 0 {
+			next[preItem(v)] = preItem(l)
+		} else {
+			next[preItem(v)] = inItem(v)
+		}
+		// in(v) -> first of right subtree, else post(v)
+		if r := t.Right[v]; r >= 0 {
+			next[inItem(v)] = preItem(r)
+		} else {
+			next[inItem(v)] = postItem(v)
+		}
+		// post(v) -> in(parent) when v is a left child, post(parent) when
+		// right; roots are linked to the next root below.
+		p := t.Parent[v]
+		switch {
+		case p < 0:
+			next[postItem(v)] = -1
+		case t.Left[p] == v:
+			next[postItem(v)] = inItem(p)
+		default:
+			next[postItem(v)] = postItem(p)
+		}
+	})
+	// Chain the trees: post(root_k) -> pre(root_{k+1}).
+	s.ParallelFor(len(roots), func(k int) {
+		if k+1 < len(roots) {
+			next[postItem(roots[k])] = preItem(roots[k+1])
+		}
+	})
+
+	pos, length := ListPositions(s, next, preItem(roots[0]), seed)
+	tr.Pos = pos
+	seq := make([]int, length)
+	s.ParallelFor(3*n, func(it int) {
+		if pos[it] >= 0 {
+			seq[pos[it]] = it
+		}
+	})
+	tr.Seq = seq
+
+	// Numberings: rank of each item kind along the sequence.
+	kindFlag := func(kind int) []int {
+		f := make([]int, length)
+		s.ParallelFor(length, func(i int) {
+			if seq[i]%3 == kind {
+				f[i] = 1
+			}
+		})
+		r, _ := ScanInt(s, f)
+		return r
+	}
+	preRank := kindFlag(0)
+	inRank := kindFlag(1)
+	postRank := kindFlag(2)
+	tr.Pre = make([]int, n)
+	tr.In = make([]int, n)
+	tr.Post = make([]int, n)
+	tr.InSeq = make([]int, n)
+	s.ForCost(n, 3, func(v int) {
+		tr.Pre[v] = preRank[pos[preItem(v)]]
+		tr.In[v] = inRank[pos[inItem(v)]]
+		tr.Post[v] = postRank[pos[postItem(v)]]
+	})
+	s.ParallelFor(n, func(v int) { tr.InSeq[tr.In[v]] = v })
+
+	// Root of each node: roots appear in increasing index order along the
+	// tour, so a prefix max over root markers at pre positions works.
+	marks := make([]int, length)
+	s.ParallelFor(length, func(i int) { marks[i] = minInt })
+	s.ParallelFor(len(roots), func(k int) { marks[pos[preItem(roots[k])]] = roots[k] })
+	owner := MaxScanInt(s, marks)
+	tr.Root = make([]int, n)
+	s.ParallelFor(n, func(v int) { tr.Root[v] = owner[pos[preItem(v)]] })
+	return tr
+}
+
+// Depths returns the depth of every node (roots have depth 0), via a
+// prefix sum of +1 at pre items and -1 at post items.
+func (tr *Tour) Depths(s *pram.Sim) []int {
+	w := make([]int, len(tr.Seq))
+	s.ParallelFor(len(tr.Seq), func(i int) {
+		switch tr.Seq[i] % 3 {
+		case 0:
+			w[i] = 1
+		case 2:
+			w[i] = -1
+		}
+	})
+	sums := InclusiveScan(s, w, 0, func(a, b int) int { return a + b })
+	d := make([]int, tr.N)
+	s.ParallelFor(tr.N, func(v int) { d[v] = sums[tr.Pos[preItem(v)]] - 1 })
+	return d
+}
+
+// SubtreeCounts returns, for every node, the number of nodes and the
+// number of leaves in its subtree (inclusive).
+func (tr *Tour) SubtreeCounts(s *pram.Sim, t BinTree) (size, leaves []int) {
+	length := len(tr.Seq)
+	nodeW := make([]int, length)
+	leafW := make([]int, length)
+	s.ParallelFor(length, func(i int) {
+		it := tr.Seq[i]
+		if it%3 == 0 {
+			v := itemNode(it)
+			nodeW[i] = 1
+			if t.IsLeaf(v) {
+				leafW[i] = 1
+			}
+		}
+	})
+	nodeSum := InclusiveScan(s, nodeW, 0, func(a, b int) int { return a + b })
+	leafSum := InclusiveScan(s, leafW, 0, func(a, b int) int { return a + b })
+	size = make([]int, tr.N)
+	leaves = make([]int, tr.N)
+	s.ForCost(tr.N, 2, func(v int) {
+		lo, hi := tr.Pos[preItem(v)], tr.Pos[postItem(v)]
+		size[v] = nodeSum[hi] - nodeSum[lo] + 1
+		leaves[v] = leafSum[hi] - leafSum[lo]
+		if t.IsLeaf(v) {
+			leaves[v] = 1
+		}
+	})
+	return size, leaves
+}
+
+// AncestorFlagCounts returns for every node the number of flagged nodes
+// on the path from its tree root to the node, inclusive.
+func (tr *Tour) AncestorFlagCounts(s *pram.Sim, flag []bool) []int {
+	length := len(tr.Seq)
+	w := make([]int, length)
+	s.ParallelFor(length, func(i int) {
+		it := tr.Seq[i]
+		v := itemNode(it)
+		if flag[v] {
+			switch it % 3 {
+			case 0:
+				w[i] = 1
+			case 2:
+				w[i] = -1
+			}
+		}
+	})
+	sums := InclusiveScan(s, w, 0, func(a, b int) int { return a + b })
+	out := make([]int, tr.N)
+	s.ParallelFor(tr.N, func(v int) { out[v] = sums[tr.Pos[preItem(v)]] })
+	return out
+}
+
+// LeafStarts returns, for every node, the number of leaves strictly to
+// the left of its subtree in inorder — i.e. the leaf rank of the node's
+// leftmost leaf descendant.
+func (tr *Tour) LeafStarts(s *pram.Sim, t BinTree) []int {
+	length := len(tr.Seq)
+	w := make([]int, length)
+	s.ParallelFor(length, func(i int) {
+		it := tr.Seq[i]
+		if it%3 == 1 && t.IsLeaf(itemNode(it)) {
+			w[i] = 1
+		}
+	})
+	r, _ := ScanInt(s, w)
+	out := make([]int, tr.N)
+	s.ParallelFor(tr.N, func(v int) { out[v] = r[tr.Pos[preItem(v)]] })
+	return out
+}
+
+// LeafRanks numbers the leaves of the forest 0..m-1 in left-to-right
+// (inorder) order; non-leaves get -1. Also returns m.
+func (tr *Tour) LeafRanks(s *pram.Sim, t BinTree) ([]int, int) {
+	length := len(tr.Seq)
+	w := make([]int, length)
+	s.ParallelFor(length, func(i int) {
+		it := tr.Seq[i]
+		if it%3 == 1 && t.IsLeaf(itemNode(it)) {
+			w[i] = 1
+		}
+	})
+	r, m := ScanInt(s, w)
+	out := make([]int, tr.N)
+	s.ParallelFor(tr.N, func(v int) {
+		if t.IsLeaf(v) {
+			out[v] = r[tr.Pos[inItem(v)]]
+		} else {
+			out[v] = -1
+		}
+	})
+	return out, m
+}

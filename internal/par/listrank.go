@@ -1,0 +1,273 @@
+package par
+
+import "pathcover/internal/pram"
+
+// Rank performs list ranking by Wyllie pointer jumping. For every element
+// i of the linked structure next (next[i] = successor index, or -1 at a
+// terminal), it returns dist[i] — the number of links from i to its
+// terminal — and last[i], the terminal itself. next may describe any
+// number of disjoint lists (or, more generally, in-forests whose edges
+// point toward the roots).
+//
+// Pointer jumping is O(log n) time but O(n log n) work; RankOpt is the
+// work-optimal variant. Rank is retained as the simple reference and as
+// the comparison point for the work-optimality ablation bench.
+func Rank(s *pram.Sim, next []int) (dist, last []int) {
+	return RankWeighted(s, next, nil)
+}
+
+// RankWeighted is Rank with a weight per link: dist[i] becomes the sum of
+// weights along the path from i to its terminal. A nil weight slice means
+// unit weights.
+func RankWeighted(s *pram.Sim, next []int, weight []int) (dist, last []int) {
+	n := len(next)
+	dist = make([]int, n)
+	last = make([]int, n)
+	nxt := make([]int, n)
+	s.ParallelFor(n, func(i int) {
+		nxt[i] = next[i]
+		last[i] = i
+		if next[i] >= 0 {
+			if weight == nil {
+				dist[i] = 1
+			} else {
+				dist[i] = weight[i]
+			}
+		}
+	})
+	// Double buffers keep each jumping round exclusive-access: reads go to
+	// the "cur" generation, writes to "new".
+	nd := make([]int, n)
+	nn := make([]int, n)
+	nl := make([]int, n)
+	rounds := 0
+	for v := 1; v < n; v <<= 1 {
+		rounds++
+	}
+	for r := 0; r < rounds; r++ {
+		s.ForCost(n, 2, func(i int) {
+			j := nxt[i]
+			if j >= 0 {
+				nd[i] = dist[i] + dist[j]
+				nl[i] = last[j]
+				nn[i] = nxt[j]
+			} else {
+				nd[i] = dist[i]
+				nl[i] = last[i]
+				nn[i] = -1
+			}
+		})
+		dist, nd = nd, dist
+		last, nl = nl, last
+		nxt, nn = nn, nxt
+	}
+	return dist, last
+}
+
+// RankOpt is randomized work-optimal list ranking: random-mate
+// contraction splices out a constant expected fraction of the elements
+// per round until at most n/log n survive, Wyllie ranks the survivors,
+// and the spliced elements are reinstated in reverse order. Expected work
+// is O(n); time is O(log n) with n/log n processors (w.h.p.).
+//
+// seed makes the coin flips deterministic for a given input.
+func RankOpt(s *pram.Sim, next []int, seed uint64) (dist, last []int) {
+	return RankOptWeighted(s, next, nil, seed)
+}
+
+type splice struct {
+	elem int // the spliced-out element
+	succ int // its successor at splice time
+	w    int // weight of the link elem->succ at splice time
+}
+
+// RankOptWeighted is RankOpt with link weights (nil means unit weights).
+func RankOptWeighted(s *pram.Sim, next []int, weight []int, seed uint64) (dist, last []int) {
+	n := len(next)
+	if n == 0 {
+		return nil, nil
+	}
+	target := pram.ProcsFor(n) // contract to ~n/log n survivors
+	if n <= 64 || s.Procs() == 1 {
+		// Serial reference: follow chains with memoization via reverse
+		// topological order (process in order of a stack-free two-pass).
+		return rankSerial(s, next, weight)
+	}
+
+	w := make([]int, n)
+	nxt := make([]int, n)
+	prv := make([]int, n)
+	s.ParallelFor(n, func(i int) {
+		nxt[i] = next[i]
+		prv[i] = -1
+		if next[i] >= 0 {
+			if weight == nil {
+				w[i] = 1
+			} else {
+				w[i] = weight[i]
+			}
+		}
+	})
+	// prv[j] = some predecessor of j. For lists it is unique; RankOpt
+	// requires list inputs (each element has at most one predecessor),
+	// unlike Rank which accepts in-forests.
+	s.ParallelFor(n, func(i int) {
+		if nxt[i] >= 0 {
+			prv[nxt[i]] = i
+		}
+	})
+
+	alive := make([]int, n)
+	s.ParallelFor(n, func(i int) { alive[i] = i })
+	var rounds [][]splice
+	rng := seed | 1
+	coin := make([]bool, n)
+	outFlag := make([]int, n)
+	// Each round splices out the elements whose coin is tails while the
+	// predecessor's coin is heads — an independent set of expected size
+	// m/4 among interior elements — and rebuilds the alive set with a
+	// single scan-partition pass. When a round selects nothing, every
+	// surviving list has (w.h.p.) length at most two and Wyllie finishes
+	// the job; a round cap bounds the pathological case.
+	for round := 0; len(alive) > target && round < 64; round++ {
+		rng = splitmix(rng)
+		base := rng
+		m := len(alive)
+		s.ParallelFor(m, func(k int) {
+			e := alive[k]
+			coin[e] = splitmix(base^uint64(e))&1 == 0
+		})
+		flags := outFlag[:m]
+		s.ParallelFor(m, func(k int) {
+			e := alive[k]
+			p := prv[e]
+			if !coin[e] && p >= 0 && coin[p] && nxt[e] >= 0 {
+				flags[k] = 1
+			} else {
+				flags[k] = 0
+			}
+		})
+		pos, cnt := ScanInt(s, flags)
+		if cnt == 0 {
+			break
+		}
+		rec := make([]splice, cnt)
+		newAlive := make([]int, m-cnt)
+		s.ForCost(m, 3, func(k int) {
+			e := alive[k]
+			if flags[k] == 1 {
+				p, q := prv[e], nxt[e]
+				rec[pos[k]] = splice{elem: e, succ: q, w: w[e]}
+				nxt[p] = q
+				w[p] += w[e]
+				prv[q] = p
+			} else {
+				newAlive[k-pos[k]] = e
+			}
+		})
+		rounds = append(rounds, rec)
+		alive = newAlive
+	}
+
+	// Wyllie on the survivors, in compacted index space.
+	m := len(alive)
+	pos := make([]int, n) // original -> compact
+	s.ParallelFor(m, func(k int) { pos[alive[k]] = k })
+	cnext := make([]int, m)
+	cw := make([]int, m)
+	s.ParallelFor(m, func(k int) {
+		e := alive[k]
+		if nxt[e] >= 0 {
+			cnext[k] = pos[nxt[e]]
+			cw[k] = w[e]
+		} else {
+			cnext[k] = -1
+		}
+	})
+	cdist, clast := RankWeighted(s, cnext, cw)
+
+	dist = make([]int, n)
+	last = make([]int, n)
+	s.ParallelFor(m, func(k int) {
+		e := alive[k]
+		dist[e] = cdist[k]
+		last[e] = alive[clast[k]]
+	})
+
+	// Reinstate spliced elements in reverse round order: an element's
+	// successor at splice time is ranked by a later round or by Wyllie.
+	for r := len(rounds) - 1; r >= 0; r-- {
+		rec := rounds[r]
+		s.ForCost(len(rec), 2, func(k int) {
+			sp := rec[k]
+			dist[sp.elem] = sp.w + dist[sp.succ]
+			last[sp.elem] = last[sp.succ]
+		})
+	}
+	return dist, last
+}
+
+// rankSerial is the single-processor reference: O(n) by chasing each
+// chain once.
+func rankSerial(s *pram.Sim, next []int, weight []int) (dist, last []int) {
+	n := len(next)
+	dist = make([]int, n)
+	last = make([]int, n)
+	done := make([]bool, n)
+	stack := make([]int, 0, 64)
+	s.Sequential(n, func() {
+		for i := 0; i < n; i++ {
+			if done[i] {
+				continue
+			}
+			j := i
+			for !done[j] && next[j] >= 0 {
+				stack = append(stack, j)
+				j = next[j]
+			}
+			if next[j] < 0 && !done[j] {
+				dist[j], last[j], done[j] = 0, j, true
+			}
+			for k := len(stack) - 1; k >= 0; k-- {
+				e := stack[k]
+				wv := 1
+				if weight != nil {
+					wv = weight[e]
+				}
+				dist[e] = wv + dist[next[e]]
+				last[e] = last[next[e]]
+				done[e] = true
+			}
+			stack = stack[:0]
+		}
+	})
+	return dist, last
+}
+
+// ListPositions ranks a single list of known head: it returns pos[i],
+// the 0-based position of element i from head, and the list length.
+// Elements not on the list get position -1.
+func ListPositions(s *pram.Sim, next []int, head int, seed uint64) (pos []int, length int) {
+	dist, last := RankOpt(s, next, seed)
+	n := len(next)
+	length = dist[head] + 1
+	pos = make([]int, n)
+	tail := last[head]
+	s.ParallelFor(n, func(i int) {
+		if last[i] == tail {
+			pos[i] = length - 1 - dist[i]
+		} else {
+			pos[i] = -1
+		}
+	})
+	return pos, length
+}
+
+// splitmix is the SplitMix64 mixing function, used for deterministic
+// per-element coin flips.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

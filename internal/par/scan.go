@@ -1,0 +1,133 @@
+// Package par implements the parallel primitives the path-cover algorithm
+// of Nakano–Olariu–Zomaya is built from: prefix sums, stream compaction,
+// list ranking, Euler tours with tree numberings, parallel bracket
+// matching, and binary tree contraction with all-node expression
+// evaluation. These are the tools of Lemmas 5.1 and 5.2 of the paper.
+//
+// Every primitive is written once against the pram.Sim cost model: a phase
+// of n constant-time operations costs ceil(n/p) simulated time and n
+// simulated work. With p = n/log n processors each primitive meets the
+// paper's O(log n)-time, O(n)-work bounds (list ranking in its randomized
+// work-optimal variant), and the counters of the Sim make those bounds
+// measurable.
+package par
+
+import "pathcover/internal/pram"
+
+// Scan computes the exclusive prefix combination of in under the
+// associative operation op with identity id: out[i] = op(in[0], ...,
+// in[i-1]) (out[0] = id). It also returns the total combination of all
+// elements.
+//
+// The implementation is the textbook work-optimal EREW scan: each
+// simulated processor reduces a contiguous block, the p block sums are
+// scanned by recursive doubling (up-sweep/down-sweep, O(log p) phases),
+// and each block is swept once more to apply its offset. With p = n/log n
+// this is O(log n) time and O(n) work.
+func Scan[T any](s *pram.Sim, in []T, id T, op func(a, b T) T) (out []T, total T) {
+	n := len(in)
+	out = make([]T, n)
+	if n == 0 {
+		return out, id
+	}
+	nb := s.NumBlocks(n)
+	if nb == 1 {
+		s.Sequential(n, func() {
+			acc := id
+			for i := 0; i < n; i++ {
+				out[i] = acc
+				acc = op(acc, in[i])
+			}
+			total = acc
+		})
+		return out, total
+	}
+
+	// Per-block reduction.
+	sums := make([]T, nb)
+	s.Blocks(n, func(b, lo, hi int) {
+		acc := id
+		for i := lo; i < hi; i++ {
+			acc = op(acc, in[i])
+		}
+		sums[b] = acc
+	})
+
+	// Exclusive scan of the nb block sums by up-sweep/down-sweep over a
+	// power-of-two padded tree.
+	m := 1
+	for m < nb {
+		m <<= 1
+	}
+	tree := make([]T, 2*m)
+	s.ParallelFor(m, func(i int) {
+		if i < nb {
+			tree[m+i] = sums[i]
+		} else {
+			tree[m+i] = id
+		}
+	})
+	for w := m / 2; w >= 1; w /= 2 {
+		w := w
+		s.ParallelFor(w, func(i int) {
+			v := w + i
+			tree[v] = op(tree[2*v], tree[2*v+1])
+		})
+	}
+	total = tree[1]
+	// Down-sweep: pref[v] = combination of everything left of subtree v.
+	pref := make([]T, 2*m)
+	pref[1] = id
+	for w := 1; w < m; w *= 2 {
+		w := w
+		s.ParallelFor(w, func(i int) {
+			v := w + i
+			pref[2*v] = pref[v]
+			pref[2*v+1] = op(pref[v], tree[2*v])
+		})
+	}
+
+	// Apply block offsets.
+	s.Blocks(n, func(b, lo, hi int) {
+		acc := pref[m+b]
+		for i := lo; i < hi; i++ {
+			out[i] = acc
+			acc = op(acc, in[i])
+		}
+	})
+	return out, total
+}
+
+// InclusiveScan computes out[i] = op(in[0], ..., in[i]).
+func InclusiveScan[T any](s *pram.Sim, in []T, id T, op func(a, b T) T) []T {
+	ex, _ := Scan(s, in, id, op)
+	out := make([]T, len(in))
+	s.ParallelFor(len(in), func(i int) { out[i] = op(ex[i], in[i]) })
+	return out
+}
+
+// ScanInt is Scan specialised to integer sums.
+func ScanInt(s *pram.Sim, in []int) (out []int, total int) {
+	return Scan(s, in, 0, func(a, b int) int { return a + b })
+}
+
+// Reduce combines all elements of in under op starting from id.
+func Reduce[T any](s *pram.Sim, in []T, id T, op func(a, b T) T) T {
+	_, total := Scan(s, in, id, op)
+	return total
+}
+
+// MaxScanInt computes the inclusive prefix maximum of in. It is the
+// standard "segmented broadcast" building block: scatter values at
+// segment heads, then a prefix max carries each head's value across its
+// segment.
+func MaxScanInt(s *pram.Sim, in []int) []int {
+	return InclusiveScan(s, in, minInt, func(a, b int) int {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+const minInt = -int(^uint(0)>>1) - 1

@@ -1,0 +1,61 @@
+package par
+
+import "pathcover/internal/pram"
+
+// Segmented scans: prefix operations that restart at segment
+// boundaries, the standard building block for per-group ranking (used
+// by Step 6 of the path-cover pipeline to rank illegal inserts and
+// legal dummies within each 1-node's block). The segmented monoid
+// (value, reset) is associative, so one ordinary Scan does the job —
+// O(log n) time, O(n) work.
+
+// SegItem pairs a value with a segment-start flag.
+type SegItem struct {
+	Val   int
+	Start bool
+}
+
+func segAdd(a, b SegItem) SegItem {
+	if b.Start {
+		return b
+	}
+	return SegItem{Val: a.Val + b.Val, Start: a.Start}
+}
+
+// SegmentedSumInclusive computes, for every position, the sum of values
+// from its segment's start through itself. starts[i] marks the first
+// element of each segment (position 0 is implicitly a start).
+func SegmentedSumInclusive(s *pram.Sim, vals []int, starts []bool) []int {
+	n := len(vals)
+	items := make([]SegItem, n)
+	s.ParallelFor(n, func(i int) {
+		items[i] = SegItem{Val: vals[i], Start: starts[i] || i == 0}
+	})
+	scanned := InclusiveScan(s, items, SegItem{}, segAdd)
+	out := make([]int, n)
+	s.ParallelFor(n, func(i int) { out[i] = scanned[i].Val })
+	return out
+}
+
+// SegmentedRank returns, for each flagged element, the number of
+// flagged elements before it within its segment (its 0-based rank), and
+// -1 for unflagged elements.
+func SegmentedRank(s *pram.Sim, flagged []bool, starts []bool) []int {
+	n := len(flagged)
+	vals := make([]int, n)
+	s.ParallelFor(n, func(i int) {
+		if flagged[i] {
+			vals[i] = 1
+		}
+	})
+	sums := SegmentedSumInclusive(s, vals, starts)
+	out := make([]int, n)
+	s.ParallelFor(n, func(i int) {
+		if flagged[i] {
+			out[i] = sums[i] - 1
+		} else {
+			out[i] = -1
+		}
+	})
+	return out
+}

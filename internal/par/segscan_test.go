@@ -1,0 +1,65 @@
+package par
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"pathcover/internal/pram"
+)
+
+func TestSegmentedSumInclusive(t *testing.T) {
+	for _, s := range sims() {
+		vals := []int{1, 2, 3, 4, 5, 6}
+		starts := []bool{false, false, true, false, true, false}
+		got := SegmentedSumInclusive(s, vals, starts)
+		want := []int{1, 3, 3, 7, 5, 11}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("procs=%d: seg[%d]=%d want %d", s.Procs(), i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSegmentedRank(t *testing.T) {
+	s := pram.New(3, pram.WithGrain(2))
+	flagged := []bool{true, false, true, true, true, false, true}
+	starts := []bool{false, false, false, true, false, false, false}
+	got := SegmentedRank(s, flagged, starts)
+	want := []int{0, -1, 1, 0, 1, -1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank[%d]=%d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSegmentedSumProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, procs uint8) bool {
+		n := int(nRaw%500) + 1
+		rng := rand.New(rand.NewPCG(seed, 71))
+		vals := make([]int, n)
+		starts := make([]bool, n)
+		for i := range vals {
+			vals[i] = rng.IntN(20) - 10
+			starts[i] = rng.IntN(5) == 0
+		}
+		s := pram.New(1+int(procs%10), pram.WithGrain(8))
+		got := SegmentedSumInclusive(s, vals, starts)
+		acc := 0
+		for i := 0; i < n; i++ {
+			if starts[i] || i == 0 {
+				acc = 0
+			}
+			acc += vals[i]
+			if got[i] != acc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package pram
+
+// Checked reference kernels: the core access patterns of the paper's
+// algorithm written as explicit per-processor programs on the audited
+// Machine. They certify — by running under the EREW auditor — that the
+// patterns used throughout internal/par (prefix sums, pointer jumping,
+// broadcast) obey the exclusive-read exclusive-write discipline, which
+// is the content of the paper's "on the EREW" claims. The production
+// implementations in internal/par use the same patterns on the fast
+// cost simulator.
+
+// ScanKernel computes inclusive prefix sums of data on machine m with
+// one processor per element, in 2*ceil(log2 n)+1 supersteps. The
+// double-buffered Hillis–Steele scheme reads every cell with exactly one
+// processor per step, so it is EREW-clean.
+func ScanKernel(m *Machine, data []int) []int {
+	n := len(data)
+	if n == 0 {
+		return nil
+	}
+	a := m.NewIntArray(n)
+	tmp := m.NewIntArray(n)
+	m.Step(func(p int) {
+		if p < n {
+			a.Write(p, p, data[p])
+		}
+	})
+	for d := 1; d < n; d *= 2 {
+		dd := d
+		// Copy phase: cell p read/written only by processor p.
+		m.Step(func(p int) {
+			if p < n {
+				tmp.Write(p, p, a.Read(p, p))
+			}
+		})
+		// Combine phase: tmp cell p-d is read only by processor p.
+		m.Step(func(p int) {
+			if p < n && p >= dd {
+				a.Write(p, p, a.Read(p, p)+tmp.Read(p, p-dd))
+			}
+		})
+	}
+	return a.Snapshot()
+}
+
+// BroadcastKernel distributes value from cell 0 to all n cells by
+// recursive doubling: in round k, processors holding the value write it
+// to a disjoint set of new cells, so every cell is written once and read
+// once — EREW. It takes ceil(log2 n)+1 supersteps.
+func BroadcastKernel(m *Machine, n, value int) []int {
+	a := m.NewIntArray(n)
+	m.Step(func(p int) {
+		if p == 0 {
+			a.Write(p, 0, value)
+		}
+	})
+	for have := 1; have < n; have *= 2 {
+		h := have
+		m.Step(func(p int) {
+			// processor p < have copies cell p to cell p+have.
+			if p < h && p+h < n {
+				a.Write(p, p+h, a.Read(p, p))
+			}
+		})
+	}
+	return a.Snapshot()
+}
+
+// WyllieKernel performs list ranking by pointer jumping with explicit
+// shadow buffering. next[i] is the successor (-1 at the tail); the
+// result is the number of links to the tail.
+//
+// A naive jump step would have cell j read both by its owner (fetching
+// its own pointer) and by its unique list predecessor — a concurrent
+// read. The EREW-correct scheme of the textbooks therefore splits each
+// round: first every processor copies its own pointer/distance into a
+// shadow array (owner-only access), then the jump reads its own current
+// cell and the *shadow* of its successor, which no owner touches. The
+// auditor verifies this (and flags the naive variant; see the tests).
+func WyllieKernel(m *Machine, next []int) []int {
+	n := len(next)
+	if n == 0 {
+		return nil
+	}
+	curN := m.NewIntArray(n) // successor pointers
+	curD := m.NewIntArray(n) // distances
+	shN := m.NewIntArray(n)  // shadows read by predecessors only
+	shD := m.NewIntArray(n)
+	m.Step(func(p int) {
+		if p < n {
+			curN.Write(p, p, next[p])
+			if next[p] >= 0 {
+				curD.Write(p, p, 1)
+			}
+		}
+	})
+	rounds := 0
+	for v := 1; v < n; v <<= 1 {
+		rounds++
+	}
+	for r := 0; r < rounds; r++ {
+		m.Step(func(p int) {
+			if p < n {
+				shN.Write(p, p, curN.Read(p, p))
+				shD.Write(p, p, curD.Read(p, p))
+			}
+		})
+		m.Step(func(p int) {
+			if p >= n {
+				return
+			}
+			j := curN.Read(p, p)
+			if j >= 0 {
+				curD.Write(p, p, curD.Read(p, p)+shD.Read(p, j))
+				curN.Write(p, p, shN.Read(p, j))
+			}
+		})
+	}
+	return curD.Snapshot()
+}

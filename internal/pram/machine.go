@@ -1,0 +1,185 @@
+package pram
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Machine is a step-synchronous PRAM with explicit shared-memory access
+// auditing. It is the slow, faithful counterpart of Sim: kernels address
+// each simulated processor explicitly and every memory access is logged,
+// so violations of the exclusive-access discipline (the "E"s of EREW) are
+// detected per superstep.
+//
+// Machine is used in tests and in the pram-primitives example to certify
+// that the showcase kernels really are EREW programs; the production code
+// paths run on Sim, which executes the same access patterns without the
+// logging overhead.
+type Machine struct {
+	P     int
+	model Model
+	step  int
+	seq   int // registration counter for arrays
+	vios  []Violation
+	log   []access
+}
+
+type access struct {
+	array int
+	cell  int
+	proc  int
+	write bool
+}
+
+// Violation reports a memory-access conflict detected during one
+// superstep.
+type Violation struct {
+	Step   int
+	Array  string
+	Cell   int
+	Procs  []int
+	Writes int // how many of the conflicting accesses were writes
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("step %d: array %s cell %d accessed by procs %v (%d writes)",
+		v.Step, v.Array, v.Cell, v.Procs, v.Writes)
+}
+
+// NewMachine returns a machine with p processors auditing the given model.
+func NewMachine(p int, model Model) *Machine {
+	if p < 1 {
+		p = 1
+	}
+	return &Machine{P: p, model: model}
+}
+
+// Model returns the access discipline the machine audits.
+func (m *Machine) Model() Model { return m.model }
+
+// Step runs one superstep: kernel(p) is executed for every processor
+// p in [0, P). Processors run in ascending order within the simulated
+// step; for programs that obey the audited discipline the order is
+// unobservable. After the kernel, the access log is scanned for
+// conflicts.
+func (m *Machine) Step(kernel func(p int)) {
+	m.log = m.log[:0]
+	for p := 0; p < m.P; p++ {
+		kernel(p)
+	}
+	m.check()
+	m.step++
+}
+
+// Steps runs k identical supersteps, passing the step index to the kernel.
+func (m *Machine) Steps(k int, kernel func(step, p int)) {
+	for t := 0; t < k; t++ {
+		m.Step(func(p int) { kernel(t, p) })
+	}
+}
+
+// StepCount returns the number of supersteps executed so far.
+func (m *Machine) StepCount() int { return m.step }
+
+// Violations returns all conflicts detected so far.
+func (m *Machine) Violations() []Violation { return m.vios }
+
+// Ok reports whether no violations were detected.
+func (m *Machine) Ok() bool { return len(m.vios) == 0 }
+
+func (m *Machine) check() {
+	if m.model == CRCW || len(m.log) == 0 {
+		return
+	}
+	l := m.log
+	sort.Slice(l, func(i, j int) bool {
+		if l[i].array != l[j].array {
+			return l[i].array < l[j].array
+		}
+		if l[i].cell != l[j].cell {
+			return l[i].cell < l[j].cell
+		}
+		return l[i].proc < l[j].proc
+	})
+	for i := 0; i < len(l); {
+		j := i + 1
+		for j < len(l) && l[j].array == l[i].array && l[j].cell == l[i].cell {
+			j++
+		}
+		group := l[i:j]
+		procs := map[int]bool{}
+		writes := 0
+		for _, a := range group {
+			procs[a.proc] = true
+			if a.write {
+				writes++
+			}
+		}
+		conflict := false
+		switch m.model {
+		case EREW:
+			conflict = len(procs) > 1
+		case CREW:
+			conflict = writes > 0 && (len(procs) > 1 || writes > 1)
+		}
+		if conflict {
+			ps := make([]int, 0, len(procs))
+			for p := range procs {
+				ps = append(ps, p)
+			}
+			sort.Ints(ps)
+			m.vios = append(m.vios, Violation{
+				Step:   m.step,
+				Array:  fmt.Sprintf("#%d", group[0].array),
+				Cell:   group[0].cell,
+				Procs:  ps,
+				Writes: writes,
+			})
+		}
+		i = j
+	}
+}
+
+// IntArray is a shared-memory array of ints whose accesses are audited by
+// the owning Machine.
+type IntArray struct {
+	m    *Machine
+	id   int
+	data []int
+}
+
+// NewIntArray allocates an audited array of length n initialised to zero.
+func (m *Machine) NewIntArray(n int) *IntArray {
+	m.seq++
+	return &IntArray{m: m, id: m.seq, data: make([]int, n)}
+}
+
+// NewIntArrayFrom allocates an audited array holding a copy of src.
+func (m *Machine) NewIntArrayFrom(src []int) *IntArray {
+	a := m.NewIntArray(len(src))
+	copy(a.data, src)
+	return a
+}
+
+// Len returns the array length.
+func (a *IntArray) Len() int { return len(a.data) }
+
+// Read returns cell i as processor p, logging the access.
+func (a *IntArray) Read(p, i int) int {
+	a.m.log = append(a.m.log, access{array: a.id, cell: i, proc: p})
+	return a.data[i]
+}
+
+// Write stores v into cell i as processor p, logging the access.
+func (a *IntArray) Write(p, i, v int) {
+	a.m.log = append(a.m.log, access{array: a.id, cell: i, proc: p, write: true})
+	a.data[i] = v
+}
+
+// Snapshot copies the current contents out (not audited; for inspection
+// between supersteps).
+func (a *IntArray) Snapshot() []int {
+	out := make([]int, len(a.data))
+	copy(out, a.data)
+	return out
+}

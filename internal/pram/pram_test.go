@@ -1,0 +1,154 @@
+package pram
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewClampsProcs(t *testing.T) {
+	if got := New(0).Procs(); got != 1 {
+		t.Fatalf("New(0).Procs() = %d, want 1", got)
+	}
+	if got := New(-5).Procs(); got != 1 {
+		t.Fatalf("New(-5).Procs() = %d, want 1", got)
+	}
+	if got := New(7).Procs(); got != 7 {
+		t.Fatalf("New(7).Procs() = %d, want 7", got)
+	}
+}
+
+func TestProcsFor(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {4, 2}, {8, 2},
+		{16, 4}, {1024, 102}, {1 << 20, (1 << 20) / 20},
+	}
+	for _, c := range cases {
+		if got := ProcsFor(c.n); got != c.want {
+			t.Errorf("ProcsFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestParallelForVisitsAll(t *testing.T) {
+	for _, procs := range []int{1, 3, 8, 64} {
+		s := New(procs, WithGrain(4))
+		const n = 1000
+		seen := make([]int32, n)
+		s.ParallelFor(n, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("procs=%d: index %d visited %d times", procs, i, c)
+			}
+		}
+	}
+}
+
+func TestParallelForAccounting(t *testing.T) {
+	s := New(4)
+	s.ParallelFor(10, func(int) {})
+	if s.Time() != 3 { // ceil(10/4)
+		t.Errorf("Time = %d, want 3", s.Time())
+	}
+	if s.Work() != 10 {
+		t.Errorf("Work = %d, want 10", s.Work())
+	}
+	s.ForCost(10, 5, func(int) {})
+	if s.Time() != 3+15 {
+		t.Errorf("Time = %d, want 18", s.Time())
+	}
+	if s.Work() != 10+50 {
+		t.Errorf("Work = %d, want 60", s.Work())
+	}
+	if s.Phases() != 2 {
+		t.Errorf("Phases = %d, want 2", s.Phases())
+	}
+	s.Reset()
+	if s.Time() != 0 || s.Work() != 0 || s.Phases() != 0 {
+		t.Errorf("Reset did not zero counters: %v", s.Stats())
+	}
+}
+
+func TestParallelForZeroAndNegative(t *testing.T) {
+	s := New(4)
+	called := false
+	s.ParallelFor(0, func(int) { called = true })
+	s.ParallelFor(-3, func(int) { called = true })
+	if called || s.Time() != 0 || s.Work() != 0 {
+		t.Errorf("empty phases should be free: called=%v stats=%v", called, s.Stats())
+	}
+}
+
+func TestBlocksCoverDisjointly(t *testing.T) {
+	for _, procs := range []int{1, 3, 7, 16} {
+		for _, n := range []int{1, 5, 16, 100, 1001} {
+			s := New(procs, WithGrain(1))
+			seen := make([]int32, n)
+			s.Blocks(n, func(b, lo, hi int) {
+				if hi-lo > s.BlockSize(n) {
+					t.Fatalf("block %d size %d exceeds %d", b, hi-lo, s.BlockSize(n))
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("procs=%d n=%d: index %d covered %d times", procs, n, i, c)
+				}
+			}
+			if s.Time() != int64(s.BlockSize(n)) {
+				t.Fatalf("procs=%d n=%d: time %d want %d", procs, n, s.Time(), s.BlockSize(n))
+			}
+		}
+	}
+}
+
+func TestSequentialAccounting(t *testing.T) {
+	s := New(8)
+	ran := false
+	s.Sequential(42, func() { ran = true })
+	if !ran {
+		t.Fatal("Sequential body did not run")
+	}
+	if s.Time() != 42 || s.Work() != 42 {
+		t.Errorf("stats = %v, want time=work=42", s.Stats())
+	}
+}
+
+// Property: for any n and p, one ParallelFor phase satisfies the Brent
+// bound time = ceil(n/p) and work = n, so work <= p*time < work + p.
+func TestBrentBoundProperty(t *testing.T) {
+	f := func(n uint16, p uint8) bool {
+		np := int(n%5000) + 1
+		pp := int(p%200) + 1
+		s := New(pp, WithGrain(1<<30)) // run inline: property is about accounting
+		s.ParallelFor(np, func(int) {})
+		pt := int64(pp) * s.Time()
+		return s.Work() == int64(np) && pt >= s.Work() && pt < s.Work()+int64(pp)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkersDefaultBounded(t *testing.T) {
+	s := New(1 << 20)
+	if s.workers > runtime.GOMAXPROCS(0) {
+		t.Errorf("workers %d exceeds GOMAXPROCS %d", s.workers, runtime.GOMAXPROCS(0))
+	}
+	s2 := New(4, WithWorkers(2))
+	if s2.workers != 2 {
+		t.Errorf("WithWorkers(2) gave %d", s2.workers)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if EREW.String() != "EREW" || CREW.String() != "CREW" || CRCW.String() != "CRCW" {
+		t.Error("model names wrong")
+	}
+	if Model(9).String() != "Model(9)" {
+		t.Errorf("unknown model prints %q", Model(9).String())
+	}
+}

@@ -1,0 +1,52 @@
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"pathcover/internal/cotree"
+)
+
+// DOT emits the cotree in Graphviz dot format: 0-nodes as circles
+// labelled ∪, 1-nodes as double circles labelled ⋈, leaves as boxes with
+// their vertex names.
+func DOT(t *cotree.Tree) string {
+	var sb strings.Builder
+	sb.WriteString("digraph cotree {\n  rankdir=TB;\n  node [fontname=\"monospace\"];\n")
+	for u := 0; u < t.NumNodes(); u++ {
+		switch t.Label[u] {
+		case cotree.LabelLeaf:
+			fmt.Fprintf(&sb, "  n%d [shape=box, label=%q];\n", u, t.Name(t.VertexOf[u]))
+		case cotree.Label0:
+			fmt.Fprintf(&sb, "  n%d [shape=circle, label=\"0\"];\n", u)
+		default:
+			fmt.Fprintf(&sb, "  n%d [shape=doublecircle, label=\"1\"];\n", u)
+		}
+	}
+	for u := 0; u < t.NumNodes(); u++ {
+		for _, c := range t.Children[u] {
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", u, c)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// CoverDOT emits a path cover as a dot graph: the cograph's vertices
+// with the cover's path edges highlighted, one color class per path.
+func CoverDOT(t *cotree.Tree, paths [][]int) string {
+	colors := []string{"red", "blue", "darkgreen", "orange", "purple", "brown", "cadetblue"}
+	var sb strings.Builder
+	sb.WriteString("graph cover {\n  node [shape=circle, fontname=\"monospace\"];\n")
+	for v := 0; v < t.NumVertices(); v++ {
+		fmt.Fprintf(&sb, "  v%d [label=%q];\n", v, t.Name(v))
+	}
+	for pi, p := range paths {
+		col := colors[pi%len(colors)]
+		for i := 1; i < len(p); i++ {
+			fmt.Fprintf(&sb, "  v%d -- v%d [color=%s, penwidth=2];\n", p[i-1], p[i], col)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

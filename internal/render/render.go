@@ -1,0 +1,70 @@
+// Package render draws cotrees and path covers as ASCII art for the
+// examples and the CLI.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"pathcover/internal/cotree"
+)
+
+// Tree renders a cotree with box-drawing characters, e.g.
+//
+//	(1)
+//	├── a
+//	└── (0)
+//	    ├── b
+//	    └── c
+func Tree(t *cotree.Tree) string {
+	var sb strings.Builder
+	var walk func(u int, prefix string, last bool, root bool)
+	walk = func(u int, prefix string, last bool, root bool) {
+		connector, childPrefix := "", ""
+		if !root {
+			if last {
+				connector = "└── "
+				childPrefix = prefix + "    "
+			} else {
+				connector = "├── "
+				childPrefix = prefix + "│   "
+			}
+		}
+		label := ""
+		if t.Label[u] == cotree.LabelLeaf {
+			label = t.Name(t.VertexOf[u])
+		} else {
+			label = fmt.Sprintf("(%d)", t.Label[u])
+		}
+		sb.WriteString(prefix + connector + label + "\n")
+		for i, c := range t.Children[u] {
+			walk(c, childPrefix, i == len(t.Children[u])-1, false)
+		}
+	}
+	walk(t.Root, "", true, true)
+	return sb.String()
+}
+
+// Paths renders a path cover, one line per path:
+//
+//	path 1 (4 vertices): a — b — c — d
+func Paths(t *cotree.Tree, paths [][]int) string {
+	var sb strings.Builder
+	for i, p := range paths {
+		names := make([]string, len(p))
+		for j, v := range p {
+			names[j] = t.Name(v)
+		}
+		fmt.Fprintf(&sb, "path %d (%d vertices): %s\n", i+1, len(p), strings.Join(names, " — "))
+	}
+	return sb.String()
+}
+
+// Cycle renders a Hamiltonian cycle.
+func Cycle(t *cotree.Tree, cycle []int) string {
+	names := make([]string, len(cycle))
+	for j, v := range cycle {
+		names[j] = t.Name(v)
+	}
+	return "cycle: " + strings.Join(names, " — ") + " — " + names[0] + "\n"
+}

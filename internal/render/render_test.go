@@ -1,0 +1,63 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"pathcover/internal/cotree"
+)
+
+func TestTree(t *testing.T) {
+	tr := cotree.MustParse("(1 a (0 b c))")
+	out := Tree(tr)
+	for _, want := range []string{"(1)", "(0)", "a", "b", "c", "└──", "├──"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering lacks %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 5 {
+		t.Errorf("rendering has %d lines, want 5:\n%s", lines, out)
+	}
+}
+
+func TestPaths(t *testing.T) {
+	tr := cotree.MustParse("(1 (0 a b) c)")
+	out := Paths(tr, [][]int{{0, 2, 1}})
+	if !strings.Contains(out, "path 1 (3 vertices): a — c — b") {
+		t.Errorf("unexpected rendering: %s", out)
+	}
+}
+
+func TestCycle(t *testing.T) {
+	tr := cotree.MustParse("(1 a b c)")
+	out := Cycle(tr, []int{0, 1, 2})
+	if !strings.Contains(out, "a — b — c — a") {
+		t.Errorf("unexpected cycle rendering: %s", out)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	tr := cotree.MustParse("(1 a (0 b c))")
+	out := DOT(tr)
+	for _, want := range []string{"digraph cotree", "doublecircle", "shape=box", "\"a\"", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT lacks %q:\n%s", want, out)
+		}
+	}
+	// one edge per child link
+	if got := strings.Count(out, "->"); got != 4 {
+		t.Errorf("DOT has %d edges, want 4", got)
+	}
+}
+
+func TestCoverDOT(t *testing.T) {
+	tr := cotree.MustParse("(1 (0 a b) c)")
+	out := CoverDOT(tr, [][]int{{0, 2, 1}})
+	if !strings.Contains(out, "v0 -- v2") || !strings.Contains(out, "v2 -- v1") {
+		t.Errorf("CoverDOT missing path edges:\n%s", out)
+	}
+	if !strings.Contains(out, "color=red") {
+		t.Errorf("CoverDOT missing color:\n%s", out)
+	}
+}

@@ -1,0 +1,64 @@
+package verify
+
+import (
+	"testing"
+
+	"pathcover/internal/cotree"
+)
+
+func TestCoverAccepts(t *testing.T) {
+	tr := cotree.MustParse("(1 (0 a b) c)") // edges ac, bc
+	if err := Cover(tr, [][]int{{0, 2, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := MinimumCover(tr, [][]int{{0, 2, 1}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverRejects(t *testing.T) {
+	tr := cotree.MustParse("(1 (0 a b) c)")
+	cases := []struct {
+		name  string
+		paths [][]int
+	}{
+		{"non-edge", [][]int{{0, 1, 2}}},       // a-b not an edge
+		{"missing vertex", [][]int{{0, 2}}},    // b uncovered
+		{"duplicate", [][]int{{0, 2}, {2, 1}}}, // c twice
+		{"out of range", [][]int{{0, 2, 5}}},   //
+		{"empty path", [][]int{{0, 2, 1}, {}}}, //
+	}
+	for _, c := range cases {
+		if err := Cover(tr, c.paths); err == nil {
+			t.Errorf("%s: accepted %v", c.name, c.paths)
+		}
+	}
+}
+
+func TestMinimumRejectsOversized(t *testing.T) {
+	tr := cotree.MustParse("(1 a b)") // K2: minimum 1 path
+	paths := [][]int{{0}, {1}}        // valid but not minimum
+	if err := Cover(tr, paths); err != nil {
+		t.Fatal(err)
+	}
+	if err := Minimum(tr, paths); err == nil {
+		t.Error("oversized cover accepted as minimum")
+	}
+}
+
+func TestCycle(t *testing.T) {
+	c4 := cotree.MustParse("(1 (0 a b) (0 c d))") // C4-ish: edges ac, ad, bc, bd
+	if err := Cycle(c4, []int{0, 2, 1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Cycle(c4, []int{0, 1, 2, 3}); err == nil {
+		t.Error("accepted cycle using non-edge a-b")
+	}
+	if err := Cycle(c4, []int{0, 2, 1}); err == nil {
+		t.Error("accepted non-spanning cycle")
+	}
+	k2 := cotree.MustParse("(1 a b)")
+	if err := Cycle(k2, []int{0, 1}); err == nil {
+		t.Error("accepted 2-cycle")
+	}
+}

@@ -1,0 +1,264 @@
+// Package workload generates cotree instances for tests, examples and
+// the experiment harness: seeded random cotrees with controllable shape
+// and the standard cograph families (cliques, empty graphs, complete
+// multipartite graphs, threshold graphs, unions of cliques).
+//
+// Everything is deterministic in the seed, so experiment tables are
+// reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"pathcover/internal/cotree"
+)
+
+// Shape selects the silhouette of a random cotree.
+type Shape int
+
+const (
+	// Mixed is an unconstrained random cotree (random arity 2..4,
+	// random split of leaves).
+	Mixed Shape = iota
+	// Balanced splits leaves evenly, giving height Θ(log n) — the
+	// friendly case for naive level-by-level parallelization.
+	Balanced
+	// Caterpillar peels one leaf per internal node, giving height
+	// Θ(n) — the adversarial case that separates the bracket algorithm
+	// from naive parallelization (paper §2).
+	Caterpillar
+)
+
+func (s Shape) String() string {
+	switch s {
+	case Mixed:
+		return "mixed"
+	case Balanced:
+		return "balanced"
+	case Caterpillar:
+		return "caterpillar"
+	}
+	return fmt.Sprintf("Shape(%d)", int(s))
+}
+
+// Random builds a random canonical cotree with n leaves.
+func Random(seed uint64, n int, shape Shape) *cotree.Tree {
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b9))
+	lbl := cotree.Label1
+	if rng.IntN(2) == 0 {
+		lbl = cotree.Label0
+	}
+	if shape == Caterpillar {
+		// Built directly (the algebra would copy O(n) nodes per level).
+		return chain(n, lbl)
+	}
+	id := 0
+	var build func(n int, label int8) *cotree.Tree
+	build = func(n int, label int8) *cotree.Tree {
+		if n == 1 {
+			id++
+			return cotree.Single(fmt.Sprintf("v%d", id))
+		}
+		child := cotree.Label0
+		if label == cotree.Label0 {
+			child = cotree.Label1
+		}
+		var sizes []int
+		switch shape {
+		case Balanced:
+			sizes = []int{n / 2, n - n/2}
+		default:
+			k := 2
+			if n > 2 {
+				k = 2 + rng.IntN(min(n-1, 4)-1)
+			}
+			sizes = make([]int, k)
+			for i := range sizes {
+				sizes[i] = 1
+			}
+			for extra := n - k; extra > 0; extra-- {
+				sizes[rng.IntN(k)]++
+			}
+		}
+		parts := make([]*cotree.Tree, len(sizes))
+		for i, sz := range sizes {
+			parts[i] = build(sz, child)
+		}
+		if label == cotree.Label1 {
+			return cotree.Join(parts...)
+		}
+		return cotree.Union(parts...)
+	}
+	return build(n, lbl)
+}
+
+// chain builds the alternating caterpillar cotree with n leaves and the
+// given root label directly in arena form, in O(n):
+//
+//	(L v0 (L' v1 (L v2 ... )))
+//
+// Internal node k (0 = root) holds leaf k as one child and the next
+// chain node (or the final leaf) as the other.
+func chain(n int, topLabel int8) *cotree.Tree {
+	if n == 1 {
+		return cotree.Single("v0")
+	}
+	nn := 2*n - 1 // n-1 internals then n leaves
+	t := &cotree.Tree{
+		Label:    make([]int8, nn),
+		Parent:   make([]int, nn),
+		Children: make([][]int, nn),
+		Root:     0,
+		VertexOf: make([]int, nn),
+		LeafOf:   make([]int, n),
+		Names:    make([]string, n),
+	}
+	leaf := func(v int) int { return n - 1 + v }
+	for k := 0; k < n-1; k++ {
+		lbl := topLabel
+		if k%2 == 1 {
+			lbl = 1 - topLabel
+		}
+		t.Label[k] = lbl
+		t.VertexOf[k] = -1
+		deep := k + 1
+		if k == n-2 {
+			deep = leaf(n - 1)
+		}
+		t.Children[k] = []int{deep, leaf(k)}
+		t.Parent[deep] = k
+		t.Parent[leaf(k)] = k
+	}
+	t.Parent[0] = -1
+	for v := 0; v < n; v++ {
+		id := leaf(v)
+		t.Label[id] = cotree.LabelLeaf
+		t.VertexOf[id] = v
+		t.LeafOf[v] = id
+		t.Names[v] = fmt.Sprintf("v%d", v)
+	}
+	return t
+}
+
+// Clique returns the cotree of the complete graph K_n.
+func Clique(n int) *cotree.Tree {
+	return flat(n, cotree.Label1, "k")
+}
+
+// Empty returns the cotree of the edgeless graph on n vertices.
+func Empty(n int) *cotree.Tree {
+	return flat(n, cotree.Label0, "e")
+}
+
+func flat(n int, label int8, prefix string) *cotree.Tree {
+	if n == 1 {
+		return cotree.Single(prefix + "0")
+	}
+	parts := make([]*cotree.Tree, n)
+	for i := range parts {
+		parts[i] = cotree.Single(fmt.Sprintf("%s%d", prefix, i))
+	}
+	if label == cotree.Label1 {
+		return cotree.Join(parts...)
+	}
+	return cotree.Union(parts...)
+}
+
+// CompleteBipartite returns K_{a,b}: the join of two edgeless graphs.
+func CompleteBipartite(a, b int) *cotree.Tree {
+	left := flat(a, cotree.Label0, "a")
+	right := flat(b, cotree.Label0, "b")
+	return cotree.Join(left, right)
+}
+
+// CompleteMultipartite returns the join of edgeless parts of the given
+// sizes.
+func CompleteMultipartite(sizes ...int) *cotree.Tree {
+	parts := make([]*cotree.Tree, len(sizes))
+	for i, sz := range sizes {
+		parts[i] = flat(sz, cotree.Label0, fmt.Sprintf("p%d_", i))
+	}
+	return cotree.Join(parts...)
+}
+
+// UnionOfCliques returns k disjoint copies of K_size.
+func UnionOfCliques(k, size int) *cotree.Tree {
+	parts := make([]*cotree.Tree, k)
+	for i := range parts {
+		sub := make([]*cotree.Tree, size)
+		for j := range sub {
+			sub[j] = cotree.Single(fmt.Sprintf("c%d_%d", i, j))
+		}
+		if size == 1 {
+			parts[i] = sub[0]
+		} else {
+			parts[i] = cotree.Join(sub...)
+		}
+	}
+	if k == 1 {
+		return parts[0]
+	}
+	return cotree.Union(parts...)
+}
+
+// Star returns K_{1,n-1}: one center joined to n-1 isolated leaves.
+func Star(n int) *cotree.Tree {
+	return cotree.Join(flat(n-1, cotree.Label0, "leaf"), cotree.Single("center"))
+}
+
+// Threshold returns a threshold graph on n vertices: each new vertex is
+// either isolated (union) or dominating (join), driven by the seed.
+// Threshold graphs are exactly the cographs whose cotree is a
+// caterpillar, making them the height-adversarial family. Built directly
+// in arena form (O(n)); runs of equal operations share one node, keeping
+// the tree canonical.
+func Threshold(seed uint64, n int) *cotree.Tree {
+	rng := rand.New(rand.NewPCG(seed, 0x51ed))
+	if n == 1 {
+		return cotree.Single("t0")
+	}
+	// Operation per added vertex (true = join / dominating).
+	ops := make([]bool, n)
+	for i := 1; i < n; i++ {
+		ops[i] = rng.IntN(2) == 0
+	}
+	t := &cotree.Tree{
+		LeafOf: make([]int, n),
+		Names:  make([]string, n),
+	}
+	addNode := func(label int8, vertex int) int {
+		id := len(t.Label)
+		t.Label = append(t.Label, label)
+		t.Parent = append(t.Parent, -1)
+		t.Children = append(t.Children, nil)
+		t.VertexOf = append(t.VertexOf, vertex)
+		if vertex >= 0 {
+			t.LeafOf[vertex] = id
+			t.Names[vertex] = fmt.Sprintf("t%d", vertex)
+		}
+		return id
+	}
+	attach := func(parent, child int) {
+		t.Children[parent] = append(t.Children[parent], child)
+		t.Parent[child] = parent
+	}
+	root := addNode(cotree.LabelLeaf, 0)
+	for i := 1; i < n; i++ {
+		lbl := cotree.Label0
+		if ops[i] {
+			lbl = cotree.Label1
+		}
+		leaf := addNode(cotree.LabelLeaf, i)
+		if t.Label[root] == lbl {
+			attach(root, leaf) // extend the current run
+			continue
+		}
+		nr := addNode(lbl, -1)
+		attach(nr, root)
+		attach(nr, leaf)
+		root = nr
+	}
+	t.Root = root
+	return t
+}

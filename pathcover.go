@@ -1,0 +1,311 @@
+// Package pathcover finds minimum path covers, Hamiltonian paths and
+// Hamiltonian cycles of cographs, implementing the time- and
+// work-optimal parallel algorithm of
+//
+//	K. Nakano, S. Olariu, A. Y. Zomaya,
+//	"A Time-Optimal Solution for the Path Cover Problem on Cographs",
+//	IPPS 1999 / Theoretical Computer Science 290 (2003) 1541-1556.
+//
+// A cograph (complement-reducible graph) is built from single vertices
+// by disjoint union and join; equivalently it is a graph with no induced
+// P4. Cographs are represented here by their cotree, and the path cover
+// problem — NP-complete in general — is solved exactly: sequentially in
+// O(n) time (Lin–Olariu–Pruesse), and in parallel in O(log n) simulated
+// PRAM time with n/log n processors and O(n) work (the paper's
+// contribution), with the parallel phases executed on real goroutines.
+//
+// Basic use:
+//
+//	g, _ := pathcover.ParseCotree("(1 (0 a b) c)")
+//	cover, _ := g.MinimumPathCover()
+//	fmt.Println(cover.Paths) // e.g. [[0 2 1]] — one Hamiltonian path
+//
+// Graphs can also be built programmatically (Vertex, Union, Join,
+// Complement), generated (Random and the family constructors), or
+// recognized from an adjacency structure (FromEdges), which rejects
+// non-cographs.
+package pathcover
+
+import (
+	"fmt"
+
+	"pathcover/internal/baseline"
+	"pathcover/internal/cograph"
+	"pathcover/internal/core"
+	"pathcover/internal/cotree"
+	"pathcover/internal/pram"
+	"pathcover/internal/render"
+	"pathcover/internal/verify"
+)
+
+// Graph is a cograph, stored as its cotree.
+type Graph struct {
+	t      *cotree.Tree
+	oracle *cotree.AdjOracle
+}
+
+// ParseCotree reads a cograph from the cotree text format:
+//
+//	tree  := leaf | "(" label tree tree ... ")"
+//	label := "0" (union) | "1" (join)
+//
+// e.g. "(1 (0 a b) c)" is the join of the edgeless graph {a,b} with c
+// (the path a-c-b).
+func ParseCotree(src string) (*Graph, error) {
+	t, err := cotree.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{t: t}, nil
+}
+
+// FromEdges builds a cograph from an explicit edge list on vertices
+// 0..n-1, recognizing its cotree. It returns an error when the graph is
+// not a cograph (it contains an induced P4). names may be nil.
+//
+// Note: recognition renumbers vertices; use Name to map back (vertex i
+// of the result is named after its original index, "v<k>" by default).
+func FromEdges(n int, edges [][2]int, names []string) (*Graph, error) {
+	g := cograph.NewGraph(n)
+	for _, e := range edges {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n {
+			return nil, fmt.Errorf("pathcover: edge (%d,%d) out of range", e[0], e[1])
+		}
+		g.AddEdge(e[0], e[1])
+	}
+	t, err := cograph.Recognize(g, names)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{t: t}, nil
+}
+
+// Vertex returns the one-vertex cograph.
+func Vertex(name string) *Graph {
+	return &Graph{t: cotree.Single(name)}
+}
+
+// Union returns the disjoint union of the given cographs.
+func Union(gs ...*Graph) *Graph {
+	return &Graph{t: cotree.Union(trees(gs)...)}
+}
+
+// Join returns the join of the given cographs: their union plus every
+// edge between distinct parts.
+func Join(gs ...*Graph) *Graph {
+	return &Graph{t: cotree.Join(trees(gs)...)}
+}
+
+// Complement returns the complement cograph.
+func Complement(g *Graph) *Graph {
+	return &Graph{t: cotree.Complement(g.t)}
+}
+
+func trees(gs []*Graph) []*cotree.Tree {
+	ts := make([]*cotree.Tree, len(gs))
+	for i, g := range gs {
+		ts[i] = g.t
+	}
+	return ts
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.t.NumVertices() }
+
+// Name returns the display name of a vertex.
+func (g *Graph) Name(v int) string { return g.t.Name(v) }
+
+// Adjacent reports whether two vertices are adjacent (O(log n) after a
+// lazily built LCA oracle).
+func (g *Graph) Adjacent(x, y int) bool {
+	if g.oracle == nil {
+		g.oracle = cotree.NewAdjOracle(g.t)
+	}
+	return g.oracle.Adjacent(x, y)
+}
+
+// NumEdges counts the edges of the cograph in O(n) from the cotree
+// (sum over 1-nodes of the products of child leaf counts).
+func (g *Graph) NumEdges() int {
+	t := g.t
+	var walk func(u int) int // returns leaf count, accumulates edges
+	total := 0
+	walk = func(u int) int {
+		if t.Label[u] == cotree.LabelLeaf {
+			return 1
+		}
+		sum := 0
+		for _, c := range t.Children[u] {
+			lc := walk(c)
+			if t.Label[u] == cotree.Label1 {
+				total += sum * lc
+			}
+			sum += lc
+		}
+		return sum
+	}
+	walk(t.Root)
+	return total
+}
+
+// String renders the cotree text form.
+func (g *Graph) String() string { return g.t.String() }
+
+// Render returns an ASCII drawing of the cotree.
+func (g *Graph) Render() string { return render.Tree(g.t) }
+
+// RenderCover returns an ASCII rendering of a cover's paths with vertex
+// names.
+func (g *Graph) RenderCover(paths [][]int) string { return render.Paths(g.t, paths) }
+
+// Verify checks that paths is a valid minimum path cover of g.
+func (g *Graph) Verify(paths [][]int) error { return verify.MinimumCover(g.t, paths) }
+
+// MinPathCoverSize returns the number of paths in a minimum path cover
+// without constructing it (the Lin et al. recurrence, O(n) sequential).
+func (g *Graph) MinPathCoverSize() int {
+	s := pram.NewSerial()
+	b := g.t.Binarize(s)
+	L := b.MakeLeftist(s, 1)
+	return baseline.PathCounts(b, L)[b.Root]
+}
+
+// MinimumPathCover computes a minimum path cover. The default runs the
+// paper's parallel algorithm on the PRAM cost simulator with the
+// paper's processor count n/log n; see Options for the sequential and
+// naive-parallel baselines and for tuning.
+func (g *Graph) MinimumPathCover(opts ...Option) (*Cover, error) {
+	cfg := defaultConfig(g.N())
+	for _, o := range opts {
+		o(&cfg)
+	}
+	switch cfg.algorithm {
+	case Sequential:
+		paths := baseline.Run(g.t)
+		return &Cover{Paths: paths, NumPaths: len(paths)}, nil
+	case Naive:
+		s := pram.New(cfg.procs, pram.WithWorkers(cfg.workers))
+		b := g.t.Binarize(s)
+		L := b.MakeLeftist(s, cfg.seed)
+		paths := baseline.NaiveCover(s, b, L)
+		return &Cover{Paths: paths, NumPaths: len(paths), Stats: statsOf(s)}, nil
+	default:
+		s := pram.New(cfg.procs, pram.WithWorkers(cfg.workers))
+		cov, err := core.ParallelCover(s, g.t, core.Options{Seed: cfg.seed})
+		if err != nil {
+			return nil, err
+		}
+		return &Cover{Paths: cov.Paths, NumPaths: cov.NumPaths, Stats: statsOf(s)}, nil
+	}
+}
+
+// HamiltonianPath returns a Hamiltonian path and true when the cograph
+// has one (iff the minimum path cover has a single path). The default is
+// the sequential construction; WithAlgorithm(Parallel) routes through
+// the paper's parallel pipeline.
+func (g *Graph) HamiltonianPath(opts ...Option) ([]int, bool) {
+	cfg := defaultConfig(g.N())
+	cfg.algorithm = Sequential
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.algorithm == Parallel {
+		s := pram.New(cfg.procs, pram.WithWorkers(cfg.workers))
+		p, ok, err := core.ParallelHamiltonianPath(s, g.t, core.Options{Seed: cfg.seed})
+		if err == nil {
+			return p, ok
+		}
+		// fall through to the sequential construction on internal error
+	}
+	s := pram.NewSerial()
+	b := g.t.Binarize(s)
+	L := b.MakeLeftist(s, 1)
+	return baseline.HamiltonianPath(b, L)
+}
+
+// HamiltonianCycle returns a Hamiltonian cycle and true when the cograph
+// has one (decided by the join condition p(v) <= L(w) at the root). The
+// default is the sequential construction; WithAlgorithm(Parallel) uses
+// the O(log n) split-and-interleave construction.
+func (g *Graph) HamiltonianCycle(opts ...Option) ([]int, bool) {
+	cfg := defaultConfig(g.N())
+	cfg.algorithm = Sequential
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.algorithm == Parallel {
+		s := pram.New(cfg.procs, pram.WithWorkers(cfg.workers))
+		c, ok, err := core.ParallelHamiltonianCycle(s, g.t, core.Options{Seed: cfg.seed})
+		if err == nil {
+			return c, ok
+		}
+	}
+	s := pram.NewSerial()
+	b := g.t.Binarize(s)
+	L := b.MakeLeftist(s, 1)
+	return baseline.HamiltonianCycle(b, L)
+}
+
+// Cover is a minimum path cover.
+type Cover struct {
+	Paths    [][]int
+	NumPaths int
+	// Stats holds the simulated PRAM cost when the cover was computed by
+	// a simulated algorithm (zero for the plain sequential path).
+	Stats Stats
+}
+
+// Stats reports simulated PRAM cost: Time is the number of parallel
+// supersteps, Work the total operations, for Procs simulated processors.
+type Stats struct {
+	Procs int
+	Time  int64
+	Work  int64
+}
+
+func statsOf(s *pram.Sim) Stats {
+	st := s.Stats()
+	return Stats{Procs: st.Procs, Time: st.Time, Work: st.Work}
+}
+
+// Algorithm selects the cover computation.
+type Algorithm int
+
+const (
+	// Parallel is the paper's O(log n)-time, O(n)-work algorithm
+	// (default).
+	Parallel Algorithm = iota
+	// Sequential is the Lin–Olariu–Pruesse O(n) algorithm.
+	Sequential
+	// Naive is the level-synchronous strawman with emulated
+	// O(height * log n) cost accounting.
+	Naive
+)
+
+type config struct {
+	algorithm Algorithm
+	procs     int
+	workers   int
+	seed      uint64
+}
+
+func defaultConfig(n int) config {
+	return config{algorithm: Parallel, procs: pram.ProcsFor(n), seed: 1}
+}
+
+// Option configures MinimumPathCover.
+type Option func(*config)
+
+// WithAlgorithm selects the algorithm.
+func WithAlgorithm(a Algorithm) Option { return func(c *config) { c.algorithm = a } }
+
+// WithProcessors overrides the simulated PRAM processor count (default
+// n/log n, the paper's bound).
+func WithProcessors(p int) Option { return func(c *config) { c.procs = p } }
+
+// WithWorkers caps the real goroutines executing the parallel phases.
+func WithWorkers(w int) Option { return func(c *config) { c.workers = w } }
+
+// WithSeed fixes the randomization seed of the work-optimal list
+// ranking (results are deterministic for a fixed seed).
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
