@@ -278,14 +278,38 @@ func BenchmarkE8Euler(b *testing.B) {
 }
 
 // End-to-end wall-clock benchmark of the public API (the README's
-// headline numbers).
+// headline numbers). The package-level call copies the result out of a
+// pooled solver's arena each time.
 func BenchmarkAPICover(b *testing.B) {
-	for _, n := range []int{1 << 12, 1 << 16, 1 << 20} {
+	for _, n := range []int{1 << 12, 1 << 16, 1 << 18, 1 << 20} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			g := Random(3, n, Mixed)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := g.MinimumPathCover(WithSeed(uint64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolverCover is the steady-state serving path: one reusable
+// Solver amortising its worker pool and scratch arena across calls, no
+// result copy. This is the configuration the PR 1 executor rewrite
+// optimises for.
+func BenchmarkSolverCover(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 16, 1 << 18, 1 << 20} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := Random(3, n, Mixed)
+			sv := NewSolver()
+			defer sv.Close()
+			if _, err := sv.MinimumPathCover(g); err != nil {
+				b.Fatal(err) // warm the arena
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sv.MinimumPathCover(g); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -4,12 +4,14 @@
 //
 // Usage:
 //
-//	pcbench                  # run everything
-//	pcbench -exp e4          # one experiment
-//	pcbench -exp e4 -max 20  # larger sweep (2^20)
+//	pcbench                       # run everything
+//	pcbench -exp e4               # one experiment
+//	pcbench -exp e4 -max 20       # larger sweep (2^20)
+//	pcbench -json BENCH_PR1.json  # also dump machine-readable results
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -19,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"pathcover"
 	"pathcover/internal/baseline"
 	"pathcover/internal/core"
 	"pathcover/internal/lowerbound"
@@ -28,13 +31,39 @@ import (
 )
 
 var (
-	exp    = flag.String("exp", "all", "experiment to run: e1..e9 | all")
-	maxLog = flag.Int("max", 18, "largest input size as a power of two")
-	seed   = flag.Uint64("seed", 1, "random seed")
+	exp      = flag.String("exp", "all", "experiment to run: e1..e9 | all")
+	maxLog   = flag.Int("max", 18, "largest input size as a power of two")
+	seed     = flag.Uint64("seed", 1, "random seed")
+	jsonPath = flag.String("json", "", "write machine-readable results to this file")
 )
+
+// jsonExperiment mirrors one rendered table; the -json dump gives future
+// PRs a perf trajectory to diff against.
+type jsonExperiment struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+type jsonReport struct {
+	Date        string           `json:"date"`
+	GoVersion   string           `json:"go_version"`
+	NumCPU      int              `json:"num_cpu"`
+	MaxLog      int              `json:"max_log"`
+	Seed        uint64           `json:"seed"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+var report = jsonReport{
+	Date:      time.Now().UTC().Format(time.RFC3339),
+	GoVersion: runtime.Version(),
+	NumCPU:    runtime.NumCPU(),
+}
 
 func main() {
 	flag.Parse()
+	report.MaxLog = *maxLog
+	report.Seed = *seed
 	run := func(name string, f func()) {
 		if *exp == "all" || *exp == name {
 			f()
@@ -52,6 +81,19 @@ func main() {
 	if !strings.HasPrefix(*exp, "e") && *exp != "all" {
 		fmt.Fprintf(os.Stderr, "pcbench: unknown experiment %q\n", *exp)
 		os.Exit(1)
+	}
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcbench: %v\n", err)
+			os.Exit(1)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*jsonPath, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pcbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pcbench: wrote %s\n", *jsonPath)
 	}
 }
 
@@ -73,9 +115,16 @@ func header(title string, cols ...string) {
 		sep[i] = "---"
 	}
 	fmt.Println("| " + strings.Join(sep, " | ") + " |")
+	report.Experiments = append(report.Experiments, jsonExperiment{Title: title, Columns: cols})
 }
 
-func row(cells ...string) { fmt.Println("| " + strings.Join(cells, " | ") + " |") }
+func row(cells ...string) {
+	fmt.Println("| " + strings.Join(cells, " | ") + " |")
+	if n := len(report.Experiments); n > 0 {
+		e := &report.Experiments[n-1]
+		e.Rows = append(e.Rows, cells)
+	}
+}
 
 func e1() {
 	header("E1 — Theorem 2.2: OR reduction gadget (Fig. 2)",
@@ -233,6 +282,20 @@ func e6() {
 		row(fmt.Sprintf("parallel, %d workers", w), fmt.Sprintf("%.1f", ms),
 			fmt.Sprintf("%.2fx", seqMS/ms))
 	}
+	// Steady-state serving path: one Solver amortising its worker pool and
+	// scratch arena across calls (PR 1's executor rewrite).
+	g := pathcover.Random(*seed, n, pathcover.Mixed)
+	sv := pathcover.NewSolver(pathcover.WithSeed(*seed))
+	defer sv.Close()
+	if _, err := sv.MinimumPathCover(g); err != nil { // warm the arena
+		panic(err)
+	}
+	ms := timeIt(func() {
+		if _, err := sv.MinimumPathCover(g); err != nil {
+			panic(err)
+		}
+	})
+	row("parallel, reused Solver", fmt.Sprintf("%.1f", ms), fmt.Sprintf("%.2fx", seqMS/ms))
 }
 
 func e7() {

@@ -1,0 +1,3 @@
+module pathcover
+
+go 1.24.0

@@ -58,6 +58,13 @@ type BracketSeq struct {
 // Len returns the number of brackets.
 func (bs *BracketSeq) Len() int { return len(bs.Vert) }
 
+// Release returns the sequence's slices to the Sim's arena.
+func (bs *BracketSeq) Release(s *pram.Sim) {
+	pram.Release(s, bs.Vert)
+	pram.Release(s, bs.Kind)
+	bs.Vert, bs.Kind = nil, nil
+}
+
 // String renders the bare bracket characters.
 func (bs *BracketSeq) String() string {
 	var sb strings.Builder
@@ -94,87 +101,99 @@ func (bs *BracketSeq) Annotated(name func(id int) string) string {
 // is then decoded independently in O(1).
 func GenBrackets(s *pram.Sim, b *cotree.Bin, red *Reduction, withDummies bool) *BracketSeq {
 	n := red.NumVertices
-	unitLen := make([]int, n)
-	s.ParallelFor(n, func(r int) {
-		x := red.VertAt[r]
-		u := red.Owner[x]
-		if u < 0 {
-			unitLen[r] = 3
-			return
-		}
-		if r == red.Start[b.Right[u]] {
-			nd := 0
-			if withDummies {
-				nd = red.ND[u]
+	unitLen := pram.Grab[int](s, n)
+	s.ParallelForRange(n, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			x := red.VertAt[r]
+			u := red.Owner[x]
+			if u < 0 {
+				unitLen[r] = 3
+				continue
 			}
-			unitLen[r] = 3*red.NB[u] + 3*red.NI[u] + 2*nd
+			if r == red.Start[b.Right[u]] {
+				nd := 0
+				if withDummies {
+					nd = red.ND[u]
+				}
+				unitLen[r] = 3*red.NB[u] + 3*red.NI[u] + 2*nd
+			}
 		}
 	})
 	owner, off, total := par.Distribute(s, unitLen)
 	bs := &BracketSeq{
-		Vert: make([]int, total),
-		Kind: make([]Kind, total),
+		Vert: pram.GrabNoClear[int](s, total),
+		Kind: pram.GrabNoClear[Kind](s, total),
 	}
 	if withDummies {
 		bs.EffDummies = red.TotalDummies
 	}
-	s.ForCost(total, 2, func(i int) {
-		r := owner[i]
-		j := off[i]
-		x := red.VertAt[r]
-		u := red.Owner[x]
-		if u < 0 { // primary leaf
-			bs.Vert[i] = x
-			switch j {
-			case 0:
-				bs.Kind[i] = KSqOpenP
-			case 1:
-				bs.Kind[i] = KRdOpenL
-			default:
-				bs.Kind[i] = KRdOpenR
-			}
-			return
-		}
-		nb, ni := red.NB[u], red.NI[u]
-		nd := 0
-		if withDummies {
-			nd = red.ND[u]
-		}
-		start := red.Start[b.Right[u]]
-		switch {
-		case j < 3*nb: // bridge triple ] ] [
-			bv := red.VertAt[start+j/3]
-			bs.Vert[i] = bv
-			switch j % 3 {
-			case 0:
-				bs.Kind[i] = KSqCloseR
-			case 1:
-				bs.Kind[i] = KSqCloseL
-			default:
-				bs.Kind[i] = KSqOpenP
-			}
-		case j < 3*nb+ni: // insert parent brackets )
-			t := red.VertAt[start+nb+(j-3*nb)]
-			bs.Vert[i] = t
-			bs.Kind[i] = KRdCloseP
-		case j < 3*nb+ni+nd: // dummy parent brackets )
-			d := red.DummyBase[u] + (j - 3*nb - ni)
-			bs.Vert[i] = n + d
-			bs.Kind[i] = KRdCloseP
-		case j < 3*nb+ni+2*nd: // dummy child slots (
-			d := red.DummyBase[u] + (j - 3*nb - ni - nd)
-			bs.Vert[i] = n + d
-			bs.Kind[i] = KRdOpenR
-		default: // insert child slots ( (
-			j2 := j - 3*nb - ni - 2*nd
-			t := red.VertAt[start+nb+j2/2]
-			bs.Vert[i] = t
-			if j2%2 == 0 {
-				bs.Kind[i] = KRdOpenL
-			} else {
-				bs.Kind[i] = KRdOpenR
-			}
+	s.ForCostRange(total, 2, func(ilo, ihi int) {
+		for i := ilo; i < ihi; i++ {
+			decodeBracket(bs, red, b, owner[i], off[i], i, withDummies)
 		}
 	})
+	pram.Release(s, unitLen)
+	pram.Release(s, owner)
+	pram.Release(s, off)
 	return bs
+}
+
+// decodeBracket writes bracket i of the sequence, which sits at offset j
+// of the unit owned by leaf rank r.
+func decodeBracket(bs *BracketSeq, red *Reduction, b *cotree.Bin, r, j, i int, withDummies bool) {
+	x := red.VertAt[r]
+	u := red.Owner[x]
+	if u < 0 { // primary leaf
+		bs.Vert[i] = x
+		switch j {
+		case 0:
+			bs.Kind[i] = KSqOpenP
+		case 1:
+			bs.Kind[i] = KRdOpenL
+		default:
+			bs.Kind[i] = KRdOpenR
+		}
+		return
+	}
+	nb, ni := red.NB[u], red.NI[u]
+	nd := 0
+	if withDummies {
+		nd = red.ND[u]
+	}
+	start := red.Start[b.Right[u]]
+	n := red.NumVertices
+	switch {
+	case j < 3*nb: // bridge triple ] ] [
+		bv := red.VertAt[start+j/3]
+		bs.Vert[i] = bv
+		switch j % 3 {
+		case 0:
+			bs.Kind[i] = KSqCloseR
+		case 1:
+			bs.Kind[i] = KSqCloseL
+		default:
+			bs.Kind[i] = KSqOpenP
+		}
+	case j < 3*nb+ni: // insert parent brackets )
+		t := red.VertAt[start+nb+(j-3*nb)]
+		bs.Vert[i] = t
+		bs.Kind[i] = KRdCloseP
+	case j < 3*nb+ni+nd: // dummy parent brackets )
+		d := red.DummyBase[u] + (j - 3*nb - ni)
+		bs.Vert[i] = n + d
+		bs.Kind[i] = KRdCloseP
+	case j < 3*nb+ni+2*nd: // dummy child slots (
+		d := red.DummyBase[u] + (j - 3*nb - ni - nd)
+		bs.Vert[i] = n + d
+		bs.Kind[i] = KRdOpenR
+	default: // insert child slots ( (
+		j2 := j - 3*nb - ni - 2*nd
+		t := red.VertAt[start+nb+j2/2]
+		bs.Vert[i] = t
+		if j2%2 == 0 {
+			bs.Kind[i] = KRdOpenL
+		} else {
+			bs.Kind[i] = KRdOpenR
+		}
+	}
 }

@@ -56,10 +56,24 @@ func (r Role) String() string {
 }
 
 // Cover is the result of the parallel minimum path cover computation.
+//
+// The paths of a cover produced by ParallelCover share one backing
+// buffer drawn from the Sim's scratch arena; call Release to recycle it
+// (after which the paths must not be read), or keep the Cover alive and
+// let the buffers become garbage.
 type Cover struct {
 	Paths    [][]int    // vertex-disjoint paths covering all vertices
 	NumPaths int        // == p(root), the provable minimum
 	Stats    pram.Stats // simulated PRAM cost of the run
+
+	seq []int // shared backing of Paths (nil for trivial covers)
+}
+
+// Release returns the cover's path storage to the Sim's arena.
+func (c *Cover) Release(s *pram.Sim) {
+	pram.Release(s, c.seq)
+	pram.Release(s, c.Paths)
+	c.seq, c.Paths = nil, nil
 }
 
 // Options tune the pipeline (mostly for tests and experiments).
@@ -105,7 +119,10 @@ func ParallelCover(s *pram.Sim, t *cotree.Tree, opt Options) (*Cover, error) {
 	t0, w0 = opt.Trace.add(s, "1 binarize", t0, w0)
 	L := b.MakeLeftist(s, opt.Seed) // Step 2
 	opt.Trace.add(s, "2 leaf counts + leftist", t0, w0)
-	return ParallelCoverBin(s, b, L, opt)
+	cov, err := ParallelCoverBin(s, b, L, opt)
+	pram.Release(s, L)
+	b.Release(s)
+	return cov, err
 }
 
 // ParallelCoverBin runs Steps 3-8 on an already leftist binarized cotree.
@@ -121,27 +138,38 @@ func ParallelCoverBin(s *pram.Sim, b *cotree.Bin, L []int, opt Options) (*Cover,
 	t0, w0 = opt.Trace.add(s, "3b p(u) contraction", t0, w0)
 	red := Reduce(s, b, L, p, tour)
 	t0, w0 = opt.Trace.add(s, "3c reduction", t0, w0)
+	tour.Release(s)
 	seq := GenBrackets(s, b, red, !opt.WithoutDummy) // Step 4
 	t0, w0 = opt.Trace.add(s, "4 bracket generation", t0, w0)
 	ps, err := BuildPseudo(s, n, red, seq) // Step 5
+	seq.Release(s)
 	if err != nil {
+		red.Release(s)
 		return nil, err
 	}
 	t0, w0 = opt.Trace.add(s, "5 matching + pseudo trees", t0, w0)
 	if !opt.SkipFix && !opt.WithoutDummy {
 		if _, err := FixIllegal(s, ps, red, opt.Seed^0xabcd); err != nil {
+			red.Release(s)
+			ps.Release(s)
 			return nil, err
 		}
 	}
 	t0, w0 = opt.Trace.add(s, "6 illegal-insert exchange", t0, w0)
 	final := Bypass(s, ps, red, opt.Seed^0x1234) // Step 7
 	t0, w0 = opt.Trace.add(s, "7 dummy bypass", t0, w0)
-	paths := ExtractPaths(s, final, opt.Seed^0x7777) // Step 8
+	ps.Release(s)
+	pRoot := p[b.Root]
+	red.Release(s)                                               // red.P aliases p; released here
+	paths, seqBacking := ExtractPaths(s, final, opt.Seed^0x7777) // Step 8
 	opt.Trace.add(s, "8 extract paths", t0, w0)
-	if len(paths) != p[b.Root] {
-		return nil, fmt.Errorf("core: produced %d paths, p(root)=%d", len(paths), p[b.Root])
+	par.ReleaseBinTree(s, final)
+	if len(paths) != pRoot {
+		pram.Release(s, seqBacking)
+		pram.Release(s, paths)
+		return nil, fmt.Errorf("core: produced %d paths, p(root)=%d", len(paths), pRoot)
 	}
-	return &Cover{Paths: paths, NumPaths: len(paths), Stats: s.Stats()}, nil
+	return &Cover{Paths: paths, NumPaths: len(paths), Stats: s.Stats(), seq: seqBacking}, nil
 }
 
 // ComputeP evaluates the Lin et al. recurrence (Lemma 2.4)
@@ -154,20 +182,30 @@ func ParallelCoverBin(s *pram.Sim, b *cotree.Bin, L []int, opt Options) (*Cover,
 // contraction in O(log n) time and O(n) work.
 func ComputeP(s *pram.Sim, b *cotree.Bin, L []int, tour *par.Tour) []int {
 	nn := b.NumNodes()
-	op := make([]par.NodeOp, nn)
-	leafVal := make([]int64, nn)
-	s.ParallelFor(nn, func(u int) {
-		if b.IsLeaf(u) {
-			leafVal[u] = 1
-		} else if b.One[u] {
-			op[u] = par.NodeOp{Kind: par.OpJoinClamp, C: int64(L[b.Right[u]])}
-		} else {
-			op[u] = par.NodeOp{Kind: par.OpSum}
+	op := pram.Grab[par.NodeOp](s, nn)
+	leafVal := pram.Grab[int64](s, nn)
+	s.ParallelForRange(nn, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			if b.IsLeaf(u) {
+				leafVal[u] = 1
+			} else if b.One[u] {
+				op[u] = par.NodeOp{Kind: par.OpJoinClamp, C: int64(L[b.Right[u]])}
+			} else {
+				op[u] = par.NodeOp{Kind: par.OpSum}
+			}
 		}
 	})
 	ranks, _ := tour.LeafRanks(s, b.BinTree)
 	vals := par.EvalTree(s, b.BinTree, op, leafVal, ranks)
-	p := make([]int, nn)
-	s.ParallelFor(nn, func(u int) { p[u] = int(vals[u]) })
+	p := pram.GrabNoClear[int](s, nn)
+	s.ParallelForRange(nn, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			p[u] = int(vals[u])
+		}
+	})
+	pram.Release(s, op)
+	pram.Release(s, leafVal)
+	pram.Release(s, ranks)
+	pram.Release(s, vals)
 	return p
 }

@@ -27,7 +27,7 @@ func TestFig6PathTree(t *testing.T) {
 	link(1, 0, 2)
 	link(5, 4, 6)
 	s := pram.New(3, pram.WithGrain(2))
-	paths := ExtractPaths(s, bt, 9)
+	paths, _ := ExtractPaths(s, bt, 9)
 	if len(paths) != 1 {
 		t.Fatalf("%d trees, want 1", len(paths))
 	}
@@ -70,7 +70,7 @@ func TestFig7Case1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	paths := ExtractPaths(s, Bypass(s, ps, red, 1), 2)
+	paths, _ := ExtractPaths(s, Bypass(s, ps, red, 1), 2)
 	if len(paths) != 3 {
 		t.Fatalf("%d paths, want 3 (p(v)-L(w) = 5-2)", len(paths))
 	}

@@ -19,58 +19,80 @@ import (
 // prefix-sum arithmetic — O(log n) time, O(n) work end to end.
 
 // ParallelHamiltonianPath returns a Hamiltonian path computed by the
-// optimal parallel algorithm, or ok=false when none exists.
+// optimal parallel algorithm, or ok=false when none exists. The path is
+// drawn from the Sim's arena; the caller owns (and may Release) it.
 func ParallelHamiltonianPath(s *pram.Sim, t *cotree.Tree, opt Options) ([]int, bool, error) {
 	cov, err := ParallelCover(s, t, opt)
 	if err != nil {
 		return nil, false, err
 	}
 	if cov.NumPaths != 1 {
+		cov.Release(s)
 		return nil, false, nil
 	}
-	return cov.Paths[0], true, nil
+	path := pram.GrabNoClear[int](s, len(cov.Paths[0]))
+	copy(path, cov.Paths[0])
+	cov.Release(s)
+	return path, true, nil
 }
 
 // ParallelHamiltonianCycle returns a Hamiltonian cycle computed by the
-// parallel pipeline, or ok=false when none exists.
+// parallel pipeline, or ok=false when none exists. The cycle is drawn
+// from the Sim's arena; the caller owns (and may Release) it.
 func ParallelHamiltonianCycle(s *pram.Sim, t *cotree.Tree, opt Options) ([]int, bool, error) {
 	b := t.Binarize(s)
 	L := b.MakeLeftist(s, opt.Seed)
 	n := b.NumVertices()
 	root := b.Root
+	release := func() {
+		pram.Release(s, L)
+		b.Release(s)
+	}
 	if n < 3 || b.IsLeaf(root) || !b.One[root] {
+		release()
 		return nil, false, nil
 	}
 	tour := par.TourBinary(s, b.BinTree, opt.Seed^0x5ca1e)
 	p := ComputeP(s, b, L, tour)
 	v, w := b.Left[root], b.Right[root]
 	k := L[w]
-	if p[v] > k {
+	pv := p[v]
+	pram.Release(s, p)
+	if pv > k {
+		tour.Release(s)
+		release()
 		return nil, false, nil
 	}
 
 	// Cover G(v) with the parallel algorithm on the extracted subtree.
 	sub, toSub, fromSub := ExtractSubtree(s, b, v, tour)
-	subL := make([]int, sub.NumNodes())
-	s.ParallelFor(b.NumNodes(), func(u int) {
-		if su := toSub[u]; su >= 0 {
-			subL[su] = L[u]
+	subL := pram.Grab[int](s, sub.NumNodes())
+	s.ParallelForRange(b.NumNodes(), func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			if su := toSub[u]; su >= 0 {
+				subL[su] = L[u]
+			}
 		}
 	})
+	pram.Release(s, toSub)
 	cov, err := ParallelCoverBin(s, sub, subL, opt)
+	pram.Release(s, subL)
+	sub.Release(s)
 	if err != nil {
+		pram.Release(s, fromSub)
+		tour.Release(s)
+		release()
 		return nil, false, err
 	}
 
 	// Flatten the cover: order[] is the concatenation of the paths;
 	// pathEnd[j] marks the last vertex of each path.
 	nv := L[v]
-	order := make([]int, nv)
-	pathEnd := make([]bool, nv)
-	offs := make([]int, len(cov.Paths))
-	lens := make([]int, len(cov.Paths))
+	order := pram.GrabNoClear[int](s, nv)
+	pathEnd := pram.GrabNoClear[bool](s, nv)
+	lens := pram.GrabNoClear[int](s, len(cov.Paths))
 	s.ParallelFor(len(cov.Paths), func(i int) { lens[i] = len(cov.Paths[i]) })
-	offs, _ = par.Scan(s, lens, 0, func(a, b int) int { return a + b })
+	offs, _ := par.ScanInt(s, lens)
 	s.ParallelFor(len(cov.Paths), func(i int) {
 		for j, sv := range cov.Paths[i] { // cost folded into ForCost below
 			order[offs[i]+j] = fromSub[sv]
@@ -78,44 +100,71 @@ func ParallelHamiltonianCycle(s *pram.Sim, t *cotree.Tree, opt Options) ([]int, 
 		}
 	})
 	s.Charge(0, int64(nv)) // account the copy above
+	numPaths := len(cov.Paths)
+	cov.Release(s)
+	pram.Release(s, fromSub)
+	pram.Release(s, lens)
+	pram.Release(s, offs)
 
 	// Split into exactly k segments: the p(v) path ends plus the first
 	// k - p(v) interior positions become segment ends.
-	cuts := k - len(cov.Paths)
-	interiorRank, _ := par.Scan(s, boolInts(s, pathEnd, true), 0, func(a, b int) int { return a + b })
-	segEnd := make([]bool, nv)
-	s.ParallelFor(nv, func(j int) {
-		if pathEnd[j] {
-			segEnd[j] = true
-		} else if interiorRank[j] < cuts {
-			segEnd[j] = true
+	cuts := k - numPaths
+	interior := boolInts(s, pathEnd, true)
+	interiorRank, _ := par.ScanInt(s, interior)
+	pram.Release(s, interior)
+	segEnd := pram.GrabNoClear[bool](s, nv)
+	s.ParallelForRange(nv, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			segEnd[j] = pathEnd[j] || interiorRank[j] < cuts
 		}
 	})
+	pram.Release(s, interiorRank)
 	// Output index of order[j] = j + (number of segment ends before j);
 	// the w vertex after segment i goes right after that segment's end.
-	endsBefore, totalEnds := par.Scan(s, boolInts(s, segEnd, false), 0, func(a, b int) int { return a + b })
+	ends := boolInts(s, segEnd, false)
+	endsBefore, totalEnds := par.ScanInt(s, ends)
+	pram.Release(s, ends)
 	if totalEnds != k {
+		pram.Release(s, order)
+		pram.Release(s, pathEnd)
+		pram.Release(s, segEnd)
+		pram.Release(s, endsBefore)
+		tour.Release(s)
+		release()
 		return nil, false, fmt.Errorf("core: cycle split produced %d segments, want %d", totalEnds, k)
 	}
 	ws := subtreeLeafVertices(s, b, w, tour)
-	cycle := make([]int, n)
-	s.ParallelFor(nv, func(j int) {
-		pos := j + endsBefore[j]
-		cycle[pos] = order[j]
-		if segEnd[j] {
-			cycle[pos+1] = ws[endsBefore[j]]
+	cycle := pram.GrabNoClear[int](s, n)
+	s.ParallelForRange(nv, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			pos := j + endsBefore[j]
+			cycle[pos] = order[j]
+			if segEnd[j] {
+				cycle[pos+1] = ws[endsBefore[j]]
+			}
 		}
 	})
+	pram.Release(s, order)
+	pram.Release(s, pathEnd)
+	pram.Release(s, segEnd)
+	pram.Release(s, endsBefore)
+	pram.Release(s, ws)
+	tour.Release(s)
+	release()
 	return cycle, true, nil
 }
 
 // boolInts converts a flag slice to 0/1 ints; when invert is set the
 // flags are negated (1 for false).
 func boolInts(s *pram.Sim, flags []bool, invert bool) []int {
-	out := make([]int, len(flags))
-	s.ParallelFor(len(flags), func(i int) {
-		if flags[i] != invert {
-			out[i] = 1
+	out := pram.GrabNoClear[int](s, len(flags))
+	s.ParallelForRange(len(flags), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if flags[i] != invert {
+				out[i] = 1
+			} else {
+				out[i] = 0
+			}
 		}
 	})
 	return out
@@ -127,63 +176,84 @@ func boolInts(s *pram.Sim, flags []bool, invert bool) []int {
 // and the vertex mapping new vertex -> old vertex.
 func ExtractSubtree(s *pram.Sim, b *cotree.Bin, v int, tour *par.Tour) (*cotree.Bin, []int, []int) {
 	nn := b.NumNodes()
-	inSub := make([]bool, nn)
-	s.ParallelFor(nn, func(x int) {
-		inSub[x] = tour.Pre[v] <= tour.Pre[x] && tour.Post[x] <= tour.Post[v]
+	inSub := pram.GrabNoClear[bool](s, nn)
+	s.ParallelForRange(nn, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			inSub[x] = tour.Pre[v] <= tour.Pre[x] && tour.Post[x] <= tour.Post[v]
+		}
 	})
 	nodes := par.IndexPack(s, inSub)
-	toSub := make([]int, nn)
-	s.ParallelFor(nn, func(x int) { toSub[x] = -1 })
+	toSub := pram.GrabNoClear[int](s, nn)
+	s.ParallelForRange(nn, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			toSub[x] = -1
+		}
+	})
 	s.ParallelFor(len(nodes), func(i int) { toSub[nodes[i]] = i })
 
 	// Vertices: leaves of the subtree, renumbered by leaf order.
-	isLeafIn := make([]bool, nn)
-	s.ParallelFor(nn, func(x int) { isLeafIn[x] = inSub[x] && b.IsLeaf(x) })
+	isLeafIn := pram.GrabNoClear[bool](s, nn)
+	s.ParallelForRange(nn, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			isLeafIn[x] = inSub[x] && b.IsLeaf(x)
+		}
+	})
 	leaves := par.IndexPack(s, isLeafIn)
-	fromSub := make([]int, len(leaves))
-	vertSub := make([]int, nn) // old node -> new vertex id
+	fromSub := pram.GrabNoClear[int](s, len(leaves))
+	vertSub := pram.Grab[int](s, nn) // old node -> new vertex id
 	s.ParallelFor(len(leaves), func(i int) {
 		fromSub[i] = b.VertexOf[leaves[i]]
 		vertSub[leaves[i]] = i
 	})
 
 	sub := &cotree.Bin{
-		BinTree:  par.NewBinTree(len(nodes)),
-		One:      make([]bool, len(nodes)),
-		VertexOf: make([]int, len(nodes)),
-		LeafOf:   make([]int, len(leaves)),
+		BinTree:  par.GrabBinTree(s, len(nodes)),
+		One:      pram.Grab[bool](s, len(nodes)),
+		VertexOf: pram.GrabNoClear[int](s, len(nodes)),
+		LeafOf:   pram.GrabNoClear[int](s, len(leaves)),
 		Root:     toSub[v],
 	}
-	s.ForCost(len(nodes), 2, func(i int) {
-		x := nodes[i]
-		sub.One[i] = b.One[x]
-		sub.VertexOf[i] = -1
-		if l := b.Left[x]; l >= 0 {
-			sub.Left[i] = toSub[l]
-			sub.Parent[toSub[l]] = i
-		}
-		if r := b.Right[x]; r >= 0 {
-			sub.Right[i] = toSub[r]
-			sub.Parent[toSub[r]] = i
-		}
-		if b.IsLeaf(x) {
-			sub.VertexOf[i] = vertSub[x]
-			sub.LeafOf[vertSub[x]] = i
+	s.ForCostRange(len(nodes), 2, func(ilo, ihi int) {
+		for i := ilo; i < ihi; i++ {
+			x := nodes[i]
+			sub.One[i] = b.One[x]
+			sub.VertexOf[i] = -1
+			if l := b.Left[x]; l >= 0 {
+				sub.Left[i] = toSub[l]
+				sub.Parent[toSub[l]] = i
+			}
+			if r := b.Right[x]; r >= 0 {
+				sub.Right[i] = toSub[r]
+				sub.Parent[toSub[r]] = i
+			}
+			if b.IsLeaf(x) {
+				sub.VertexOf[i] = vertSub[x]
+				sub.LeafOf[vertSub[x]] = i
+			}
 		}
 	})
 	sub.Parent[sub.Root] = -1
+	pram.Release(s, inSub)
+	pram.Release(s, nodes)
+	pram.Release(s, isLeafIn)
+	pram.Release(s, leaves)
+	pram.Release(s, vertSub)
 	return sub, toSub, fromSub
 }
 
 // subtreeLeafVertices lists the vertices under node w in leaf order.
 func subtreeLeafVertices(s *pram.Sim, b *cotree.Bin, w int, tour *par.Tour) []int {
 	nn := b.NumNodes()
-	flags := make([]bool, nn)
-	s.ParallelFor(nn, func(x int) {
-		flags[x] = b.IsLeaf(x) && tour.Pre[w] <= tour.Pre[x] && tour.Post[x] <= tour.Post[w]
+	flags := pram.GrabNoClear[bool](s, nn)
+	s.ParallelForRange(nn, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			flags[x] = b.IsLeaf(x) && tour.Pre[w] <= tour.Pre[x] && tour.Post[x] <= tour.Post[w]
+		}
 	})
 	leaves := par.IndexPack(s, flags)
-	out := make([]int, len(leaves))
+	out := pram.GrabNoClear[int](s, len(leaves))
 	s.ParallelFor(len(leaves), func(i int) { out[i] = b.VertexOf[leaves[i]] })
+	pram.Release(s, flags)
+	pram.Release(s, leaves)
 	return out
 }

@@ -17,6 +17,12 @@ type Pseudo struct {
 	EffDummies  int
 }
 
+// Release returns the pseudo forest's link slices to the Sim's arena.
+func (ps *Pseudo) Release(s *pram.Sim) {
+	par.ReleaseBinTree(s, ps.BinTree)
+	ps.BinTree = par.BinTree{}
+}
+
 // BuildPseudo matches the square and round bracket families
 // independently (Lemma 5.1(3)) and decodes the matched pairs into the
 // edges of the pseudo path forest:
@@ -33,53 +39,70 @@ type Pseudo struct {
 func BuildPseudo(s *pram.Sim, n int, red *Reduction, seq *BracketSeq) (*Pseudo, error) {
 	total := seq.Len()
 	N := n + seq.EffDummies
-	ps := &Pseudo{BinTree: par.NewBinTree(N), NumVertices: n, EffDummies: seq.EffDummies}
+	ps := &Pseudo{BinTree: par.GrabBinTree(s, N), NumVertices: n, EffDummies: seq.EffDummies}
 
 	for _, square := range []bool{true, false} {
 		square := square
-		inFam := make([]bool, total)
-		s.ParallelFor(total, func(i int) { inFam[i] = seq.Kind[i].IsSquare() == square })
+		inFam := pram.GrabNoClear[bool](s, total)
+		s.ParallelForRange(total, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				inFam[i] = seq.Kind[i].IsSquare() == square
+			}
+		})
 		pos := par.IndexPack(s, inFam)
 		m := len(pos)
-		open := make([]bool, m)
-		s.ParallelFor(m, func(k int) { open[k] = seq.Kind[pos[k]].IsOpen() })
+		open := pram.GrabNoClear[bool](s, m)
+		s.ParallelForRange(m, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				open[k] = seq.Kind[pos[k]].IsOpen()
+			}
+		})
 		match := par.MatchBrackets(s, open)
 
-		bad := make([]int, m)
-		s.ForCost(m, 2, func(k int) {
-			i := pos[k]
-			if match[k] < 0 {
-				if seq.Kind[i] == KRdCloseP {
-					bad[k] = 1 // an insert/dummy without a parent
+		bad := pram.Grab[int](s, m)
+		s.ForCostRange(m, 2, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				i := pos[k]
+				if match[k] < 0 {
+					if seq.Kind[i] == KRdCloseP {
+						bad[k] = 1 // an insert/dummy without a parent
+					}
+					continue
 				}
-				return
-			}
-			j := pos[match[k]]
-			if square {
-				if seq.Kind[i] != KSqOpenP {
-					return // handle each pair once, from the open side
-				}
-				a, b := seq.Vert[i], seq.Vert[j]
-				ps.Parent[a] = b
-				if seq.Kind[j] == KSqCloseL {
-					ps.Left[b] = a
+				j := pos[match[k]]
+				if square {
+					if seq.Kind[i] != KSqOpenP {
+						continue // handle each pair once, from the open side
+					}
+					a, b := seq.Vert[i], seq.Vert[j]
+					ps.Parent[a] = b
+					if seq.Kind[j] == KSqCloseL {
+						ps.Left[b] = a
+					} else {
+						ps.Right[b] = a
+					}
 				} else {
-					ps.Right[b] = a
-				}
-			} else {
-				if seq.Kind[i] != KRdCloseP {
-					return
-				}
-				child, parent := seq.Vert[i], seq.Vert[j]
-				ps.Parent[child] = parent
-				if seq.Kind[j] == KRdOpenL {
-					ps.Left[parent] = child
-				} else {
-					ps.Right[parent] = child
+					if seq.Kind[i] != KRdCloseP {
+						continue
+					}
+					child, parent := seq.Vert[i], seq.Vert[j]
+					ps.Parent[child] = parent
+					if seq.Kind[j] == KRdOpenL {
+						ps.Left[parent] = child
+					} else {
+						ps.Right[parent] = child
+					}
 				}
 			}
 		})
-		if nbad := par.Reduce(s, bad, 0, func(a, b int) int { return a + b }); nbad > 0 {
+		nbad := par.Reduce(s, bad, 0, func(a, b int) int { return a + b })
+		pram.Release(s, inFam)
+		pram.Release(s, pos)
+		pram.Release(s, open)
+		pram.Release(s, match)
+		pram.Release(s, bad)
+		if nbad > 0 {
+			ps.Release(s)
 			return nil, fmt.Errorf("core: %d unmatched parent brackets (capacity invariant violated)", nbad)
 		}
 	}
@@ -125,10 +148,16 @@ func FixIllegal(s *pram.Sim, ps *Pseudo, red *Reduction, seed uint64) (int, erro
 	}
 
 	// Inserts in (owner, idx) order = leaf-rank order filtered to inserts.
-	isIns := make([]bool, n)
-	s.ParallelFor(n, func(r int) { isIns[r] = red.Role[red.VertAt[r]] == RoleInsert })
+	isIns := pram.GrabNoClear[bool](s, n)
+	s.ParallelForRange(n, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			isIns[r] = red.Role[red.VertAt[r]] == RoleInsert
+		}
+	})
 	insRanks := par.IndexPack(s, isIns)
+	pram.Release(s, isIns)
 	ni := len(insRanks)
+	defer pram.Release(s, insRanks)
 
 	totalSwaps := 0
 	const maxRounds = 48
@@ -139,24 +168,27 @@ func FixIllegal(s *pram.Sim, ps *Pseudo, red *Reduction, seed uint64) (int, erro
 		tour := par.TourBinary(s, ps.BinTree, seed+uint64(round))
 
 		// Effective neighbours: nearest non-dummy left/right in inorder.
-		lastReal := make([]int, N)
-		s.ParallelFor(N, func(i int) {
-			x := tour.InSeq[i]
-			if x < n {
-				lastReal[i] = i
-			} else {
-				lastReal[i] = -1
+		lastReal := pram.GrabNoClear[int](s, N)
+		s.ParallelForRange(N, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if tour.InSeq[i] < n {
+					lastReal[i] = i
+				} else {
+					lastReal[i] = -1
+				}
 			}
 		})
 		prevReal := par.MaxScanInt(s, lastReal)
 		// next non-dummy via a max-scan over the reversed sequence.
-		rev := make([]int, N)
-		s.ParallelFor(N, func(i int) {
-			j := N - 1 - i
-			if tour.InSeq[j] < n {
-				rev[i] = -(j + 1) // encode so that max = smallest j
-			} else {
-				rev[i] = minIntSentinel
+		rev := pram.GrabNoClear[int](s, N)
+		s.ParallelForRange(N, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				j := N - 1 - i
+				if tour.InSeq[j] < n {
+					rev[i] = -(j + 1) // encode so that max = smallest j
+				} else {
+					rev[i] = minIntSentinel
+				}
 			}
 		})
 		nextRealEnc := par.MaxScanInt(s, rev)
@@ -198,88 +230,123 @@ func FixIllegal(s *pram.Sim, ps *Pseudo, red *Reduction, seed uint64) (int, erro
 			return (ry == RoleBridge || ry == RoleInsert) &&
 				red.OwnerOf(y) == red.OwnerOf(x)
 		}
-		illegal := make([]bool, N)
-		s.ForCost(N, 4, func(x int) {
-			role := red.RoleOf(x)
-			if role != RoleInsert && role != RoleDummy {
-				return
+		illegal := pram.Grab[bool](s, N)
+		s.ForCostRange(N, 4, func(lo, hi int) {
+			for x := lo; x < hi; x++ {
+				role := red.RoleOf(x)
+				if role != RoleInsert && role != RoleDummy {
+					continue
+				}
+				illegal[x] = sameLevelW(x, effNeighbor(x, true)) ||
+					sameLevelW(x, effNeighbor(x, false))
 			}
-			illegal[x] = sameLevelW(x, effNeighbor(x, true)) ||
-				sameLevelW(x, effNeighbor(x, false))
 		})
+		tour.Release(s)
+		pram.Release(s, lastReal)
+		pram.Release(s, prevReal)
+		pram.Release(s, rev)
+		pram.Release(s, nextRealEnc)
 
 		// Rank illegal inserts per owner.
-		insItems := make([]seg, ni)
-		s.ForCost(ni, 2, func(k int) {
-			x := red.VertAt[insRanks[k]]
-			v := 0
-			if illegal[x] {
-				v = 1
+		insItems := pram.GrabNoClear[seg](s, ni)
+		s.ForCostRange(ni, 2, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				x := red.VertAt[insRanks[k]]
+				v := 0
+				if illegal[x] {
+					v = 1
+				}
+				reset := k == 0 || red.Owner[red.VertAt[insRanks[k-1]]] != red.Owner[x]
+				insItems[k] = seg{v, reset}
 			}
-			reset := k == 0 || red.Owner[red.VertAt[insRanks[k-1]]] != red.Owner[x]
-			insItems[k] = seg{v, reset}
 		})
 		insScan := par.InclusiveScan(s, insItems, seg{}, segOp)
 		nIllegal := 0
 		{
-			flags := make([]int, ni)
-			s.ParallelFor(ni, func(k int) { flags[k] = insItems[k].sum })
+			flags := pram.GrabNoClear[int](s, ni)
+			s.ParallelForRange(ni, func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					flags[k] = insItems[k].sum
+				}
+			})
 			nIllegal = par.Reduce(s, flags, 0, func(a, b int) int { return a + b })
+			pram.Release(s, flags)
 		}
+		pram.Release(s, insItems)
 		if nIllegal == 0 {
+			pram.Release(s, illegal)
+			pram.Release(s, insScan)
 			return totalSwaps, nil
 		}
 
 		// Rank legal dummies per owner (dummies are grouped by owner in
 		// id order) and count them per owner.
-		dumItems := make([]seg, nd)
-		s.ForCost(nd, 2, func(d int) {
-			v := 0
-			if !illegal[n+d] {
-				v = 1
+		dumItems := pram.GrabNoClear[seg](s, nd)
+		s.ForCostRange(nd, 2, func(lo, hi int) {
+			for d := lo; d < hi; d++ {
+				v := 0
+				if !illegal[n+d] {
+					v = 1
+				}
+				reset := d == 0 || red.DummyOwner[d-1] != red.DummyOwner[d]
+				dumItems[d] = seg{v, reset}
 			}
-			reset := d == 0 || red.DummyOwner[d-1] != red.DummyOwner[d]
-			dumItems[d] = seg{v, reset}
 		})
 		dumScan := par.InclusiveScan(s, dumItems, seg{}, segOp)
-		legalAt := make([]int, nd)
-		legalCount := make([]int, nd) // per owner, stored at DummyBase
-		s.ParallelFor(nd, func(d int) { legalAt[d] = -1 })
-		s.ParallelFor(nd, func(d int) {
-			u := red.DummyOwner[d]
-			if !illegal[n+d] {
-				legalAt[red.DummyBase[u]+dumScan[d].sum-1] = n + d
+		legalAt := pram.GrabNoClear[int](s, nd)
+		legalCount := pram.Grab[int](s, nd) // per owner, stored at DummyBase
+		s.ParallelForRange(nd, func(lo, hi int) {
+			for d := lo; d < hi; d++ {
+				legalAt[d] = -1
 			}
-			if d == nd-1 || red.DummyOwner[d+1] != u {
-				legalCount[red.DummyBase[u]] = dumScan[d].sum
+		})
+		s.ParallelForRange(nd, func(lo, hi int) {
+			for d := lo; d < hi; d++ {
+				u := red.DummyOwner[d]
+				if !illegal[n+d] {
+					legalAt[red.DummyBase[u]+dumScan[d].sum-1] = n + d
+				}
+				if d == nd-1 || red.DummyOwner[d+1] != u {
+					legalCount[red.DummyBase[u]] = dumScan[d].sum
+				}
 			}
 		})
 
 		// Exchange: k-th illegal insert of node u takes the
 		// (k+round)-mod-legalCount legal dummy of u (the rotation breaks
 		// potential ping-pong cycles across rounds).
-		missing := make([]int, ni)
-		s.ForCost(ni, 4, func(k int) {
-			x := red.VertAt[insRanks[k]]
-			if !illegal[x] {
-				return
+		missing := pram.Grab[int](s, ni)
+		s.ForCostRange(ni, 4, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				x := red.VertAt[insRanks[k]]
+				if !illegal[x] {
+					continue
+				}
+				u := red.Owner[x]
+				base := red.DummyBase[u]
+				lc := legalCount[base]
+				rank := insScan[k].sum - 1
+				if lc == 0 || rank >= lc {
+					missing[k] = 1
+					continue
+				}
+				d := legalAt[base+(rank+round)%lc]
+				if d < 0 {
+					missing[k] = 1
+					continue
+				}
+				swapPositions(ps, x, d)
 			}
-			u := red.Owner[x]
-			base := red.DummyBase[u]
-			lc := legalCount[base]
-			rank := insScan[k].sum - 1
-			if lc == 0 || rank >= lc {
-				missing[k] = 1
-				return
-			}
-			d := legalAt[base+(rank+round)%lc]
-			if d < 0 {
-				missing[k] = 1
-				return
-			}
-			swapPositions(ps, x, d)
 		})
-		if nm := par.Reduce(s, missing, 0, func(a, b int) int { return a + b }); nm > 0 {
+		nm := par.Reduce(s, missing, 0, func(a, b int) int { return a + b })
+		pram.Release(s, illegal)
+		pram.Release(s, insScan)
+		pram.Release(s, dumItems)
+		pram.Release(s, dumScan)
+		pram.Release(s, legalAt)
+		pram.Release(s, legalCount)
+		pram.Release(s, missing)
+		if nm > 0 {
 			return totalSwaps, fmt.Errorf("core: %d illegal inserts without a legal dummy partner", nm)
 		}
 		totalSwaps += nIllegal
@@ -319,66 +386,85 @@ func swapPositions(ps *Pseudo, x, y int) {
 func Bypass(s *pram.Sim, ps *Pseudo, red *Reduction, seed uint64) par.BinTree {
 	n := ps.NumVertices
 	N := ps.Len()
-	next := make([]int, N)
-	s.ParallelFor(N, func(x int) {
-		if x >= n { // dummy: follow its single (right) child
-			next[x] = ps.Right[x]
-		} else {
-			next[x] = -1
+	next := pram.GrabNoClear[int](s, N)
+	s.ParallelForRange(N, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			if x >= n { // dummy: follow its single (right) child
+				next[x] = ps.Right[x]
+			} else {
+				next[x] = -1
+			}
 		}
 	})
-	_, last := par.RankOpt(s, next, seed)
+	dist, last := par.RankOpt(s, next, seed)
+	pram.Release(s, dist)
+	pram.Release(s, next)
 
-	final := par.NewBinTree(n)
-	s.ForCost(n, 4, func(x int) {
-		for _, side := range [2]bool{true, false} {
-			var c int
-			if side {
-				c = ps.Left[x]
-			} else {
-				c = ps.Right[x]
-			}
-			if c < 0 {
-				continue
-			}
-			t := c
-			if c >= n {
-				t = last[c]
-				if t >= n { // childless dummy chain: slot empties
+	final := par.GrabBinTree(s, n)
+	s.ForCostRange(n, 4, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			for _, side := range [2]bool{true, false} {
+				var c int
+				if side {
+					c = ps.Left[x]
+				} else {
+					c = ps.Right[x]
+				}
+				if c < 0 {
 					continue
 				}
+				t := c
+				if c >= n {
+					t = last[c]
+					if t >= n { // childless dummy chain: slot empties
+						continue
+					}
+				}
+				if side {
+					final.Left[x] = t
+				} else {
+					final.Right[x] = t
+				}
+				final.Parent[t] = x
 			}
-			if side {
-				final.Left[x] = t
-			} else {
-				final.Right[x] = t
-			}
-			final.Parent[t] = x
 		}
 	})
+	pram.Release(s, last)
 	return final
 }
 
 // ExtractPaths is Step 8: the paths are the inorder traversals of the
-// final path trees, read off from one Euler tour of the forest.
-func ExtractPaths(s *pram.Sim, final par.BinTree, seed uint64) [][]int {
+// final path trees, read off from one Euler tour of the forest. The
+// returned paths all slice into the returned backing buffer; both are
+// drawn from the Sim's arena (the Cover that wraps them owns their
+// release).
+func ExtractPaths(s *pram.Sim, final par.BinTree, seed uint64) (paths [][]int, backing []int) {
 	n := final.Len()
 	if n == 0 {
-		return nil
+		return nil, nil
 	}
 	tour := par.TourBinary(s, final, seed)
-	size, _ := tour.SubtreeCounts(s, final)
+	size, leaves := tour.SubtreeCounts(s, final)
+	pram.Release(s, leaves)
 	// Global inorder sequence; trees occupy consecutive blocks in root
 	// order.
-	seq := make([]int, n)
-	s.ParallelFor(n, func(x int) { seq[tour.In[x]] = x })
+	seq := pram.GrabNoClear[int](s, n)
+	s.ParallelForRange(n, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			seq[tour.In[x]] = x
+		}
+	})
 	roots := tour.Roots
-	sizes := make([]int, len(roots))
+	sizes := pram.GrabNoClear[int](s, len(roots))
 	s.ParallelFor(len(roots), func(k int) { sizes[k] = size[roots[k]] })
-	offs, _ := par.Scan(s, sizes, 0, func(a, b int) int { return a + b })
-	paths := make([][]int, len(roots))
+	offs, _ := par.ScanInt(s, sizes)
+	paths = pram.GrabNoClear[[]int](s, len(roots))
 	s.ParallelFor(len(roots), func(k int) {
 		paths[k] = seq[offs[k] : offs[k]+sizes[k]]
 	})
-	return paths
+	pram.Release(s, size)
+	pram.Release(s, sizes)
+	pram.Release(s, offs)
+	tour.Release(s)
+	return paths, seq
 }

@@ -36,6 +36,27 @@ type Reduction struct {
 	L []int // L(u) per node
 }
 
+// Release returns the reduction's slices — including the P slice it took
+// ownership of, but not L, which stays with the caller — to the arena.
+func (r *Reduction) Release(s *pram.Sim) {
+	pram.Release(s, r.Active)
+	pram.Release(s, r.NB)
+	pram.Release(s, r.NI)
+	pram.Release(s, r.ND)
+	pram.Release(s, r.DummyBase)
+	pram.Release(s, r.Start)
+	pram.Release(s, r.Role)
+	pram.Release(s, r.Owner)
+	pram.Release(s, r.RoleIdx)
+	pram.Release(s, r.LeafRank)
+	pram.Release(s, r.VertAt)
+	pram.Release(s, r.DummyOwner)
+	pram.Release(s, r.P)
+	r.Active, r.DummyOwner, r.Role = nil, nil, nil
+	r.NB, r.NI, r.ND, r.DummyBase, r.Start = nil, nil, nil, nil, nil
+	r.Owner, r.RoleIdx, r.LeafRank, r.VertAt, r.P, r.L = nil, nil, nil, nil, nil, nil
+}
+
 // IsDummy reports whether a pseudo-tree id denotes a dummy vertex.
 func (r *Reduction) IsDummy(id int) bool { return id >= r.NumVertices }
 
@@ -66,73 +87,87 @@ func Reduce(s *pram.Sim, b *cotree.Bin, L, p []int, tour *par.Tour) *Reduction {
 	n := b.NumVertices()
 	red := &Reduction{
 		NumVertices: n,
-		Active:      make([]bool, nn),
-		NB:          make([]int, nn),
-		NI:          make([]int, nn),
-		ND:          make([]int, nn),
+		Active:      pram.Grab[bool](s, nn),
+		NB:          pram.Grab[int](s, nn),
+		NI:          pram.Grab[int](s, nn),
+		ND:          pram.Grab[int](s, nn),
 		Start:       tour.LeafStarts(s, b.BinTree),
-		Role:        make([]Role, n),
-		Owner:       make([]int, n),
-		RoleIdx:     make([]int, n),
-		LeafRank:    make([]int, n),
-		VertAt:      make([]int, n),
+		Role:        pram.Grab[Role](s, n),
+		Owner:       pram.GrabNoClear[int](s, n),
+		RoleIdx:     pram.Grab[int](s, n),
+		LeafRank:    pram.GrabNoClear[int](s, n),
+		VertAt:      pram.GrabNoClear[int](s, n),
 		P:           p,
 		L:           L,
 	}
 
 	// flag[v]: v is the right child of a 1-node. A node with no flagged
 	// proper ancestor and flagCnt 0 is in the active region.
-	flag := make([]bool, nn)
-	s.ParallelFor(nn, func(v int) {
-		pa := b.Parent[v]
-		flag[v] = pa >= 0 && b.One[pa] && b.Right[pa] == v
+	flag := pram.GrabNoClear[bool](s, nn)
+	s.ParallelForRange(nn, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			pa := b.Parent[v]
+			flag[v] = pa >= 0 && b.One[pa] && b.Right[pa] == v
+		}
 	})
 	flagCnt := tour.AncestorFlagCounts(s, flag)
 
-	s.ParallelFor(nn, func(u int) {
-		if !b.IsLeaf(u) && b.One[u] && flagCnt[u] == 0 {
-			red.Active[u] = true
-			v, w := b.Left[u], b.Right[u]
-			pv, lw := p[v], L[w]
-			if pv > lw { // Case 1
-				red.NB[u] = lw
-			} else { // Case 2
-				red.NB[u] = pv - 1
-				red.NI[u] = lw - pv + 1
-				red.ND[u] = 2*pv - 2
+	s.ParallelForRange(nn, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			if !b.IsLeaf(u) && b.One[u] && flagCnt[u] == 0 {
+				red.Active[u] = true
+				v, w := b.Left[u], b.Right[u]
+				pv, lw := p[v], L[w]
+				if pv > lw { // Case 1
+					red.NB[u] = lw
+				} else { // Case 2
+					red.NB[u] = pv - 1
+					red.NI[u] = lw - pv + 1
+					red.ND[u] = 2*pv - 2
+				}
 			}
 		}
 	})
-	red.DummyBase, red.TotalDummies = par.Scan(s, red.ND, 0,
-		func(a, b int) int { return a + b })
+	red.DummyBase, red.TotalDummies = par.ScanInt(s, red.ND)
 
 	// Leaf ranks and the rank->vertex map.
 	ranks, _ := tour.LeafRanks(s, b.BinTree)
-	s.ParallelFor(nn, func(v int) {
-		if b.IsLeaf(v) {
-			x := b.VertexOf[v]
-			red.LeafRank[x] = ranks[v]
-			red.VertAt[ranks[v]] = x
+	s.ParallelForRange(nn, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if b.IsLeaf(v) {
+				x := b.VertexOf[v]
+				red.LeafRank[x] = ranks[v]
+				red.VertAt[ranks[v]] = x
+			}
 		}
 	})
+	pram.Release(s, ranks)
 
 	// Owner per leaf rank: bundle w of active node u covers ranks
 	// [Start[w], Start[w]+L[w]). Scatter end-markers first, then start
 	// markers (starts win shared cells), then a "last marker" scan.
 	const unset = -2
-	markers := make([]int, n)
-	s.ParallelFor(n, func(i int) { markers[i] = unset })
-	s.ParallelFor(nn, func(u int) {
-		if red.Active[u] {
-			w := b.Right[u]
-			if e := red.Start[w] + L[w]; e < n {
-				markers[e] = -1
+	markers := pram.GrabNoClear[int](s, n)
+	s.ParallelForRange(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			markers[i] = unset
+		}
+	})
+	s.ParallelForRange(nn, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			if red.Active[u] {
+				w := b.Right[u]
+				if e := red.Start[w] + L[w]; e < n {
+					markers[e] = -1
+				}
 			}
 		}
 	})
-	s.ParallelFor(nn, func(u int) {
-		if red.Active[u] {
-			markers[red.Start[b.Right[u]]] = u
+	s.ParallelForRange(nn, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			if red.Active[u] {
+				markers[red.Start[b.Right[u]]] = u
+			}
 		}
 	})
 	owners := par.InclusiveScan(s, markers, unset, func(a, b int) int {
@@ -143,30 +178,42 @@ func Reduce(s *pram.Sim, b *cotree.Bin, L, p []int, tour *par.Tour) *Reduction {
 	})
 
 	// Classify vertices.
-	s.ParallelFor(n, func(x int) {
-		r := red.LeafRank[x]
-		u := owners[r]
-		if u < 0 {
-			red.Role[x] = RolePrimary
-			red.Owner[x] = -1
-			return
-		}
-		red.Owner[x] = u
-		idx := r - red.Start[b.Right[u]]
-		if idx < red.NB[u] {
-			red.Role[x] = RoleBridge
-			red.RoleIdx[x] = idx
-		} else {
-			red.Role[x] = RoleInsert
-			red.RoleIdx[x] = idx - red.NB[u]
+	s.ParallelForRange(n, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			r := red.LeafRank[x]
+			u := owners[r]
+			if u < 0 {
+				red.Role[x] = RolePrimary
+				red.Owner[x] = -1
+				continue
+			}
+			red.Owner[x] = u
+			idx := r - red.Start[b.Right[u]]
+			if idx < red.NB[u] {
+				red.Role[x] = RoleBridge
+				red.RoleIdx[x] = idx
+			} else {
+				red.Role[x] = RoleInsert
+				red.RoleIdx[x] = idx - red.NB[u]
+			}
 		}
 	})
 
 	// Dummy owners.
 	if red.TotalDummies > 0 {
-		red.DummyOwner = make([]int, red.TotalDummies)
-		downer, _, _ := par.Distribute(s, red.ND)
-		s.ParallelFor(red.TotalDummies, func(d int) { red.DummyOwner[d] = downer[d] })
+		red.DummyOwner = pram.GrabNoClear[int](s, red.TotalDummies)
+		downer, doff, _ := par.Distribute(s, red.ND)
+		s.ParallelForRange(red.TotalDummies, func(lo, hi int) {
+			for d := lo; d < hi; d++ {
+				red.DummyOwner[d] = downer[d]
+			}
+		})
+		pram.Release(s, downer)
+		pram.Release(s, doff)
 	}
+	pram.Release(s, flag)
+	pram.Release(s, flagCnt)
+	pram.Release(s, markers)
+	pram.Release(s, owners)
 	return red
 }

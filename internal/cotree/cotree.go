@@ -307,6 +307,17 @@ func (b *Bin) NumNodes() int { return b.Len() }
 // NumVertices returns the vertex count.
 func (b *Bin) NumVertices() int { return len(b.LeafOf) }
 
+// Release returns the binarized tree's slices to the Sim's arena (they
+// were drawn from it by Binarize). The Bin must not be used afterwards.
+func (b *Bin) Release(s *pram.Sim) {
+	par.ReleaseBinTree(s, b.BinTree)
+	pram.Release(s, b.One)
+	pram.Release(s, b.VertexOf)
+	pram.Release(s, b.LeafOf)
+	b.BinTree = par.BinTree{}
+	b.One, b.VertexOf, b.LeafOf = nil, nil, nil
+}
+
 // Binarize performs Step 1 of the paper: it replaces every k-ary internal
 // node (k >= 3) by a left-leaning chain of k-1 binary nodes carrying the
 // same label. The result has n leaves and n-1 internal nodes.
@@ -317,16 +328,19 @@ func (t *Tree) Binarize(s *pram.Sim) *Bin {
 	nOrig := t.NumNodes()
 	nv := t.NumVertices()
 	if nv == 1 {
-		b := &Bin{BinTree: par.NewBinTree(1), One: make([]bool, 1),
-			VertexOf: []int{0}, LeafOf: []int{0}, Root: 0}
+		b := &Bin{BinTree: par.GrabBinTree(s, 1), One: pram.Grab[bool](s, 1),
+			VertexOf: pram.GrabNoClear[int](s, 1), LeafOf: pram.GrabNoClear[int](s, 1), Root: 0}
+		b.VertexOf[0], b.LeafOf[0] = 0, 0
 		return b
 	}
 
 	// Chain lengths: leaves 0, internal k-1 new nodes.
-	chainLen := make([]int, nOrig)
-	s.ParallelFor(nOrig, func(u int) {
-		if t.Label[u] != LabelLeaf {
-			chainLen[u] = len(t.Children[u]) - 1
+	chainLen := pram.Grab[int](s, nOrig)
+	s.ParallelForRange(nOrig, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			if t.Label[u] != LabelLeaf {
+				chainLen[u] = len(t.Children[u]) - 1
+			}
 		}
 	})
 	// New ids: vertices keep ids 0..nv-1 (leaf of vertex v is node v);
@@ -334,16 +348,22 @@ func (t *Tree) Binarize(s *pram.Sim) *Bin {
 	chainOff, totalChain := ScanIntOffset(s, chainLen, nv)
 	total := nv + totalChain
 	b := &Bin{
-		BinTree:  par.NewBinTree(total),
-		One:      make([]bool, total),
-		VertexOf: make([]int, total),
-		LeafOf:   make([]int, nv),
+		BinTree:  par.GrabBinTree(s, total),
+		One:      pram.Grab[bool](s, total),
+		VertexOf: pram.GrabNoClear[int](s, total),
+		LeafOf:   pram.GrabNoClear[int](s, nv),
 		Root:     0,
 	}
-	s.ParallelFor(total, func(x int) { b.VertexOf[x] = -1 })
-	s.ParallelFor(nv, func(v int) {
-		b.VertexOf[v] = v
-		b.LeafOf[v] = v
+	s.ParallelForRange(total, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			b.VertexOf[x] = -1
+		}
+	})
+	s.ParallelForRange(nv, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			b.VertexOf[v] = v
+			b.LeafOf[v] = v
+		}
 	})
 
 	// rep(u) = the binarized subtree root for original node u: its leaf
@@ -359,32 +379,42 @@ func (t *Tree) Binarize(s *pram.Sim) *Bin {
 	// original node u has left = previous chain node (or rep of child 0)
 	// and right = rep of child j+1.
 	owner, slot, _ := par.Distribute(s, chainLen)
-	s.ForCost(totalChain, 2, func(k int) {
-		u := owner[k]
-		j := slot[k]
-		x := chainOff[u] + j
-		b.One[x] = t.Label[u] == Label1
-		var l int
-		if j == 0 {
-			l = rep(t.Children[u][0])
-		} else {
-			l = x - 1
+	s.ForCostRange(totalChain, 2, func(klo, khi int) {
+		for k := klo; k < khi; k++ {
+			u := owner[k]
+			j := slot[k]
+			x := chainOff[u] + j
+			b.One[x] = t.Label[u] == Label1
+			var l int
+			if j == 0 {
+				l = rep(t.Children[u][0])
+			} else {
+				l = x - 1
+			}
+			r := rep(t.Children[u][j+1])
+			b.Left[x] = l
+			b.Right[x] = r
+			b.Parent[l] = x
+			b.Parent[r] = x
 		}
-		r := rep(t.Children[u][j+1])
-		b.Left[x] = l
-		b.Right[x] = r
-		b.Parent[l] = x
-		b.Parent[r] = x
 	})
 	b.Root = rep(t.Root)
+	pram.Release(s, chainLen)
+	pram.Release(s, chainOff)
+	pram.Release(s, owner)
+	pram.Release(s, slot)
 	return b
 }
 
 // ScanIntOffset is a prefix sum with a starting base, returning also the
 // total (excluding the base).
 func ScanIntOffset(s *pram.Sim, in []int, base int) (off []int, total int) {
-	off, total = par.Scan(s, in, 0, func(a, b int) int { return a + b })
-	s.ParallelFor(len(off), func(i int) { off[i] += base })
+	off, total = par.ScanInt(s, in)
+	s.ParallelForRange(len(off), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			off[i] += base
+		}
+	})
 	return off, total
 }
 
@@ -393,7 +423,9 @@ func ScanIntOffset(s *pram.Sim, in []int, base int) (off []int, total int) {
 // Lemma 5.2).
 func (b *Bin) LeafCounts(s *pram.Sim, seed uint64) []int {
 	tour := par.TourBinary(s, b.BinTree, seed)
-	_, leaves := tour.SubtreeCounts(s, b.BinTree)
+	size, leaves := tour.SubtreeCounts(s, b.BinTree)
+	pram.Release(s, size)
+	tour.Release(s)
 	return leaves
 }
 
@@ -402,10 +434,12 @@ func (b *Bin) LeafCounts(s *pram.Sim, seed uint64) []int {
 // represented graph. It returns L.
 func (b *Bin) MakeLeftist(s *pram.Sim, seed uint64) []int {
 	leaves := b.LeafCounts(s, seed)
-	s.ParallelFor(b.NumNodes(), func(u int) {
-		l, r := b.Left[u], b.Right[u]
-		if l >= 0 && r >= 0 && leaves[l] < leaves[r] {
-			b.Left[u], b.Right[u] = r, l
+	s.ParallelForRange(b.NumNodes(), func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			l, r := b.Left[u], b.Right[u]
+			if l >= 0 && r >= 0 && leaves[l] < leaves[r] {
+				b.Left[u], b.Right[u] = r, l
+			}
 		}
 	})
 	return leaves

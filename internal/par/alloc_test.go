@@ -1,0 +1,152 @@
+package par
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"pathcover/internal/pram"
+)
+
+// The allocation-regression suite: with a reused Sim (pool + arena), the
+// hot-path primitives must run allocation-free in steady state — the
+// tentpole claim of the persistent-executor rewrite. Each test warms the
+// arena with one run, then measures, releasing results each iteration
+// exactly as the pipeline does.
+
+func allocSim() *pram.Sim {
+	// Multi-worker so the persistent pool (not just the inline path) is
+	// what gets measured.
+	return pram.New(pram.ProcsFor(1<<15), pram.WithWorkers(2), pram.WithGrain(1024))
+}
+
+func TestScanIntAllocFree(t *testing.T) {
+	s := allocSim()
+	defer s.Close()
+	in := make([]int, 1<<15)
+	for i := range in {
+		in[i] = i % 7
+	}
+	run := func() {
+		out, _ := ScanInt(s, in)
+		pram.Release(s, out)
+	}
+	run() // warm the arena and cached phase bodies
+	if allocs := testing.AllocsPerRun(20, run); allocs > 2 {
+		t.Errorf("ScanInt allocates %.1f objects/op in steady state, want <= 2", allocs)
+	}
+}
+
+func TestMaxScanIntAllocFree(t *testing.T) {
+	s := allocSim()
+	defer s.Close()
+	in := make([]int, 1<<15)
+	for i := range in {
+		in[i] = (i * 31) % 1000
+	}
+	run := func() {
+		pram.Release(s, MaxScanInt(s, in))
+	}
+	run()
+	if allocs := testing.AllocsPerRun(20, run); allocs > 2 {
+		t.Errorf("MaxScanInt allocates %.1f objects/op in steady state, want <= 2", allocs)
+	}
+}
+
+func TestRankOptAllocFree(t *testing.T) {
+	s := allocSim()
+	defer s.Close()
+	n := 1 << 15
+	next := make([]int, n)
+	for i := 0; i < n-1; i++ {
+		next[i] = i + 1
+	}
+	next[n-1] = -1
+	run := func() {
+		dist, last := RankOpt(s, next, 12345)
+		pram.Release(s, dist)
+		pram.Release(s, last)
+	}
+	run()
+	if allocs := testing.AllocsPerRun(10, run); allocs > 2 {
+		t.Errorf("RankOpt allocates %.1f objects/op in steady state, want <= 2", allocs)
+	}
+}
+
+func TestMatchBracketsAllocFree(t *testing.T) {
+	s := allocSim()
+	defer s.Close()
+	n := 1 << 15
+	rng := rand.New(rand.NewPCG(9, 9))
+	open := make([]bool, n)
+	for i := range open {
+		open[i] = rng.IntN(2) == 0
+	}
+	run := func() {
+		pram.Release(s, MatchBrackets(s, open))
+	}
+	run()
+	if allocs := testing.AllocsPerRun(10, run); allocs > 2 {
+		t.Errorf("MatchBrackets allocates %.1f objects/op in steady state, want <= 2", allocs)
+	}
+}
+
+// TestPrimitivesMatchSerialAfterReuse drives the pooled primitives
+// through many iterations on one Sim — the buffer-recycling regime — and
+// cross-checks every iteration against the serial reference, guarding
+// against stale-buffer reuse bugs (a cleared-vs-recycled mix-up would
+// show up here, not in one-shot tests).
+func TestPrimitivesMatchSerialAfterReuse(t *testing.T) {
+	s := pram.New(pram.ProcsFor(4096), pram.WithWorkers(4), pram.WithGrain(64))
+	defer s.Close()
+	s.Scratch().SetDebug(true)
+	ser := pram.NewSerial()
+	rng := rand.New(rand.NewPCG(4, 2))
+	for iter := 0; iter < 25; iter++ {
+		n := 512 + rng.IntN(4096)
+		in := make([]int, n)
+		open := make([]bool, n)
+		next := make([]int, n)
+		perm := rng.Perm(n)
+		for i := range in {
+			in[i] = rng.IntN(100)
+			open[i] = rng.IntN(2) == 0
+			if i < n-1 {
+				next[perm[i]] = perm[i+1]
+			}
+		}
+		next[perm[n-1]] = -1
+
+		out, total := ScanInt(s, in)
+		wantOut, wantTotal := ScanInt(ser, in)
+		if total != wantTotal {
+			t.Fatalf("iter %d: ScanInt total %d want %d", iter, total, wantTotal)
+		}
+		for i := range out {
+			if out[i] != wantOut[i] {
+				t.Fatalf("iter %d: ScanInt[%d] = %d want %d", iter, i, out[i], wantOut[i])
+			}
+		}
+		pram.Release(s, out)
+
+		match := MatchBrackets(s, open)
+		want := make([]int, n)
+		matchSerial(open, want)
+		for i := range match {
+			if match[i] != want[i] {
+				t.Fatalf("iter %d: MatchBrackets[%d] = %d want %d", iter, i, match[i], want[i])
+			}
+		}
+		pram.Release(s, match)
+
+		dist, last := RankOpt(s, next, uint64(iter))
+		wd, wl := RankOpt(ser, next, uint64(iter))
+		for i := range dist {
+			if dist[i] != wd[i] || last[i] != wl[i] {
+				t.Fatalf("iter %d: RankOpt[%d] = (%d,%d) want (%d,%d)",
+					iter, i, dist[i], last[i], wd[i], wl[i])
+			}
+		}
+		pram.Release(s, dist)
+		pram.Release(s, last)
+	}
+}

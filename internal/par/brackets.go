@@ -28,195 +28,406 @@ import "pathcover/internal/pram"
 //  5. Chunks scatter (block, level) into per-node pair slots, and each
 //     pair resolves its bracket indices by O(1) arithmetic into the
 //     block-local survivor lists.
+//
+// Like the other hot-path primitives, the implementation keeps its phase
+// bodies and bookkeeping in reusable per-Sim state: block-local survivor
+// lists live in one flat arena buffer (block b owns [b*bs, (b+1)*bs)),
+// and the walk-up chunks are four parallel integer arrays instead of a
+// slice of structs, so steady-state matching allocates nothing.
 func MatchBrackets(s *pram.Sim, open []bool) []int {
 	n := len(open)
-	match := make([]int, n)
+	match := pram.GrabNoClear[int](s, n)
 	nb := s.NumBlocks(n)
 	if nb <= 1 {
 		s.Sequential(n, func() { matchSerial(open, match) })
 		return match
 	}
-	s.ParallelFor(n, func(i int) { match[i] = -1 })
+	st := bracketsOf(s)
+	st.open, st.match, st.n = open, match, n
+	st.phase = brkPhaseInit
+	s.ParallelForRange(n, st.body)
 
-	// Phase 1: depths. D[i] = depth after position i.
-	w := make([]int, n)
-	s.ParallelFor(n, func(i int) {
-		if open[i] {
-			w[i] = 1
-		} else {
-			w[i] = -1
-		}
-	})
-	depth := InclusiveScan(s, w, 0, func(a, b int) int { return a + b })
+	// Phase 1: depths. depth[i] = depth after position i.
+	st.w = pram.GrabNoClear[int](s, n)
+	st.phase = brkPhaseDepthW
+	s.ParallelForRange(n, st.body)
+	st.depth = InclusiveScanInt(s, st.w)
 
-	// Phase 2: block-local matching.
+	// Phase 2: block-local matching into the flat survivor arena.
 	bs := s.BlockSize(n)
-	locO := make([][]int, nb) // surviving opens per block, ascending position
-	locC := make([][]int, nb) // surviving closes per block, ascending position
-	s.Blocks(n, func(b, lo, hi int) {
-		var stack []int
-		var closes []int
-		for i := lo; i < hi; i++ {
-			if open[i] {
-				stack = append(stack, i)
-			} else if len(stack) > 0 {
-				j := stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				match[i], match[j] = j, i
-			} else {
-				closes = append(closes, i)
-			}
-		}
-		locO[b], locC[b] = stack, closes
-	})
+	st.bs = bs
+	st.survO = pram.GrabNoClear[int](s, nb*bs) // surviving opens per block, ascending position
+	st.survC = pram.GrabNoClear[int](s, nb*bs) // surviving closes per block, ascending position
+	st.nO = pram.GrabNoClear[int](s, nb)
+	st.nC = pram.GrabNoClear[int](s, nb)
+	st.blkPhase = brkBlockLocal
+	s.Blocks(n, st.blockBody)
 
 	// Run descriptors: the level of an open at i is depth[i]; of a close,
 	// depth[i]+1. Surviving closes occupy consecutive descending levels
 	// from cTop; surviving opens consecutive ascending levels up to oTop.
-	cTop := make([]int, nb)
-	oLo := make([]int, nb)
-	s.ParallelFor(nb, func(b int) {
-		if len(locC[b]) > 0 {
-			cTop[b] = depth[locC[b][0]] + 1
-		}
-		if len(locO[b]) > 0 {
-			oLo[b] = depth[locO[b][0]]
-		}
-	})
+	st.cTop = pram.GrabNoClear[int](s, nb)
+	st.oLo = pram.GrabNoClear[int](s, nb)
+	st.phase = brkPhaseTops
+	s.ParallelForRange(nb, st.body)
 
 	// Phase 3: merge tree (heap layout, p2 leaves).
 	p2 := 1
 	for p2 < nb {
 		p2 <<= 1
 	}
+	st.p2 = p2
 	size := 2 * p2
-	oCnt := make([]int, size)
-	cCnt := make([]int, size)
-	mCnt := make([]int, size)
-	splitD := make([]int, size)
-	s.ParallelFor(p2, func(b int) {
-		if b < nb {
-			oCnt[p2+b] = len(locO[b])
-			cCnt[p2+b] = len(locC[b])
-		}
-	})
+	st.oCnt = pram.GrabNoClear[int](s, size)
+	st.cCnt = pram.GrabNoClear[int](s, size)
+	st.mCnt = pram.GrabNoClear[int](s, size)
+	st.splitD = pram.GrabNoClear[int](s, size)
+	st.phase = brkPhaseLeaves
+	s.ParallelForRange(p2, st.body)
+	st.mCnt[0], st.splitD[0] = 0, 0 // root slot 0 is outside the heap but scanned below
 	for lvl := p2 / 2; lvl >= 1; lvl /= 2 {
-		lvl := lvl
-		span := p2 / lvl // blocks covered per node at this level
-		s.ForCost(lvl, 2, func(i int) {
-			v := lvl + i
-			l, r := 2*v, 2*v+1
-			m := min(oCnt[l], cCnt[r])
-			mCnt[v] = m
-			oCnt[v] = oCnt[r] + oCnt[l] - m
-			cCnt[v] = cCnt[l] + cCnt[r] - m
-			boundary := (i*span + span/2) * bs // first position of the right group
-			if boundary > n {
-				boundary = n
-			}
-			if boundary == 0 {
-				splitD[v] = 0
-			} else {
-				splitD[v] = depth[boundary-1]
-			}
-		})
+		st.lvl = lvl
+		st.span = p2 / lvl // blocks covered per node at this level
+		st.phase = brkPhaseUp
+		s.ForCostRange(lvl, 2, st.body)
 	}
 
 	// Pair slot offsets per merge-tree node.
-	pairOff, totalPairs := ScanInt(s, mCnt)
+	pairOff, totalPairs := ScanInt(s, st.mCnt)
+	st.pairOff = pairOff
 	if totalPairs == 0 {
+		st.release(s)
 		return match
 	}
 
 	// Phase 4: run walk-up. Runs 2b (closes) and 2b+1 (opens).
-	type chunk struct {
-		node   int
-		levLo  int // inclusive
-		levHi  int // inclusive
-		block  int
-		isOpen bool
-	}
 	nRuns := 2 * nb
-	runNode := make([]int, nRuns)
-	runHi := make([]int, nRuns)
-	runLo := make([]int, nRuns)
-	runAlive := make([]bool, nRuns)
-	s.ForCost(nb, 2, func(b int) {
-		if c := len(locC[b]); c > 0 {
-			runNode[2*b] = p2 + b
-			runHi[2*b] = cTop[b]
-			runLo[2*b] = cTop[b] - c + 1
-			runAlive[2*b] = true
-		}
-		if o := len(locO[b]); o > 0 {
-			runNode[2*b+1] = p2 + b
-			runHi[2*b+1] = oLo[b] + o - 1
-			runLo[2*b+1] = oLo[b]
-			runAlive[2*b+1] = true
-		}
-	})
-	var chunks []chunk
-	buf := make([]chunk, nRuns)
-	emitted := make([]bool, nRuns)
+	st.runNode = pram.GrabNoClear[int](s, nRuns)
+	st.runHi = pram.GrabNoClear[int](s, nRuns)
+	st.runLo = pram.GrabNoClear[int](s, nRuns)
+	st.runAlive = pram.GrabNoClear[bool](s, nRuns)
+	st.phase = brkPhaseRuns
+	s.ForCostRange(nb, 2, st.body)
+
+	st.bufNode = pram.GrabNoClear[int](s, nRuns)
+	st.bufLo = pram.GrabNoClear[int](s, nRuns)
+	st.bufHi = pram.GrabNoClear[int](s, nRuns)
+	st.emitted = pram.GrabNoClear[bool](s, nRuns)
+	st.chNode, st.chLo, st.chHi, st.chRi = st.chNode[:0], st.chLo[:0], st.chHi[:0], st.chRi[:0]
 	for lvl := p2; lvl > 1; lvl /= 2 {
-		s.ForCost(nRuns, 3, func(ri int) {
-			emitted[ri] = false
-			if !runAlive[ri] {
-				return
-			}
-			v := runNode[ri]
-			pv := v / 2
-			runNode[ri] = pv
-			isOpen := ri%2 == 1
-			isLeftChild := v%2 == 0
-			if mCnt[pv] == 0 || isOpen != isLeftChild {
-				return // opens are consumed from left groups, closes from right
-			}
-			t := splitD[pv] - mCnt[pv]
-			if runHi[ri] <= t {
-				return
-			}
-			lo := t + 1
-			if lo < runLo[ri] {
-				lo = runLo[ri]
-			}
-			buf[ri] = chunk{node: pv, levLo: lo, levHi: runHi[ri], block: ri / 2, isOpen: isOpen}
-			emitted[ri] = true
-			runHi[ri] = lo - 1
-			if runHi[ri] < runLo[ri] {
-				runAlive[ri] = false
-			}
-		})
-		chunks = append(chunks, Pack(s, buf, emitted)...)
+		st.phase = brkPhaseEmit
+		s.ForCostRange(nRuns, 3, st.body)
+		idx := IndexPack(s, st.emitted)
+		st.idx = idx
+		st.chBase = len(st.chNode)
+		grow := st.chBase + len(idx)
+		st.chNode = ensureLen(st.chNode, grow)
+		st.chLo = ensureLen(st.chLo, grow)
+		st.chHi = ensureLen(st.chHi, grow)
+		st.chRi = ensureLen(st.chRi, grow)
+		st.phase = brkPhaseGather
+		s.ParallelForRange(len(idx), st.body)
+		pram.Release(s, idx)
+		st.idx = nil
 	}
 
 	// Phase 5: scatter chunks into pair slots, then resolve each pair.
-	lens := make([]int, len(chunks))
-	s.ParallelFor(len(chunks), func(k int) { lens[k] = chunks[k].levHi - chunks[k].levLo + 1 })
-	owner, offset, items := Distribute(s, lens)
-	pairOpen := make([]int, totalPairs)
-	pairClose := make([]int, totalPairs)
-	s.ForCost(items, 2, func(t int) {
-		ck := chunks[owner[t]]
-		lev := ck.levLo + offset[t]
-		slot := pairOff[ck.node] + lev - (splitD[ck.node] - mCnt[ck.node] + 1)
-		if ck.isOpen {
-			pairOpen[slot] = ck.block
-		} else {
-			pairClose[slot] = ck.block
-		}
-	})
+	nChunks := len(st.chNode)
+	st.lens = pram.GrabNoClear[int](s, nChunks)
+	st.phase = brkPhaseLens
+	s.ParallelForRange(nChunks, st.body)
+	st.owner, st.offset, st.items = Distribute(s, st.lens)
+	st.pairOpen = pram.GrabNoClear[int](s, totalPairs)
+	st.pairClose = pram.GrabNoClear[int](s, totalPairs)
+	st.phase = brkPhaseScatter
+	s.ForCostRange(st.items, 2, st.body)
+	pram.Release(s, st.owner)
+	pram.Release(s, st.offset)
 
-	nodeOf, slotOff, _ := Distribute(s, mCnt)
-	s.ForCost(totalPairs, 3, func(k int) {
-		v := nodeOf[k]
-		lev := splitD[v] - mCnt[v] + 1 + slotOff[k]
-		bO, bC := pairOpen[k], pairClose[k]
-		oi := locO[bO][lev-oLo[bO]]
-		ci := locC[bC][cTop[bC]-lev]
-		match[oi], match[ci] = ci, oi
-	})
+	st.owner, st.offset, _ = Distribute(s, st.mCnt)
+	st.phase = brkPhaseResolve
+	s.ForCostRange(totalPairs, 3, st.body)
+	pram.Release(s, st.owner)
+	pram.Release(s, st.offset)
+	st.owner, st.offset = nil, nil
+	pram.Release(s, st.runNode)
+	pram.Release(s, st.runHi)
+	pram.Release(s, st.runLo)
+	pram.Release(s, st.runAlive)
+	pram.Release(s, st.bufNode)
+	pram.Release(s, st.bufLo)
+	pram.Release(s, st.bufHi)
+	pram.Release(s, st.emitted)
+	pram.Release(s, st.lens)
+	pram.Release(s, st.pairOpen)
+	pram.Release(s, st.pairClose)
+	st.runNode, st.runHi, st.runLo, st.runAlive = nil, nil, nil, nil
+	st.bufNode, st.bufLo, st.bufHi, st.emitted = nil, nil, nil, nil
+	st.lens, st.pairOpen, st.pairClose = nil, nil, nil
+	st.release(s)
 	return match
+}
+
+// ensureLen grows a state-cached slice to length n, keeping contents up
+// to the old length (steady state: the capacity stabilises and append
+// never reallocates).
+func ensureLen(b []int, n int) []int {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	nb := make([]int, n, 2*n)
+	copy(nb, b)
+	return nb
+}
+
+// bracketState is the reusable per-Sim state of MatchBrackets.
+type bracketState struct {
+	open         []bool
+	match        []int
+	n, bs, p2    int
+	w, depth     []int
+	survO, survC []int
+	nO, nC       []int
+	cTop, oLo    []int
+	oCnt, cCnt   []int
+	mCnt, splitD []int
+	pairOff      []int
+	lvl, span    int
+
+	runNode, runHi, runLo []int
+	runAlive              []bool
+	bufNode, bufLo, bufHi []int
+	emitted               []bool
+	chNode, chLo, chHi    []int
+	chRi                  []int
+	idx                   []int
+	chBase                int
+
+	lens, owner, offset []int
+	items               int
+	pairOpen, pairClose []int
+
+	phase     int
+	blkPhase  int
+	body      func(lo, hi int)
+	blockBody func(b, lo, hi int)
+}
+
+const (
+	brkPhaseInit = iota
+	brkPhaseDepthW
+	brkPhaseTops
+	brkPhaseLeaves
+	brkPhaseUp
+	brkPhaseRuns
+	brkPhaseEmit
+	brkPhaseGather
+	brkPhaseLens
+	brkPhaseScatter
+	brkPhaseResolve
+)
+
+const brkBlockLocal = 0
+
+type bracketsKey struct{}
+
+func bracketsOf(s *pram.Sim) *bracketState {
+	sc := s.Scratch()
+	if v := sc.Aux(bracketsKey{}); v != nil {
+		return v.(*bracketState)
+	}
+	st := &bracketState{}
+	st.body = st.run
+	st.blockBody = st.runBlock
+	sc.SetAux(bracketsKey{}, st)
+	return st
+}
+
+// release returns the buffers shared by the early-exit and full paths.
+func (st *bracketState) release(s *pram.Sim) {
+	pram.Release(s, st.w)
+	pram.Release(s, st.depth)
+	pram.Release(s, st.survO)
+	pram.Release(s, st.survC)
+	pram.Release(s, st.nO)
+	pram.Release(s, st.nC)
+	pram.Release(s, st.cTop)
+	pram.Release(s, st.oLo)
+	pram.Release(s, st.oCnt)
+	pram.Release(s, st.cCnt)
+	pram.Release(s, st.mCnt)
+	pram.Release(s, st.splitD)
+	pram.Release(s, st.pairOff)
+	st.open, st.match, st.w, st.depth = nil, nil, nil, nil
+	st.survO, st.survC, st.nO, st.nC = nil, nil, nil, nil
+	st.cTop, st.oLo, st.oCnt, st.cCnt = nil, nil, nil, nil
+	st.mCnt, st.splitD, st.pairOff = nil, nil, nil
+}
+
+func (st *bracketState) runBlock(b, lo, hi int) {
+	// Block-local matching with the survivor arena as the stack.
+	base := b * st.bs
+	nO, nC := 0, 0
+	for i := lo; i < hi; i++ {
+		if st.open[i] {
+			st.survO[base+nO] = i
+			nO++
+		} else if nO > 0 {
+			nO--
+			j := st.survO[base+nO]
+			st.match[i], st.match[j] = j, i
+		} else {
+			st.survC[base+nC] = i
+			nC++
+		}
+	}
+	st.nO[b], st.nC[b] = nO, nC
+}
+
+func (st *bracketState) run(lo, hi int) {
+	switch st.phase {
+	case brkPhaseInit:
+		match := st.match
+		for i := lo; i < hi; i++ {
+			match[i] = -1
+		}
+	case brkPhaseDepthW:
+		open, w := st.open, st.w
+		for i := lo; i < hi; i++ {
+			if open[i] {
+				w[i] = 1
+			} else {
+				w[i] = -1
+			}
+		}
+	case brkPhaseTops:
+		for i := lo; i < hi; i++ {
+			if st.nC[i] > 0 {
+				st.cTop[i] = st.depth[st.survC[i*st.bs]] + 1
+			} else {
+				st.cTop[i] = 0
+			}
+			if st.nO[i] > 0 {
+				st.oLo[i] = st.depth[st.survO[i*st.bs]]
+			} else {
+				st.oLo[i] = 0
+			}
+		}
+	case brkPhaseLeaves:
+		for i := lo; i < hi; i++ {
+			if i < len(st.nO) {
+				st.oCnt[st.p2+i] = st.nO[i]
+				st.cCnt[st.p2+i] = st.nC[i]
+			} else {
+				st.oCnt[st.p2+i] = 0
+				st.cCnt[st.p2+i] = 0
+			}
+			st.mCnt[st.p2+i] = 0
+		}
+	case brkPhaseUp:
+		for i := lo; i < hi; i++ {
+			v := st.lvl + i
+			l, r := 2*v, 2*v+1
+			m := min(st.oCnt[l], st.cCnt[r])
+			st.mCnt[v] = m
+			st.oCnt[v] = st.oCnt[r] + st.oCnt[l] - m
+			st.cCnt[v] = st.cCnt[l] + st.cCnt[r] - m
+			boundary := (i*st.span + st.span/2) * st.bs // first position of the right group
+			if boundary > st.n {
+				boundary = st.n
+			}
+			if boundary == 0 {
+				st.splitD[v] = 0
+			} else {
+				st.splitD[v] = st.depth[boundary-1]
+			}
+		}
+	case brkPhaseRuns:
+		for b := lo; b < hi; b++ {
+			if c := st.nC[b]; c > 0 {
+				st.runNode[2*b] = st.p2 + b
+				st.runHi[2*b] = st.cTop[b]
+				st.runLo[2*b] = st.cTop[b] - c + 1
+				st.runAlive[2*b] = true
+			} else {
+				st.runAlive[2*b] = false
+			}
+			if o := st.nO[b]; o > 0 {
+				st.runNode[2*b+1] = st.p2 + b
+				st.runHi[2*b+1] = st.oLo[b] + o - 1
+				st.runLo[2*b+1] = st.oLo[b]
+				st.runAlive[2*b+1] = true
+			} else {
+				st.runAlive[2*b+1] = false
+			}
+		}
+	case brkPhaseEmit:
+		for ri := lo; ri < hi; ri++ {
+			st.emitted[ri] = false
+			if !st.runAlive[ri] {
+				continue
+			}
+			v := st.runNode[ri]
+			pv := v / 2
+			st.runNode[ri] = pv
+			isOpen := ri%2 == 1
+			isLeftChild := v%2 == 0
+			if st.mCnt[pv] == 0 || isOpen != isLeftChild {
+				continue // opens are consumed from left groups, closes from right
+			}
+			t := st.splitD[pv] - st.mCnt[pv]
+			if st.runHi[ri] <= t {
+				continue
+			}
+			l := t + 1
+			if l < st.runLo[ri] {
+				l = st.runLo[ri]
+			}
+			st.bufNode[ri] = pv
+			st.bufLo[ri] = l
+			st.bufHi[ri] = st.runHi[ri]
+			st.emitted[ri] = true
+			st.runHi[ri] = l - 1
+			if st.runHi[ri] < st.runLo[ri] {
+				st.runAlive[ri] = false
+			}
+		}
+	case brkPhaseGather:
+		for i := lo; i < hi; i++ {
+			ri := st.idx[i]
+			k := st.chBase + i
+			st.chNode[k] = st.bufNode[ri]
+			st.chLo[k] = st.bufLo[ri]
+			st.chHi[k] = st.bufHi[ri]
+			st.chRi[k] = ri
+		}
+	case brkPhaseLens:
+		for i := lo; i < hi; i++ {
+			st.lens[i] = st.chHi[i] - st.chLo[i] + 1
+		}
+	case brkPhaseScatter:
+		for i := lo; i < hi; i++ {
+			k := st.owner[i]
+			lev := st.chLo[k] + st.offset[i]
+			node := st.chNode[k]
+			slot := st.pairOff[node] + lev - (st.splitD[node] - st.mCnt[node] + 1)
+			ri := st.chRi[k]
+			if ri%2 == 1 { // open run
+				st.pairOpen[slot] = ri / 2
+			} else {
+				st.pairClose[slot] = ri / 2
+			}
+		}
+	case brkPhaseResolve:
+		for i := lo; i < hi; i++ {
+			v := st.owner[i]
+			lev := st.splitD[v] - st.mCnt[v] + 1 + st.offset[i]
+			bO, bC := st.pairOpen[i], st.pairClose[i]
+			oi := st.survO[bO*st.bs+lev-st.oLo[bO]]
+			ci := st.survC[bC*st.bs+st.cTop[bC]-lev]
+			st.match[oi], st.match[ci] = ci, oi
+		}
+	}
 }
 
 // matchSerial is the sequential stack matcher, used for single-block

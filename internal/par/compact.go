@@ -7,8 +7,9 @@ import "pathcover/internal/pram"
 // and one scatter.
 func Pack[T any](s *pram.Sim, in []T, keep []bool) []T {
 	idx := IndexPack(s, keep)
-	out := make([]T, len(idx))
+	out := pram.GrabNoClear[T](s, len(idx))
 	s.ParallelFor(len(idx), func(i int) { out[i] = in[idx[i]] })
+	pram.Release(s, idx)
 	return out
 }
 
@@ -16,20 +17,68 @@ func Pack[T any](s *pram.Sim, in []T, keep []bool) []T {
 // set.
 func IndexPack(s *pram.Sim, keep []bool) []int {
 	n := len(keep)
-	flags := make([]int, n)
-	s.ParallelFor(n, func(i int) {
-		if keep[i] {
-			flags[i] = 1
-		}
-	})
-	pos, total := ScanInt(s, flags)
-	out := make([]int, total)
-	s.ParallelFor(n, func(i int) {
-		if keep[i] {
-			out[pos[i]] = i
-		}
-	})
+	st := packStateOf(s)
+	st.keep = keep
+	st.flags = pram.GrabNoClear[int](s, n)
+	st.phase = packPhaseFlags
+	s.ParallelForRange(n, st.body)
+	pos, total := ScanInt(s, st.flags)
+	st.pos = pos
+	st.out = pram.GrabNoClear[int](s, total)
+	st.phase = packPhaseScatter
+	s.ParallelForRange(n, st.body)
+	out := st.out
+	pram.Release(s, st.flags)
+	pram.Release(s, pos)
+	st.keep, st.flags, st.pos, st.out = nil, nil, nil, nil
 	return out
+}
+
+// packState keeps the phase bodies of IndexPack reusable per Sim.
+type packState struct {
+	keep            []bool
+	flags, pos, out []int
+	phase           int
+	body            func(lo, hi int)
+}
+
+const (
+	packPhaseFlags = iota
+	packPhaseScatter
+)
+
+type packKey struct{}
+
+func packStateOf(s *pram.Sim) *packState {
+	sc := s.Scratch()
+	if v := sc.Aux(packKey{}); v != nil {
+		return v.(*packState)
+	}
+	st := &packState{}
+	st.body = st.run
+	sc.SetAux(packKey{}, st)
+	return st
+}
+
+func (st *packState) run(lo, hi int) {
+	switch st.phase {
+	case packPhaseFlags:
+		keep, flags := st.keep, st.flags
+		for i := lo; i < hi; i++ {
+			if keep[i] {
+				flags[i] = 1
+			} else {
+				flags[i] = 0
+			}
+		}
+	case packPhaseScatter:
+		keep, pos, out := st.keep, st.pos, st.out
+		for i := lo; i < hi; i++ {
+			if keep[i] {
+				out[pos[i]] = i
+			}
+		}
+	}
 }
 
 // Distribute expands variable-length segments: given segment lengths,
@@ -42,16 +91,70 @@ func IndexPack(s *pram.Sim, keep []bool) []int {
 // broadcasts ids across items — O(log n) time, O(total + segments) work,
 // EREW.
 func Distribute(s *pram.Sim, lengths []int) (owner, offset []int, total int) {
+	st := distStateOf(s)
+	st.lengths = lengths
 	starts, tot := ScanInt(s, lengths)
-	heads := make([]int, tot)
-	s.ParallelFor(tot, func(i int) { heads[i] = minInt })
-	s.ParallelFor(len(lengths), func(g int) {
-		if lengths[g] > 0 {
-			heads[starts[g]] = g
-		}
-	})
-	owner = MaxScanInt(s, heads)
-	offset = make([]int, tot)
-	s.ParallelFor(tot, func(t int) { offset[t] = t - starts[owner[t]] })
+	st.starts = starts
+	st.heads = pram.GrabNoClear[int](s, tot)
+	st.phase = distPhaseFill
+	s.ParallelForRange(tot, st.body)
+	st.phase = distPhaseHeads
+	s.ParallelForRange(len(lengths), st.body)
+	owner = MaxScanInt(s, st.heads)
+	st.owner = owner
+	st.offset = pram.GrabNoClear[int](s, tot)
+	st.phase = distPhaseOffsets
+	s.ParallelForRange(tot, st.body)
+	offset = st.offset
+	pram.Release(s, st.heads)
+	pram.Release(s, starts)
+	st.lengths, st.starts, st.heads, st.owner, st.offset = nil, nil, nil, nil, nil
 	return owner, offset, tot
+}
+
+type distState struct {
+	lengths, starts, heads []int
+	owner, offset          []int
+	phase                  int
+	body                   func(lo, hi int)
+}
+
+const (
+	distPhaseFill = iota
+	distPhaseHeads
+	distPhaseOffsets
+)
+
+type distKey struct{}
+
+func distStateOf(s *pram.Sim) *distState {
+	sc := s.Scratch()
+	if v := sc.Aux(distKey{}); v != nil {
+		return v.(*distState)
+	}
+	st := &distState{}
+	st.body = st.run
+	sc.SetAux(distKey{}, st)
+	return st
+}
+
+func (st *distState) run(lo, hi int) {
+	switch st.phase {
+	case distPhaseFill:
+		heads := st.heads
+		for i := lo; i < hi; i++ {
+			heads[i] = minInt
+		}
+	case distPhaseHeads:
+		for i := lo; i < hi; i++ {
+			if st.lengths[i] > 0 {
+				st.heads[st.starts[i]] = i
+			}
+		}
+	case distPhaseOffsets:
+		starts, owner, offset := st.starts, st.owner, st.offset
+		for i := lo; i < hi; i++ {
+			offset[i] = i - starts[owner[i]]
+		}
+	}
 }

@@ -122,31 +122,33 @@ type rakeRec struct {
 // produced by Tour.LeafRanks).
 func EvalTree(s *pram.Sim, t BinTree, op []NodeOp, leafVal []int64, leafRank []int) []int64 {
 	n := t.Len()
-	val := make([]int64, n)
+	val := pram.Grab[int64](s, n)
 	if n == 0 {
 		return val
 	}
 	// Working copies of the mutable link structure.
-	left := make([]int, n)
-	right := make([]int, n)
-	parent := make([]int, n)
-	f := make([]MaxPlus, n)
-	num := make([]int, n)
-	isLeaf := make([]bool, n)
-	s.ForCost(n, 2, func(v int) {
-		left[v], right[v], parent[v] = t.Left[v], t.Right[v], t.Parent[v]
-		f[v] = idMaxPlus()
-		isLeaf[v] = t.IsLeaf(v)
-		if isLeaf[v] {
-			num[v] = leafRank[v] + 1 // 1-based for the odd/even schedule
-			val[v] = leafVal[v]
+	left := pram.GrabNoClear[int](s, n)
+	right := pram.GrabNoClear[int](s, n)
+	parent := pram.GrabNoClear[int](s, n)
+	f := pram.GrabNoClear[MaxPlus](s, n)
+	num := pram.Grab[int](s, n)
+	isLeaf := pram.GrabNoClear[bool](s, n)
+	s.ForCostRange(n, 2, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			left[v], right[v], parent[v] = t.Left[v], t.Right[v], t.Parent[v]
+			f[v] = idMaxPlus()
+			isLeaf[v] = t.IsLeaf(v)
+			if isLeaf[v] {
+				num[v] = leafRank[v] + 1 // 1-based for the odd/even schedule
+				val[v] = leafVal[v]
+			}
 		}
 	})
 	leaves := IndexPack(s, isLeaf)
 
 	var rounds [][]rakeRec
 	rakeSub := func(wantLeft bool) {
-		cand := make([]bool, len(leaves))
+		cand := pram.Grab[bool](s, len(leaves))
 		s.ParallelFor(len(leaves), func(k int) {
 			x := leaves[k]
 			p := parent[x]
@@ -159,10 +161,12 @@ func EvalTree(s *pram.Sim, t BinTree, op []NodeOp, leafVal []int64, leafRank []i
 			}
 		})
 		sel := Pack(s, leaves, cand)
+		pram.Release(s, cand)
 		if len(sel) == 0 {
+			pram.Release(s, sel)
 			return
 		}
-		recs := make([]rakeRec, len(sel))
+		recs := pram.GrabNoClear[rakeRec](s, len(sel))
 		s.ForCost(len(sel), 4, func(k int) {
 			x := sel[k]
 			p := parent[x]
@@ -187,6 +191,7 @@ func EvalTree(s *pram.Sim, t BinTree, op []NodeOp, leafVal []int64, leafRank []i
 			f[sib] = f[sib].then(partial(op[p], left[p] == x, a)).then(f[p])
 		})
 		rounds = append(rounds, recs)
+		pram.Release(s, sel)
 	}
 
 	guard := 2
@@ -199,7 +204,7 @@ func EvalTree(s *pram.Sim, t BinTree, op []NodeOp, leafVal []int64, leafRank []i
 		rakeSub(false)
 		// All odd-numbered leaves are gone; halve the even numbers and
 		// compact the leaf set.
-		live := make([]bool, len(leaves))
+		live := pram.Grab[bool](s, len(leaves))
 		s.ParallelFor(len(leaves), func(k int) {
 			x := leaves[k]
 			if num[x]%2 == 0 {
@@ -207,22 +212,35 @@ func EvalTree(s *pram.Sim, t BinTree, op []NodeOp, leafVal []int64, leafRank []i
 				live[k] = true
 			}
 		})
-		leaves = Pack(s, leaves, live)
+		next := Pack(s, leaves, live)
+		pram.Release(s, live)
+		pram.Release(s, leaves)
+		leaves = next
 	}
 
 	// Replay the rakes backwards to assign every internal node its value.
 	for r := len(rounds) - 1; r >= 0; r-- {
 		recs := rounds[r]
-		s.ForCost(len(recs), 3, func(k int) {
-			rec := recs[k]
-			a := rec.fx.Apply(val[rec.x])
-			b := rec.fs.Apply(val[rec.sib])
-			if rec.xLeft {
-				val[rec.p] = applyOp(op[rec.p], a, b)
-			} else {
-				val[rec.p] = applyOp(op[rec.p], b, a)
+		s.ForCostRange(len(recs), 3, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				rec := recs[k]
+				a := rec.fx.Apply(val[rec.x])
+				b := rec.fs.Apply(val[rec.sib])
+				if rec.xLeft {
+					val[rec.p] = applyOp(op[rec.p], a, b)
+				} else {
+					val[rec.p] = applyOp(op[rec.p], b, a)
+				}
 			}
 		})
+		pram.Release(s, recs)
 	}
+	pram.Release(s, left)
+	pram.Release(s, right)
+	pram.Release(s, parent)
+	pram.Release(s, f)
+	pram.Release(s, num)
+	pram.Release(s, isLeaf)
+	pram.Release(s, leaves)
 	return val
 }

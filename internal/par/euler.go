@@ -26,6 +26,27 @@ func NewBinTree(n int) BinTree {
 	return t
 }
 
+// GrabBinTree is NewBinTree with the three link slices drawn from the
+// Sim's scratch arena; pair it with ReleaseBinTree.
+func GrabBinTree(s *pram.Sim, n int) BinTree {
+	t := BinTree{
+		Left:   pram.GrabNoClear[int](s, n),
+		Right:  pram.GrabNoClear[int](s, n),
+		Parent: pram.GrabNoClear[int](s, n),
+	}
+	for i := 0; i < n; i++ {
+		t.Left[i], t.Right[i], t.Parent[i] = -1, -1, -1
+	}
+	return t
+}
+
+// ReleaseBinTree returns a forest's link slices to the arena.
+func ReleaseBinTree(s *pram.Sim, t BinTree) {
+	pram.Release(s, t.Left)
+	pram.Release(s, t.Right)
+	pram.Release(s, t.Parent)
+}
+
 // IsLeaf reports whether v has no children.
 func (t BinTree) IsLeaf(v int) bool { return t.Left[v] < 0 && t.Right[v] < 0 }
 
@@ -34,6 +55,9 @@ func (t BinTree) IsLeaf(v int) bool { return t.Left[v] < 0 && t.Right[v] < 0 }
 // items — pre (first visit), in (between the two subtrees) and post
 // (last visit) — and the items of all trees are chained root after root
 // in increasing root order.
+//
+// A Tour's slices come from the owning Sim's arena; call Release once
+// the tour is no longer needed.
 type Tour struct {
 	N   int
 	Pos []int // Pos[item] = position of tour item; items are 3v, 3v+1, 3v+2
@@ -43,6 +67,21 @@ type Tour struct {
 	InSeq         []int // InSeq[k] = node with inorder number k
 	Root          []int // root of each node's tree
 	Roots         []int // the roots, in increasing index order
+}
+
+// Release returns the tour's slices to the Sim's arena. The Tour must
+// not be used afterwards.
+func (tr *Tour) Release(s *pram.Sim) {
+	pram.Release(s, tr.Pos)
+	pram.Release(s, tr.Seq)
+	pram.Release(s, tr.Pre)
+	pram.Release(s, tr.In)
+	pram.Release(s, tr.Post)
+	pram.Release(s, tr.InSeq)
+	pram.Release(s, tr.Root)
+	pram.Release(s, tr.Roots)
+	tr.Pos, tr.Seq, tr.Pre, tr.In, tr.Post = nil, nil, nil, nil, nil
+	tr.InSeq, tr.Root, tr.Roots = nil, nil, nil
 }
 
 // item encoding helpers.
@@ -60,36 +99,43 @@ func TourBinary(s *pram.Sim, t BinTree, seed uint64) *Tour {
 		return tr
 	}
 
-	isRoot := make([]bool, n)
-	s.ParallelFor(n, func(v int) { isRoot[v] = t.Parent[v] < 0 })
+	isRoot := pram.GrabNoClear[bool](s, n)
+	s.ParallelForRange(n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			isRoot[v] = t.Parent[v] < 0
+		}
+	})
 	roots := IndexPack(s, isRoot)
+	pram.Release(s, isRoot)
 	tr.Roots = roots
 
 	// Successor links between the 3n items.
-	next := make([]int, 3*n)
-	s.ForCost(n, 3, func(v int) {
-		// pre(v) -> first of left subtree, else in(v)
-		if l := t.Left[v]; l >= 0 {
-			next[preItem(v)] = preItem(l)
-		} else {
-			next[preItem(v)] = inItem(v)
-		}
-		// in(v) -> first of right subtree, else post(v)
-		if r := t.Right[v]; r >= 0 {
-			next[inItem(v)] = preItem(r)
-		} else {
-			next[inItem(v)] = postItem(v)
-		}
-		// post(v) -> in(parent) when v is a left child, post(parent) when
-		// right; roots are linked to the next root below.
-		p := t.Parent[v]
-		switch {
-		case p < 0:
-			next[postItem(v)] = -1
-		case t.Left[p] == v:
-			next[postItem(v)] = inItem(p)
-		default:
-			next[postItem(v)] = postItem(p)
+	next := pram.GrabNoClear[int](s, 3*n)
+	s.ForCostRange(n, 3, func(vlo, vhi int) {
+		for v := vlo; v < vhi; v++ {
+			// pre(v) -> first of left subtree, else in(v)
+			if l := t.Left[v]; l >= 0 {
+				next[preItem(v)] = preItem(l)
+			} else {
+				next[preItem(v)] = inItem(v)
+			}
+			// in(v) -> first of right subtree, else post(v)
+			if r := t.Right[v]; r >= 0 {
+				next[inItem(v)] = preItem(r)
+			} else {
+				next[inItem(v)] = postItem(v)
+			}
+			// post(v) -> in(parent) when v is a left child, post(parent) when
+			// right; roots are linked to the next root below.
+			p := t.Parent[v]
+			switch {
+			case p < 0:
+				next[postItem(v)] = -1
+			case t.Left[p] == v:
+				next[postItem(v)] = inItem(p)
+			default:
+				next[postItem(v)] = postItem(p)
+			}
 		}
 	})
 	// Chain the trees: post(root_k) -> pre(root_{k+1}).
@@ -100,97 +146,142 @@ func TourBinary(s *pram.Sim, t BinTree, seed uint64) *Tour {
 	})
 
 	pos, length := ListPositions(s, next, preItem(roots[0]), seed)
+	pram.Release(s, next)
 	tr.Pos = pos
-	seq := make([]int, length)
-	s.ParallelFor(3*n, func(it int) {
-		if pos[it] >= 0 {
-			seq[pos[it]] = it
+	seq := pram.GrabNoClear[int](s, length)
+	s.ParallelForRange(3*n, func(lo, hi int) {
+		for it := lo; it < hi; it++ {
+			if pos[it] >= 0 {
+				seq[pos[it]] = it
+			}
 		}
 	})
 	tr.Seq = seq
 
 	// Numberings: rank of each item kind along the sequence.
 	kindFlag := func(kind int) []int {
-		f := make([]int, length)
-		s.ParallelFor(length, func(i int) {
-			if seq[i]%3 == kind {
-				f[i] = 1
+		f := pram.Grab[int](s, length)
+		s.ParallelForRange(length, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if seq[i]%3 == kind {
+					f[i] = 1
+				}
 			}
 		})
 		r, _ := ScanInt(s, f)
+		pram.Release(s, f)
 		return r
 	}
 	preRank := kindFlag(0)
 	inRank := kindFlag(1)
 	postRank := kindFlag(2)
-	tr.Pre = make([]int, n)
-	tr.In = make([]int, n)
-	tr.Post = make([]int, n)
-	tr.InSeq = make([]int, n)
-	s.ForCost(n, 3, func(v int) {
-		tr.Pre[v] = preRank[pos[preItem(v)]]
-		tr.In[v] = inRank[pos[inItem(v)]]
-		tr.Post[v] = postRank[pos[postItem(v)]]
+	tr.Pre = pram.GrabNoClear[int](s, n)
+	tr.In = pram.GrabNoClear[int](s, n)
+	tr.Post = pram.GrabNoClear[int](s, n)
+	tr.InSeq = pram.GrabNoClear[int](s, n)
+	s.ForCostRange(n, 3, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			tr.Pre[v] = preRank[pos[preItem(v)]]
+			tr.In[v] = inRank[pos[inItem(v)]]
+			tr.Post[v] = postRank[pos[postItem(v)]]
+		}
 	})
-	s.ParallelFor(n, func(v int) { tr.InSeq[tr.In[v]] = v })
+	s.ParallelForRange(n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			tr.InSeq[tr.In[v]] = v
+		}
+	})
+	pram.Release(s, preRank)
+	pram.Release(s, inRank)
+	pram.Release(s, postRank)
 
 	// Root of each node: roots appear in increasing index order along the
 	// tour, so a prefix max over root markers at pre positions works.
-	marks := make([]int, length)
-	s.ParallelFor(length, func(i int) { marks[i] = minInt })
+	marks := pram.GrabNoClear[int](s, length)
+	s.ParallelForRange(length, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			marks[i] = minInt
+		}
+	})
 	s.ParallelFor(len(roots), func(k int) { marks[pos[preItem(roots[k])]] = roots[k] })
 	owner := MaxScanInt(s, marks)
-	tr.Root = make([]int, n)
-	s.ParallelFor(n, func(v int) { tr.Root[v] = owner[pos[preItem(v)]] })
+	tr.Root = pram.GrabNoClear[int](s, n)
+	s.ParallelForRange(n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			tr.Root[v] = owner[pos[preItem(v)]]
+		}
+	})
+	pram.Release(s, marks)
+	pram.Release(s, owner)
 	return tr
 }
 
 // Depths returns the depth of every node (roots have depth 0), via a
-// prefix sum of +1 at pre items and -1 at post items.
+// prefix sum of +1 at pre items and -1 at post items. The caller owns
+// (and may Release) the result.
 func (tr *Tour) Depths(s *pram.Sim) []int {
-	w := make([]int, len(tr.Seq))
-	s.ParallelFor(len(tr.Seq), func(i int) {
-		switch tr.Seq[i] % 3 {
-		case 0:
-			w[i] = 1
-		case 2:
-			w[i] = -1
+	w := pram.GrabNoClear[int](s, len(tr.Seq))
+	s.ParallelForRange(len(tr.Seq), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			switch tr.Seq[i] % 3 {
+			case 0:
+				w[i] = 1
+			case 2:
+				w[i] = -1
+			default:
+				w[i] = 0
+			}
 		}
 	})
-	sums := InclusiveScan(s, w, 0, func(a, b int) int { return a + b })
-	d := make([]int, tr.N)
-	s.ParallelFor(tr.N, func(v int) { d[v] = sums[tr.Pos[preItem(v)]] - 1 })
+	sums := InclusiveScanInt(s, w)
+	d := pram.GrabNoClear[int](s, tr.N)
+	s.ParallelForRange(tr.N, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			d[v] = sums[tr.Pos[preItem(v)]] - 1
+		}
+	})
+	pram.Release(s, w)
+	pram.Release(s, sums)
 	return d
 }
 
 // SubtreeCounts returns, for every node, the number of nodes and the
-// number of leaves in its subtree (inclusive).
+// number of leaves in its subtree (inclusive). The caller owns both
+// results.
 func (tr *Tour) SubtreeCounts(s *pram.Sim, t BinTree) (size, leaves []int) {
 	length := len(tr.Seq)
-	nodeW := make([]int, length)
-	leafW := make([]int, length)
-	s.ParallelFor(length, func(i int) {
-		it := tr.Seq[i]
-		if it%3 == 0 {
-			v := itemNode(it)
-			nodeW[i] = 1
-			if t.IsLeaf(v) {
-				leafW[i] = 1
+	nodeW := pram.Grab[int](s, length)
+	leafW := pram.Grab[int](s, length)
+	s.ParallelForRange(length, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			it := tr.Seq[i]
+			if it%3 == 0 {
+				v := itemNode(it)
+				nodeW[i] = 1
+				if t.IsLeaf(v) {
+					leafW[i] = 1
+				}
 			}
 		}
 	})
-	nodeSum := InclusiveScan(s, nodeW, 0, func(a, b int) int { return a + b })
-	leafSum := InclusiveScan(s, leafW, 0, func(a, b int) int { return a + b })
-	size = make([]int, tr.N)
-	leaves = make([]int, tr.N)
-	s.ForCost(tr.N, 2, func(v int) {
-		lo, hi := tr.Pos[preItem(v)], tr.Pos[postItem(v)]
-		size[v] = nodeSum[hi] - nodeSum[lo] + 1
-		leaves[v] = leafSum[hi] - leafSum[lo]
-		if t.IsLeaf(v) {
-			leaves[v] = 1
+	nodeSum := InclusiveScanInt(s, nodeW)
+	leafSum := InclusiveScanInt(s, leafW)
+	size = pram.GrabNoClear[int](s, tr.N)
+	leaves = pram.GrabNoClear[int](s, tr.N)
+	s.ForCostRange(tr.N, 2, func(vlo, vhi int) {
+		for v := vlo; v < vhi; v++ {
+			lo, hi := tr.Pos[preItem(v)], tr.Pos[postItem(v)]
+			size[v] = nodeSum[hi] - nodeSum[lo] + 1
+			leaves[v] = leafSum[hi] - leafSum[lo]
+			if t.IsLeaf(v) {
+				leaves[v] = 1
+			}
 		}
 	})
+	pram.Release(s, nodeW)
+	pram.Release(s, leafW)
+	pram.Release(s, nodeSum)
+	pram.Release(s, leafSum)
 	return size, leaves
 }
 
@@ -198,22 +289,30 @@ func (tr *Tour) SubtreeCounts(s *pram.Sim, t BinTree) (size, leaves []int) {
 // on the path from its tree root to the node, inclusive.
 func (tr *Tour) AncestorFlagCounts(s *pram.Sim, flag []bool) []int {
 	length := len(tr.Seq)
-	w := make([]int, length)
-	s.ParallelFor(length, func(i int) {
-		it := tr.Seq[i]
-		v := itemNode(it)
-		if flag[v] {
-			switch it % 3 {
-			case 0:
-				w[i] = 1
-			case 2:
-				w[i] = -1
+	w := pram.Grab[int](s, length)
+	s.ParallelForRange(length, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			it := tr.Seq[i]
+			v := itemNode(it)
+			if flag[v] {
+				switch it % 3 {
+				case 0:
+					w[i] = 1
+				case 2:
+					w[i] = -1
+				}
 			}
 		}
 	})
-	sums := InclusiveScan(s, w, 0, func(a, b int) int { return a + b })
-	out := make([]int, tr.N)
-	s.ParallelFor(tr.N, func(v int) { out[v] = sums[tr.Pos[preItem(v)]] })
+	sums := InclusiveScanInt(s, w)
+	out := pram.GrabNoClear[int](s, tr.N)
+	s.ParallelForRange(tr.N, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			out[v] = sums[tr.Pos[preItem(v)]]
+		}
+	})
+	pram.Release(s, w)
+	pram.Release(s, sums)
 	return out
 }
 
@@ -222,16 +321,24 @@ func (tr *Tour) AncestorFlagCounts(s *pram.Sim, flag []bool) []int {
 // leftmost leaf descendant.
 func (tr *Tour) LeafStarts(s *pram.Sim, t BinTree) []int {
 	length := len(tr.Seq)
-	w := make([]int, length)
-	s.ParallelFor(length, func(i int) {
-		it := tr.Seq[i]
-		if it%3 == 1 && t.IsLeaf(itemNode(it)) {
-			w[i] = 1
+	w := pram.Grab[int](s, length)
+	s.ParallelForRange(length, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			it := tr.Seq[i]
+			if it%3 == 1 && t.IsLeaf(itemNode(it)) {
+				w[i] = 1
+			}
 		}
 	})
 	r, _ := ScanInt(s, w)
-	out := make([]int, tr.N)
-	s.ParallelFor(tr.N, func(v int) { out[v] = r[tr.Pos[preItem(v)]] })
+	out := pram.GrabNoClear[int](s, tr.N)
+	s.ParallelForRange(tr.N, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			out[v] = r[tr.Pos[preItem(v)]]
+		}
+	})
+	pram.Release(s, w)
+	pram.Release(s, r)
 	return out
 }
 
@@ -239,21 +346,27 @@ func (tr *Tour) LeafStarts(s *pram.Sim, t BinTree) []int {
 // (inorder) order; non-leaves get -1. Also returns m.
 func (tr *Tour) LeafRanks(s *pram.Sim, t BinTree) ([]int, int) {
 	length := len(tr.Seq)
-	w := make([]int, length)
-	s.ParallelFor(length, func(i int) {
-		it := tr.Seq[i]
-		if it%3 == 1 && t.IsLeaf(itemNode(it)) {
-			w[i] = 1
+	w := pram.Grab[int](s, length)
+	s.ParallelForRange(length, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			it := tr.Seq[i]
+			if it%3 == 1 && t.IsLeaf(itemNode(it)) {
+				w[i] = 1
+			}
 		}
 	})
 	r, m := ScanInt(s, w)
-	out := make([]int, tr.N)
-	s.ParallelFor(tr.N, func(v int) {
-		if t.IsLeaf(v) {
-			out[v] = r[tr.Pos[inItem(v)]]
-		} else {
-			out[v] = -1
+	out := pram.GrabNoClear[int](s, tr.N)
+	s.ParallelForRange(tr.N, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if t.IsLeaf(v) {
+				out[v] = r[tr.Pos[inItem(v)]]
+			} else {
+				out[v] = -1
+			}
 		}
 	})
+	pram.Release(s, w)
+	pram.Release(s, r)
 	return out, m
 }

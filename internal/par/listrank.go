@@ -16,36 +16,54 @@ func Rank(s *pram.Sim, next []int) (dist, last []int) {
 	return RankWeighted(s, next, nil)
 }
 
-// RankWeighted is Rank with a weight per link: dist[i] becomes the sum of
-// weights along the path from i to its terminal. A nil weight slice means
-// unit weights.
-func RankWeighted(s *pram.Sim, next []int, weight []int) (dist, last []int) {
-	n := len(next)
-	dist = make([]int, n)
-	last = make([]int, n)
-	nxt := make([]int, n)
-	s.ParallelFor(n, func(i int) {
-		nxt[i] = next[i]
-		last[i] = i
-		if next[i] >= 0 {
-			if weight == nil {
-				dist[i] = 1
+// wyllieState keeps the phase bodies and working arrays of RankWeighted
+// reusable per Sim, so steady-state ranking performs no allocation.
+type wyllieState struct {
+	next, weight    []int
+	dist, last, nxt []int
+	nd, nn, nl      []int
+	phase           int
+	body            func(lo, hi int)
+}
+
+const (
+	wylPhaseInit = iota
+	wylPhaseJump
+)
+
+type wyllieKey struct{}
+
+func wyllieOf(s *pram.Sim) *wyllieState {
+	sc := s.Scratch()
+	if v := sc.Aux(wyllieKey{}); v != nil {
+		return v.(*wyllieState)
+	}
+	st := &wyllieState{}
+	st.body = st.run
+	sc.SetAux(wyllieKey{}, st)
+	return st
+}
+
+func (st *wyllieState) run(lo, hi int) {
+	switch st.phase {
+	case wylPhaseInit:
+		for i := lo; i < hi; i++ {
+			st.nxt[i] = st.next[i]
+			st.last[i] = i
+			if st.next[i] >= 0 {
+				if st.weight == nil {
+					st.dist[i] = 1
+				} else {
+					st.dist[i] = st.weight[i]
+				}
 			} else {
-				dist[i] = weight[i]
+				st.dist[i] = 0
 			}
 		}
-	})
-	// Double buffers keep each jumping round exclusive-access: reads go to
-	// the "cur" generation, writes to "new".
-	nd := make([]int, n)
-	nn := make([]int, n)
-	nl := make([]int, n)
-	rounds := 0
-	for v := 1; v < n; v <<= 1 {
-		rounds++
-	}
-	for r := 0; r < rounds; r++ {
-		s.ForCost(n, 2, func(i int) {
+	case wylPhaseJump:
+		dist, last, nxt := st.dist, st.last, st.nxt
+		nd, nl, nn := st.nd, st.nl, st.nn
+		for i := lo; i < hi; i++ {
 			j := nxt[i]
 			if j >= 0 {
 				nd[i] = dist[i] + dist[j]
@@ -56,11 +74,45 @@ func RankWeighted(s *pram.Sim, next []int, weight []int) (dist, last []int) {
 				nl[i] = last[i]
 				nn[i] = -1
 			}
-		})
-		dist, nd = nd, dist
-		last, nl = nl, last
-		nxt, nn = nn, nxt
+		}
 	}
+}
+
+// RankWeighted is Rank with a weight per link: dist[i] becomes the sum of
+// weights along the path from i to its terminal. A nil weight slice means
+// unit weights.
+func RankWeighted(s *pram.Sim, next []int, weight []int) (dist, last []int) {
+	n := len(next)
+	st := wyllieOf(s)
+	st.next, st.weight = next, weight
+	st.dist = pram.GrabNoClear[int](s, n)
+	st.last = pram.GrabNoClear[int](s, n)
+	st.nxt = pram.GrabNoClear[int](s, n)
+	st.phase = wylPhaseInit
+	s.ParallelForRange(n, st.body)
+	// Double buffers keep each jumping round exclusive-access: reads go to
+	// the "cur" generation, writes to "new".
+	st.nd = pram.GrabNoClear[int](s, n)
+	st.nn = pram.GrabNoClear[int](s, n)
+	st.nl = pram.GrabNoClear[int](s, n)
+	rounds := 0
+	for v := 1; v < n; v <<= 1 {
+		rounds++
+	}
+	st.phase = wylPhaseJump
+	for r := 0; r < rounds; r++ {
+		s.ForCostRange(n, 2, st.body)
+		st.dist, st.nd = st.nd, st.dist
+		st.last, st.nl = st.nl, st.last
+		st.nxt, st.nn = st.nn, st.nxt
+	}
+	dist, last = st.dist, st.last
+	pram.Release(s, st.nxt)
+	pram.Release(s, st.nd)
+	pram.Release(s, st.nn)
+	pram.Release(s, st.nl)
+	st.next, st.weight = nil, nil
+	st.dist, st.last, st.nxt, st.nd, st.nn, st.nl = nil, nil, nil, nil, nil, nil
 	return dist, last
 }
 
@@ -81,6 +133,138 @@ type splice struct {
 	w    int // weight of the link elem->succ at splice time
 }
 
+// rankOptState keeps the random-mate contraction's phase bodies and
+// per-round bookkeeping reusable per Sim.
+type rankOptState struct {
+	next, weight             []int
+	w, nxt, prv              []int
+	alive, newAlive          []int
+	pos, flags, cpos         []int
+	cnext, cw                []int
+	cdist, clast, dist, last []int
+	coin                     []bool
+	rec                      []splice
+	rounds                   [][]splice
+	base                     uint64
+	phase                    int
+	body                     func(lo, hi int)
+	// serial reference scratch
+	stack []int
+	done  []bool
+}
+
+const (
+	optPhaseInit = iota
+	optPhasePrv
+	optPhaseAlive
+	optPhaseCoin
+	optPhaseFlags
+	optPhaseSplice
+	optPhasePos
+	optPhaseCompact
+	optPhaseExpand
+	optPhaseReinstate
+)
+
+type rankOptKey struct{}
+
+func rankOptOf(s *pram.Sim) *rankOptState {
+	sc := s.Scratch()
+	if v := sc.Aux(rankOptKey{}); v != nil {
+		return v.(*rankOptState)
+	}
+	st := &rankOptState{}
+	st.body = st.run
+	sc.SetAux(rankOptKey{}, st)
+	return st
+}
+
+func (st *rankOptState) run(lo, hi int) {
+	switch st.phase {
+	case optPhaseInit:
+		for k := lo; k < hi; k++ {
+			st.nxt[k] = st.next[k]
+			st.prv[k] = -1
+			if st.next[k] >= 0 {
+				if st.weight == nil {
+					st.w[k] = 1
+				} else {
+					st.w[k] = st.weight[k]
+				}
+			} else {
+				st.w[k] = 0
+			}
+		}
+	case optPhasePrv:
+		for k := lo; k < hi; k++ {
+			if st.nxt[k] >= 0 {
+				st.prv[st.nxt[k]] = k
+			}
+		}
+	case optPhaseAlive:
+		for k := lo; k < hi; k++ {
+			st.alive[k] = k
+		}
+	case optPhaseCoin:
+		alive, coin, base := st.alive, st.coin, st.base
+		for k := lo; k < hi; k++ {
+			e := alive[k]
+			coin[e] = splitmix(base^uint64(e))&1 == 0
+		}
+	case optPhaseFlags:
+		alive, coin, prv, nxt, flags := st.alive, st.coin, st.prv, st.nxt, st.flags
+		for k := lo; k < hi; k++ {
+			e := alive[k]
+			p := prv[e]
+			if !coin[e] && p >= 0 && coin[p] && nxt[e] >= 0 {
+				flags[k] = 1
+			} else {
+				flags[k] = 0
+			}
+		}
+	case optPhaseSplice:
+		for k := lo; k < hi; k++ {
+			e := st.alive[k]
+			if st.flags[k] == 1 {
+				p, q := st.prv[e], st.nxt[e]
+				st.rec[st.pos[k]] = splice{elem: e, succ: q, w: st.w[e]}
+				st.nxt[p] = q
+				st.w[p] += st.w[e]
+				st.prv[q] = p
+			} else {
+				st.newAlive[k-st.pos[k]] = e
+			}
+		}
+	case optPhasePos:
+		for k := lo; k < hi; k++ {
+			st.cpos[st.alive[k]] = k
+		}
+	case optPhaseCompact:
+		for k := lo; k < hi; k++ {
+			e := st.alive[k]
+			if st.nxt[e] >= 0 {
+				st.cnext[k] = st.cpos[st.nxt[e]]
+				st.cw[k] = st.w[e]
+			} else {
+				st.cnext[k] = -1
+				st.cw[k] = 0
+			}
+		}
+	case optPhaseExpand:
+		for k := lo; k < hi; k++ {
+			e := st.alive[k]
+			st.dist[e] = st.cdist[k]
+			st.last[e] = st.alive[st.clast[k]]
+		}
+	case optPhaseReinstate:
+		for k := lo; k < hi; k++ {
+			sp := st.rec[k]
+			st.dist[sp.elem] = sp.w + st.dist[sp.succ]
+			st.last[sp.elem] = st.last[sp.succ]
+		}
+	}
+}
+
 // RankOptWeighted is RankOpt with link weights (nil means unit weights).
 func RankOptWeighted(s *pram.Sim, next []int, weight []int, seed uint64) (dist, last []int) {
 	n := len(next)
@@ -94,116 +278,100 @@ func RankOptWeighted(s *pram.Sim, next []int, weight []int, seed uint64) (dist, 
 		return rankSerial(s, next, weight)
 	}
 
-	w := make([]int, n)
-	nxt := make([]int, n)
-	prv := make([]int, n)
-	s.ParallelFor(n, func(i int) {
-		nxt[i] = next[i]
-		prv[i] = -1
-		if next[i] >= 0 {
-			if weight == nil {
-				w[i] = 1
-			} else {
-				w[i] = weight[i]
-			}
-		}
-	})
+	st := rankOptOf(s)
+	st.next, st.weight = next, weight
+	st.w = pram.GrabNoClear[int](s, n)
+	st.nxt = pram.GrabNoClear[int](s, n)
+	st.prv = pram.GrabNoClear[int](s, n)
+	st.phase = optPhaseInit
+	s.ParallelForRange(n, st.body)
 	// prv[j] = some predecessor of j. For lists it is unique; RankOpt
 	// requires list inputs (each element has at most one predecessor),
 	// unlike Rank which accepts in-forests.
-	s.ParallelFor(n, func(i int) {
-		if nxt[i] >= 0 {
-			prv[nxt[i]] = i
-		}
-	})
+	st.phase = optPhasePrv
+	s.ParallelForRange(n, st.body)
 
-	alive := make([]int, n)
-	s.ParallelFor(n, func(i int) { alive[i] = i })
-	var rounds [][]splice
+	st.alive = pram.GrabNoClear[int](s, n)
+	st.phase = optPhaseAlive
+	s.ParallelForRange(n, st.body)
+	st.rounds = st.rounds[:0]
 	rng := seed | 1
-	coin := make([]bool, n)
-	outFlag := make([]int, n)
+	st.coin = pram.GrabNoClear[bool](s, n)
+	outFlag := pram.GrabNoClear[int](s, n)
 	// Each round splices out the elements whose coin is tails while the
 	// predecessor's coin is heads — an independent set of expected size
 	// m/4 among interior elements — and rebuilds the alive set with a
 	// single scan-partition pass. When a round selects nothing, every
 	// surviving list has (w.h.p.) length at most two and Wyllie finishes
 	// the job; a round cap bounds the pathological case.
-	for round := 0; len(alive) > target && round < 64; round++ {
+	for round := 0; len(st.alive) > target && round < 64; round++ {
 		rng = splitmix(rng)
-		base := rng
-		m := len(alive)
-		s.ParallelFor(m, func(k int) {
-			e := alive[k]
-			coin[e] = splitmix(base^uint64(e))&1 == 0
-		})
-		flags := outFlag[:m]
-		s.ParallelFor(m, func(k int) {
-			e := alive[k]
-			p := prv[e]
-			if !coin[e] && p >= 0 && coin[p] && nxt[e] >= 0 {
-				flags[k] = 1
-			} else {
-				flags[k] = 0
-			}
-		})
-		pos, cnt := ScanInt(s, flags)
+		st.base = rng
+		m := len(st.alive)
+		st.phase = optPhaseCoin
+		s.ParallelForRange(m, st.body)
+		st.flags = outFlag[:m]
+		st.phase = optPhaseFlags
+		s.ParallelForRange(m, st.body)
+		pos, cnt := ScanInt(s, st.flags)
 		if cnt == 0 {
+			pram.Release(s, pos)
 			break
 		}
-		rec := make([]splice, cnt)
-		newAlive := make([]int, m-cnt)
-		s.ForCost(m, 3, func(k int) {
-			e := alive[k]
-			if flags[k] == 1 {
-				p, q := prv[e], nxt[e]
-				rec[pos[k]] = splice{elem: e, succ: q, w: w[e]}
-				nxt[p] = q
-				w[p] += w[e]
-				prv[q] = p
-			} else {
-				newAlive[k-pos[k]] = e
-			}
-		})
-		rounds = append(rounds, rec)
-		alive = newAlive
+		st.pos = pos
+		st.rec = pram.GrabNoClear[splice](s, cnt)
+		st.newAlive = pram.GrabNoClear[int](s, m-cnt)
+		st.phase = optPhaseSplice
+		s.ForCostRange(m, 3, st.body)
+		st.rounds = append(st.rounds, st.rec)
+		pram.Release(s, st.alive)
+		pram.Release(s, pos)
+		st.alive, st.newAlive = st.newAlive, nil
+		st.pos, st.rec = nil, nil
 	}
 
 	// Wyllie on the survivors, in compacted index space.
-	m := len(alive)
-	pos := make([]int, n) // original -> compact
-	s.ParallelFor(m, func(k int) { pos[alive[k]] = k })
-	cnext := make([]int, m)
-	cw := make([]int, m)
-	s.ParallelFor(m, func(k int) {
-		e := alive[k]
-		if nxt[e] >= 0 {
-			cnext[k] = pos[nxt[e]]
-			cw[k] = w[e]
-		} else {
-			cnext[k] = -1
-		}
-	})
-	cdist, clast := RankWeighted(s, cnext, cw)
+	m := len(st.alive)
+	st.cpos = pram.GrabNoClear[int](s, n) // original -> compact
+	st.phase = optPhasePos
+	s.ParallelForRange(m, st.body)
+	st.cnext = pram.GrabNoClear[int](s, m)
+	st.cw = pram.GrabNoClear[int](s, m)
+	st.phase = optPhaseCompact
+	s.ParallelForRange(m, st.body)
+	st.cdist, st.clast = RankWeighted(s, st.cnext, st.cw)
 
-	dist = make([]int, n)
-	last = make([]int, n)
-	s.ParallelFor(m, func(k int) {
-		e := alive[k]
-		dist[e] = cdist[k]
-		last[e] = alive[clast[k]]
-	})
+	st.dist = pram.GrabNoClear[int](s, n)
+	st.last = pram.GrabNoClear[int](s, n)
+	st.phase = optPhaseExpand
+	s.ParallelForRange(m, st.body)
 
 	// Reinstate spliced elements in reverse round order: an element's
 	// successor at splice time is ranked by a later round or by Wyllie.
-	for r := len(rounds) - 1; r >= 0; r-- {
-		rec := rounds[r]
-		s.ForCost(len(rec), 2, func(k int) {
-			sp := rec[k]
-			dist[sp.elem] = sp.w + dist[sp.succ]
-			last[sp.elem] = last[sp.succ]
-		})
+	st.phase = optPhaseReinstate
+	for r := len(st.rounds) - 1; r >= 0; r-- {
+		st.rec = st.rounds[r]
+		s.ForCostRange(len(st.rec), 2, st.body)
+		pram.Release(s, st.rec)
+		st.rounds[r] = nil
 	}
+	dist, last = st.dist, st.last
+	pram.Release(s, st.w)
+	pram.Release(s, st.nxt)
+	pram.Release(s, st.prv)
+	pram.Release(s, st.alive)
+	pram.Release(s, st.coin)
+	pram.Release(s, outFlag)
+	pram.Release(s, st.cpos)
+	pram.Release(s, st.cnext)
+	pram.Release(s, st.cw)
+	pram.Release(s, st.cdist)
+	pram.Release(s, st.clast)
+	st.next, st.weight, st.w, st.nxt, st.prv = nil, nil, nil, nil, nil
+	st.alive, st.flags, st.coin, st.rec = nil, nil, nil, nil
+	st.cpos, st.cnext, st.cw, st.cdist, st.clast = nil, nil, nil, nil, nil
+	st.dist, st.last = nil, nil
+	st.rounds = st.rounds[:0]
 	return dist, last
 }
 
@@ -211,10 +379,11 @@ func RankOptWeighted(s *pram.Sim, next []int, weight []int, seed uint64) (dist, 
 // chain once.
 func rankSerial(s *pram.Sim, next []int, weight []int) (dist, last []int) {
 	n := len(next)
-	dist = make([]int, n)
-	last = make([]int, n)
-	done := make([]bool, n)
-	stack := make([]int, 0, 64)
+	st := rankOptOf(s)
+	dist = pram.GrabNoClear[int](s, n)
+	last = pram.GrabNoClear[int](s, n)
+	done := pram.Grab[bool](s, n)
+	stack := st.stack[:0]
 	s.Sequential(n, func() {
 		for i := 0; i < n; i++ {
 			if done[i] {
@@ -241,6 +410,8 @@ func rankSerial(s *pram.Sim, next []int, weight []int) (dist, last []int) {
 			stack = stack[:0]
 		}
 	})
+	st.stack = stack[:0]
+	pram.Release(s, done)
 	return dist, last
 }
 
@@ -251,15 +422,19 @@ func ListPositions(s *pram.Sim, next []int, head int, seed uint64) (pos []int, l
 	dist, last := RankOpt(s, next, seed)
 	n := len(next)
 	length = dist[head] + 1
-	pos = make([]int, n)
+	pos = pram.GrabNoClear[int](s, n)
 	tail := last[head]
-	s.ParallelFor(n, func(i int) {
-		if last[i] == tail {
-			pos[i] = length - 1 - dist[i]
-		} else {
-			pos[i] = -1
+	s.ParallelForRange(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if last[i] == tail {
+				pos[i] = length - 1 - dist[i]
+			} else {
+				pos[i] = -1
+			}
 		}
 	})
+	pram.Release(s, dist)
+	pram.Release(s, last)
 	return pos, length
 }
 

@@ -10,6 +10,13 @@
 // paper's O(log n)-time, O(n)-work bounds (list ranking in its randomized
 // work-optimal variant), and the counters of the Sim make those bounds
 // measurable.
+//
+// Buffers come from the Sim's scratch arena (pram.Grab): a primitive
+// releases its internal temporaries before returning and hands its
+// results to the caller, who may pass them back to pram.Release once
+// consumed. The hot-path primitives (ScanInt, MaxScanInt, the list
+// rankers, MatchBrackets) additionally keep their phase bodies in
+// reusable per-Sim state, so in steady state they allocate nothing.
 package par
 
 import "pathcover/internal/pram"
@@ -26,7 +33,7 @@ import "pathcover/internal/pram"
 // this is O(log n) time and O(n) work.
 func Scan[T any](s *pram.Sim, in []T, id T, op func(a, b T) T) (out []T, total T) {
 	n := len(in)
-	out = make([]T, n)
+	out = pram.GrabNoClear[T](s, n)
 	if n == 0 {
 		return out, id
 	}
@@ -44,7 +51,7 @@ func Scan[T any](s *pram.Sim, in []T, id T, op func(a, b T) T) (out []T, total T
 	}
 
 	// Per-block reduction.
-	sums := make([]T, nb)
+	sums := pram.GrabNoClear[T](s, nb)
 	s.Blocks(n, func(b, lo, hi int) {
 		acc := id
 		for i := lo; i < hi; i++ {
@@ -59,31 +66,37 @@ func Scan[T any](s *pram.Sim, in []T, id T, op func(a, b T) T) (out []T, total T
 	for m < nb {
 		m <<= 1
 	}
-	tree := make([]T, 2*m)
-	s.ParallelFor(m, func(i int) {
-		if i < nb {
-			tree[m+i] = sums[i]
-		} else {
-			tree[m+i] = id
+	tree := pram.GrabNoClear[T](s, 2*m)
+	s.ParallelForRange(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i < nb {
+				tree[m+i] = sums[i]
+			} else {
+				tree[m+i] = id
+			}
 		}
 	})
 	for w := m / 2; w >= 1; w /= 2 {
 		w := w
-		s.ParallelFor(w, func(i int) {
-			v := w + i
-			tree[v] = op(tree[2*v], tree[2*v+1])
+		s.ParallelForRange(w, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := w + i
+				tree[v] = op(tree[2*v], tree[2*v+1])
+			}
 		})
 	}
 	total = tree[1]
 	// Down-sweep: pref[v] = combination of everything left of subtree v.
-	pref := make([]T, 2*m)
+	pref := pram.GrabNoClear[T](s, 2*m)
 	pref[1] = id
 	for w := 1; w < m; w *= 2 {
 		w := w
-		s.ParallelFor(w, func(i int) {
-			v := w + i
-			pref[2*v] = pref[v]
-			pref[2*v+1] = op(pref[v], tree[2*v])
+		s.ParallelForRange(w, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := w + i
+				pref[2*v] = pref[v]
+				pref[2*v+1] = op(pref[v], tree[2*v])
+			}
 		})
 	}
 
@@ -95,26 +108,45 @@ func Scan[T any](s *pram.Sim, in []T, id T, op func(a, b T) T) (out []T, total T
 			acc = op(acc, in[i])
 		}
 	})
+	pram.Release(s, sums)
+	pram.Release(s, tree)
+	pram.Release(s, pref)
 	return out, total
 }
 
 // InclusiveScan computes out[i] = op(in[0], ..., in[i]).
 func InclusiveScan[T any](s *pram.Sim, in []T, id T, op func(a, b T) T) []T {
 	ex, _ := Scan(s, in, id, op)
-	out := make([]T, len(in))
-	s.ParallelFor(len(in), func(i int) { out[i] = op(ex[i], in[i]) })
+	out := pram.GrabNoClear[T](s, len(in))
+	s.ParallelForRange(len(in), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = op(ex[i], in[i])
+		}
+	})
+	pram.Release(s, ex)
 	return out
-}
-
-// ScanInt is Scan specialised to integer sums.
-func ScanInt(s *pram.Sim, in []int) (out []int, total int) {
-	return Scan(s, in, 0, func(a, b int) int { return a + b })
 }
 
 // Reduce combines all elements of in under op starting from id.
 func Reduce[T any](s *pram.Sim, in []T, id T, op func(a, b T) T) T {
-	_, total := Scan(s, in, id, op)
+	out, total := Scan(s, in, id, op)
+	pram.Release(s, out)
 	return total
+}
+
+// ScanInt is Scan specialised to integer sums. In steady state it
+// allocates nothing: the phase bodies live in per-Sim state and every
+// buffer but the returned one is recycled through the arena.
+func ScanInt(s *pram.Sim, in []int) (out []int, total int) {
+	return intScanRun(s, in, intOpSum, false)
+}
+
+// InclusiveScanInt computes the inclusive prefix sum of in. Like
+// ScanInt it is allocation-free in steady state; the simulated cost is
+// identical to InclusiveScan over ints.
+func InclusiveScanInt(s *pram.Sim, in []int) []int {
+	out, _ := intScanRun(s, in, intOpSum, true)
+	return out
 }
 
 // MaxScanInt computes the inclusive prefix maximum of in. It is the
@@ -122,12 +154,220 @@ func Reduce[T any](s *pram.Sim, in []T, id T, op func(a, b T) T) T {
 // segment heads, then a prefix max carries each head's value across its
 // segment.
 func MaxScanInt(s *pram.Sim, in []int) []int {
-	return InclusiveScan(s, in, minInt, func(a, b int) int {
-		if a > b {
-			return a
-		}
-		return b
-	})
+	out, _ := intScanRun(s, in, intOpMax, true)
+	return out
 }
 
 const minInt = -int(^uint(0)>>1) - 1
+
+// intScanOp selects the combining operator of the specialised integer
+// scans.
+type intScanOp uint8
+
+const (
+	intOpSum intScanOp = iota
+	intOpMax
+)
+
+// intScan is the reusable state of the specialised integer scans: one
+// instance per Sim, cached in the scratch registry, whose two phase
+// bodies (created once) dispatch on the phase field. This keeps the
+// steady-state scan free of the per-phase closure allocations the
+// generic Scan pays.
+type intScan struct {
+	s                *pram.Sim
+	in, out          []int
+	sums, tree, pref []int
+	nb, m, lvl       int
+	op               intScanOp
+	incl             bool
+	id               int
+	phase            int
+	body             func(lo, hi int)
+	blockBody        func(b, lo, hi int)
+}
+
+const (
+	scanPhaseLeaves = iota
+	scanPhaseUp
+	scanPhaseDown
+	scanBlockReduce
+	scanBlockApply
+)
+
+type intScanKey struct{}
+
+func intScanOf(s *pram.Sim) *intScan {
+	sc := s.Scratch()
+	if v := sc.Aux(intScanKey{}); v != nil {
+		return v.(*intScan)
+	}
+	st := &intScan{s: s}
+	st.body = st.run
+	st.blockBody = st.runBlock
+	sc.SetAux(intScanKey{}, st)
+	return st
+}
+
+func (st *intScan) comb(a, b int) int {
+	if st.op == intOpSum {
+		return a + b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (st *intScan) run(lo, hi int) {
+	switch st.phase {
+	case scanPhaseLeaves:
+		for i := lo; i < hi; i++ {
+			if i < st.nb {
+				st.tree[st.m+i] = st.sums[i]
+			} else {
+				st.tree[st.m+i] = st.id
+			}
+		}
+	case scanPhaseUp:
+		tree := st.tree
+		for i := lo; i < hi; i++ {
+			v := st.lvl + i
+			tree[v] = st.comb(tree[2*v], tree[2*v+1])
+		}
+	case scanPhaseDown:
+		tree, pref := st.tree, st.pref
+		for i := lo; i < hi; i++ {
+			v := st.lvl + i
+			pref[2*v] = pref[v]
+			pref[2*v+1] = st.comb(pref[v], tree[2*v])
+		}
+	}
+}
+
+func (st *intScan) runBlock(b, lo, hi int) {
+	switch st.phase {
+	case scanBlockReduce:
+		acc := st.id
+		if st.op == intOpSum {
+			for i := lo; i < hi; i++ {
+				acc += st.in[i]
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				if v := st.in[i]; v > acc {
+					acc = v
+				}
+			}
+		}
+		st.sums[b] = acc
+	case scanBlockApply:
+		acc := st.pref[st.m+b]
+		in, out := st.in, st.out
+		if st.incl {
+			for i := lo; i < hi; i++ {
+				acc = st.comb(acc, in[i])
+				out[i] = acc
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				out[i] = acc
+				acc = st.comb(acc, in[i])
+			}
+		}
+	}
+}
+
+// intScanRun is the shared engine of ScanInt and MaxScanInt. The
+// inclusive variant fuses the op(ex[i], in[i]) pass of InclusiveScan
+// into the final block sweep and charges that phase explicitly, keeping
+// the simulated cost identical to the unfused composition.
+func intScanRun(s *pram.Sim, in []int, op intScanOp, incl bool) (out []int, total int) {
+	n := len(in)
+	out = pram.GrabNoClear[int](s, n)
+	id := 0
+	if op == intOpMax {
+		id = minInt
+	}
+	total = id
+	if n == 0 {
+		return out, total
+	}
+	nb := s.NumBlocks(n)
+	if nb == 1 {
+		s.Sequential(n, func() {
+			acc := id
+			if op == intOpSum {
+				if incl {
+					for i := 0; i < n; i++ {
+						acc += in[i]
+						out[i] = acc
+					}
+				} else {
+					for i := 0; i < n; i++ {
+						out[i] = acc
+						acc += in[i]
+					}
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					if in[i] > acc {
+						acc = in[i]
+					}
+					out[i] = acc // max scans are always inclusive here
+				}
+			}
+			total = acc
+		})
+		if incl {
+			s.Charge(int64(ceilDivInt(n, s.Procs())), int64(n))
+		}
+		return out, total
+	}
+
+	st := intScanOf(s)
+	st.in, st.out, st.op, st.incl, st.id = in, out, op, incl, id
+	st.nb = nb
+	m := 1
+	for m < nb {
+		m <<= 1
+	}
+	st.m = m
+	st.sums = pram.GrabNoClear[int](s, nb)
+	st.tree = pram.GrabNoClear[int](s, 2*m)
+	st.pref = pram.GrabNoClear[int](s, 2*m)
+
+	st.phase = scanBlockReduce
+	s.Blocks(n, st.blockBody)
+	st.phase = scanPhaseLeaves
+	s.ParallelForRange(m, st.body)
+	st.phase = scanPhaseUp
+	for w := m / 2; w >= 1; w /= 2 {
+		st.lvl = w
+		s.ParallelForRange(w, st.body)
+	}
+	total = st.tree[1]
+	st.pref[1] = id
+	st.phase = scanPhaseDown
+	for w := 1; w < m; w *= 2 {
+		st.lvl = w
+		s.ParallelForRange(w, st.body)
+	}
+	st.phase = scanBlockApply
+	s.Blocks(n, st.blockBody)
+	if incl {
+		// The fused inclusive application replaces the separate
+		// out[i] = op(ex[i], in[i]) phase of InclusiveScan; charge it so
+		// the simulated cost stays identical.
+		s.Charge(int64(ceilDivInt(n, s.Procs())), int64(n))
+	}
+
+	pram.Release(s, st.sums)
+	pram.Release(s, st.tree)
+	pram.Release(s, st.pref)
+	st.in, st.out, st.sums, st.tree, st.pref = nil, nil, nil, nil, nil
+	return out, total
+}
+
+// ceilDivInt returns ceil(a/b) for positive b.
+func ceilDivInt(a, b int) int { return (a + b - 1) / b }

@@ -27,13 +27,21 @@ func segAdd(a, b SegItem) SegItem {
 // element of each segment (position 0 is implicitly a start).
 func SegmentedSumInclusive(s *pram.Sim, vals []int, starts []bool) []int {
 	n := len(vals)
-	items := make([]SegItem, n)
-	s.ParallelFor(n, func(i int) {
-		items[i] = SegItem{Val: vals[i], Start: starts[i] || i == 0}
+	items := pram.GrabNoClear[SegItem](s, n)
+	s.ParallelForRange(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			items[i] = SegItem{Val: vals[i], Start: starts[i] || i == 0}
+		}
 	})
 	scanned := InclusiveScan(s, items, SegItem{}, segAdd)
-	out := make([]int, n)
-	s.ParallelFor(n, func(i int) { out[i] = scanned[i].Val })
+	out := pram.GrabNoClear[int](s, n)
+	s.ParallelForRange(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = scanned[i].Val
+		}
+	})
+	pram.Release(s, items)
+	pram.Release(s, scanned)
 	return out
 }
 
@@ -42,20 +50,28 @@ func SegmentedSumInclusive(s *pram.Sim, vals []int, starts []bool) []int {
 // -1 for unflagged elements.
 func SegmentedRank(s *pram.Sim, flagged []bool, starts []bool) []int {
 	n := len(flagged)
-	vals := make([]int, n)
-	s.ParallelFor(n, func(i int) {
-		if flagged[i] {
-			vals[i] = 1
+	vals := pram.GrabNoClear[int](s, n)
+	s.ParallelForRange(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if flagged[i] {
+				vals[i] = 1
+			} else {
+				vals[i] = 0
+			}
 		}
 	})
 	sums := SegmentedSumInclusive(s, vals, starts)
-	out := make([]int, n)
-	s.ParallelFor(n, func(i int) {
-		if flagged[i] {
-			out[i] = sums[i] - 1
-		} else {
-			out[i] = -1
+	out := pram.GrabNoClear[int](s, n)
+	s.ParallelForRange(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if flagged[i] {
+				out[i] = sums[i] - 1
+			} else {
+				out[i] = -1
+			}
 		}
 	})
+	pram.Release(s, vals)
+	pram.Release(s, sums)
 	return out
 }

@@ -1,0 +1,146 @@
+package pram
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// incrementSlot is a capture-free phase body used by the allocation
+// tests (a closure with captures is heap-allocated at its creation site,
+// which would mask the executor's own behaviour).
+var poolTestSlots []atomic.Int64
+
+func incrementSlot(i int) { poolTestSlots[i].Add(1) }
+
+// TestPoolManyPhases drives one pool through thousands of supersteps —
+// the steady-state regime of a cover run — and checks every iteration of
+// every phase executed exactly once. Run under -race this doubles as the
+// data-race audit of the wake/dispatch/join protocol.
+func TestPoolManyPhases(t *testing.T) {
+	const n = 512
+	const phases = 4000
+	s := New(64, WithWorkers(4), WithGrain(8))
+	defer s.Close()
+	poolTestSlots = make([]atomic.Int64, n)
+	for p := 0; p < phases; p++ {
+		s.ParallelFor(n, incrementSlot)
+	}
+	for i := range poolTestSlots {
+		if got := poolTestSlots[i].Load(); got != phases {
+			t.Fatalf("slot %d executed %d times, want %d", i, got, phases)
+		}
+	}
+	if s.pool == nil {
+		t.Fatal("pool was never created despite multi-worker phases")
+	}
+}
+
+// TestPoolMixedPhaseSizes alternates inline-sized and pooled phases and
+// varying n, exercising the helper-count clamp.
+func TestPoolMixedPhaseSizes(t *testing.T) {
+	s := New(1<<12, WithWorkers(8), WithGrain(16))
+	defer s.Close()
+	for _, n := range []int{1, 3, 15, 16, 17, 100, 1000, 4096, 5000} {
+		poolTestSlots = make([]atomic.Int64, n)
+		s.ParallelFor(n, incrementSlot)
+		for i := range poolTestSlots {
+			if poolTestSlots[i].Load() != 1 {
+				t.Fatalf("n=%d: slot %d executed %d times", n, i, poolTestSlots[i].Load())
+			}
+		}
+	}
+}
+
+// TestPoolBlocks checks the reusable block adapter covers [0,n) exactly
+// once per phase when dispatched over the pool.
+func TestPoolBlocks(t *testing.T) {
+	s := New(256, WithWorkers(4), WithGrain(4))
+	defer s.Close()
+	const n = 10000
+	seen := make([]atomic.Int64, n)
+	for phase := 0; phase < 50; phase++ {
+		s.Blocks(n, func(b, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				seen[i].Add(1)
+			}
+		})
+	}
+	for i := range seen {
+		if seen[i].Load() != 50 {
+			t.Fatalf("index %d covered %d times, want 50", i, seen[i].Load())
+		}
+	}
+}
+
+// TestPhaseAllocationFree is the executor's headline regression: a
+// steady-state pooled superstep allocates nothing.
+func TestPhaseAllocationFree(t *testing.T) {
+	const n = 1 << 14
+	s := New(n, WithWorkers(4), WithGrain(64))
+	defer s.Close()
+	poolTestSlots = make([]atomic.Int64, n)
+	s.ParallelFor(n, incrementSlot) // warm up: create the pool
+	allocs := testing.AllocsPerRun(50, func() {
+		s.ParallelFor(n, incrementSlot)
+	})
+	if allocs > 0 {
+		t.Errorf("pooled ParallelFor allocates %.1f objects per phase, want 0", allocs)
+	}
+}
+
+// TestSerialAllocationFree: a serial Sim must not allocate per phase
+// either (NewSerial is the reference interpretation used in tight
+// loops).
+func TestSerialAllocationFree(t *testing.T) {
+	s := NewSerial()
+	const n = 1 << 10
+	poolTestSlots = make([]atomic.Int64, n)
+	allocs := testing.AllocsPerRun(50, func() {
+		s.ParallelFor(n, incrementSlot)
+	})
+	if allocs > 0 {
+		t.Errorf("serial ParallelFor allocates %.1f objects per phase, want 0", allocs)
+	}
+}
+
+// TestCloseFallsBackInline: after Close, phases still execute (inline)
+// and Close is idempotent.
+func TestCloseFallsBackInline(t *testing.T) {
+	s := New(128, WithWorkers(4), WithGrain(4))
+	poolTestSlots = make([]atomic.Int64, 100)
+	s.ParallelFor(100, incrementSlot)
+	s.Close()
+	s.Close() // idempotent
+	s.ParallelFor(100, incrementSlot)
+	for i := range poolTestSlots {
+		if poolTestSlots[i].Load() != 2 {
+			t.Fatalf("slot %d executed %d times, want 2", i, poolTestSlots[i].Load())
+		}
+	}
+	if s.pool != nil {
+		t.Fatal("pool not torn down by Close")
+	}
+}
+
+// TestSetProcs re-targets one Sim at a different simulated machine and
+// checks the Brent accounting follows.
+func TestSetProcs(t *testing.T) {
+	s := New(4)
+	s.ParallelFor(100, func(int) {})
+	if s.Time() != 25 {
+		t.Fatalf("Time = %d, want 25", s.Time())
+	}
+	s.SetProcs(10)
+	if s.Procs() != 10 {
+		t.Fatalf("Procs = %d, want 10", s.Procs())
+	}
+	s.Reset()
+	s.ParallelFor(100, func(int) {})
+	if s.Time() != 10 || s.Work() != 100 {
+		t.Fatalf("stats after SetProcs = %v, want time=10 work=100", s.Stats())
+	}
+	s.SetProcs(0) // clamps
+	if s.Procs() != 1 {
+		t.Fatalf("SetProcs(0) gave %d procs, want 1", s.Procs())
+	}
+}

@@ -27,7 +27,6 @@ package pram
 import (
 	"fmt"
 	"runtime"
-	"sync"
 )
 
 // Model selects the memory-access discipline audited by Machine and
@@ -66,6 +65,13 @@ func (m Model) String() string {
 // PRAM. The phase bodies themselves run concurrently and must therefore
 // only perform conflict-free memory accesses, exactly as an EREW kernel
 // would.
+//
+// Execution is backed by a persistent worker pool (created lazily on the
+// first phase large enough to split) and a scratch arena of reusable
+// buffers, so a steady-state superstep performs no goroutine creation
+// and no allocation. Call Close when done with a multi-worker Sim to
+// stop the pool promptly; a garbage-collected Sim stops it via a runtime
+// cleanup either way.
 type Sim struct {
 	procs   int // simulated PRAM processors (p in the paper)
 	workers int // real goroutines used to execute phases
@@ -73,6 +79,18 @@ type Sim struct {
 	time    int64
 	work    int64
 	phases  int64
+
+	pool    *workerPool
+	cleanup runtime.Cleanup
+	closed  bool
+	scratch Scratch
+
+	// Reusable adapter turning the pool's flat func(i int) body into the
+	// (block, lo, hi) body of Blocks without a per-phase closure.
+	blockFn   func(block, lo, hi int)
+	blockBS   int
+	blockN    int
+	blockBody func(i int)
 }
 
 // Option configures a Sim.
@@ -117,8 +135,62 @@ func New(procs int, opts ...Option) *Sim {
 
 // NewSerial returns a single-processor simulator. It executes every phase
 // inline and deterministically; it is the reference interpretation of each
-// parallel algorithm.
+// parallel algorithm. A serial Sim never spawns workers and performs no
+// per-phase allocation.
 func NewSerial() *Sim { return New(1) }
+
+// Scratch returns the Sim's arena of reusable buffers (see Grab and
+// Release). Like the Sim it must only be used from the driving
+// goroutine, never from inside a phase body.
+func (s *Sim) Scratch() *Scratch { return &s.scratch }
+
+// SetProcs changes the simulated processor count between phases (it
+// re-derives block sizes and Brent charges; the real worker pool is
+// unaffected). A reusable solver calls this to re-target one Sim at
+// inputs of different sizes.
+func (s *Sim) SetProcs(p int) {
+	if p < 1 {
+		p = 1
+	}
+	s.procs = p
+}
+
+// Workers returns the number of real goroutines used to execute phases
+// (including the driving goroutine's own share).
+func (s *Sim) Workers() int { return s.workers }
+
+// Close stops the worker pool. It must be called from the driving
+// goroutine (so no phase is in flight). After Close the Sim remains
+// usable: phases simply execute inline. Close is idempotent, and a Sim
+// that is garbage-collected without Close stops its pool through a
+// runtime cleanup.
+func (s *Sim) Close() {
+	s.closed = true
+	if s.pool != nil {
+		s.cleanup.Stop()
+		s.pool.stop()
+		s.pool = nil
+	}
+}
+
+// ensurePool lazily creates the persistent worker pool.
+func (s *Sim) ensurePool() *workerPool {
+	if s.pool == nil {
+		s.pool = newWorkerPool(s.workers - 1) // the driver is a participant
+		// Stop the workers if the Sim is dropped without Close. The pool
+		// does not reference the Sim (phase bodies are cleared after each
+		// superstep), so the cleanup can run.
+		s.cleanup = runtime.AddCleanup(s, func(p *workerPool) { p.stop() }, s.pool)
+		s.blockBody = func(b int) {
+			lo := b * s.blockBS
+			hi := min(lo+s.blockBS, s.blockN)
+			if lo < hi {
+				s.blockFn(b, lo, hi)
+			}
+		}
+	}
+	return s.pool
+}
 
 // ProcsFor returns the processor count n/ceil(log2 n) prescribed by the
 // paper for an input of size n (at least 1).
@@ -208,6 +280,30 @@ func (s *Sim) ForCost(n, cost int, f func(i int)) {
 	s.run(n, f)
 }
 
+// ParallelForRange is ParallelFor with chunk-granularity bodies: f is
+// invoked with disjoint sub-ranges [lo,hi) covering [0,n), letting the
+// body amortise the indirect call over a whole chunk. The accounting is
+// identical to ParallelFor(n, ...): one Brent-scheduled phase of n unit
+// operations. As with ParallelFor, concurrent chunks must only perform
+// conflict-free accesses.
+func (s *Sim) ParallelForRange(n int, f func(lo, hi int)) {
+	s.ForCostRange(n, 1, f)
+}
+
+// ForCostRange is ForCost with chunk-granularity bodies (see
+// ParallelForRange); it charges time ceil(n/p)*cost and work n*cost.
+func (s *Sim) ForCostRange(n, cost int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	s.charge(n, cost)
+	if s.workers <= 1 || s.closed || n < s.grain {
+		f(0, n)
+		return
+	}
+	s.ensurePool().dispatchRange(n, f, s.grain)
+}
+
 // Blocks partitions [0, n) into p contiguous blocks of size ceil(n/p) and
 // executes f(block, lo, hi) for each, charging time ceil(n/p) and work n.
 // It expresses the per-processor sequential sweeps of work-optimal PRAM
@@ -219,13 +315,20 @@ func (s *Sim) Blocks(n int, f func(block, lo, hi int)) {
 	bs := ceilDiv(n, s.procs)
 	nb := ceilDiv(n, bs)
 	s.charge(n, 1)
-	s.run(nb, func(b int) {
-		lo := b * bs
-		hi := min(lo+bs, n)
-		if lo < hi {
-			f(b, lo, hi)
+	if s.workers <= 1 || s.closed || nb < 2 {
+		for b := 0; b < nb; b++ {
+			lo := b * bs
+			hi := min(lo+bs, n)
+			if lo < hi {
+				f(b, lo, hi)
+			}
 		}
-	})
+		return
+	}
+	s.ensurePool()
+	s.blockFn, s.blockBS, s.blockN = f, bs, n
+	s.run(nb, s.blockBody)
+	s.blockFn = nil
 }
 
 // BlockSize reports the block size ceil(n/p) used by Blocks for input n.
@@ -255,29 +358,14 @@ func (s *Sim) Sequential(cost int, f func()) {
 	f()
 }
 
-// run executes f(i) for i in [0,n), chunked over the configured workers.
+// run executes f(i) for i in [0,n), small phases inline and large ones
+// across the persistent worker pool.
 func (s *Sim) run(n int, f func(i int)) {
-	if s.workers <= 1 || n < s.grain {
+	if s.workers <= 1 || s.closed || n < s.grain {
 		for i := 0; i < n; i++ {
 			f(i)
 		}
 		return
 	}
-	w := s.workers
-	if w > n {
-		w = n
-	}
-	chunk := ceilDiv(n, w)
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := min(lo+chunk, n)
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				f(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	s.ensurePool().dispatch(n, f, s.grain)
 }

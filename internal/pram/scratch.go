@@ -1,0 +1,121 @@
+package pram
+
+import (
+	"math/bits"
+	"unsafe"
+)
+
+// Scratch is the zero-allocation arena of a Sim: size-classed freelists
+// of reusable slices plus a registry of cached per-Sim state (the
+// reusable phase bodies of the specialised primitives in internal/par).
+//
+// Ownership discipline: Grab hands out a slice that stays valid until it
+// is passed back to Release — there is no implicit recycling, so a
+// primitive's result can be returned to the caller safely; only buffers
+// explicitly Released are reused. A buffer must not be used after
+// Release and must not be Released twice (enable SetDebug in tests to
+// assert the latter).
+//
+// Like the Sim that owns it, a Scratch must only be used from the single
+// driving goroutine; phase bodies must not Grab or Release.
+type Scratch struct {
+	aux   map[any]any
+	debug bool
+}
+
+// numClasses bounds the size classes at 2^47 elements — far beyond any
+// real slice, so class indexing never needs a range check.
+const numClasses = 48
+
+// slicePool holds the freelists of one element type. Entries of class c
+// have capacity exactly 1<<c and length zero.
+type slicePool[T any] struct {
+	classes [numClasses][][]T
+}
+
+type poolKey[T any] struct{}
+
+// Aux returns the cached value stored under key, or nil.
+func (sc *Scratch) Aux(key any) any {
+	return sc.aux[key]
+}
+
+// SetAux caches a value under key for the lifetime of the Sim (or until
+// Reclaim).
+func (sc *Scratch) SetAux(key, val any) {
+	if sc.aux == nil {
+		sc.aux = make(map[any]any)
+	}
+	sc.aux[key] = val
+}
+
+// SetDebug toggles the double-release audit (O(freelist) per Release;
+// tests only).
+func (sc *Scratch) SetDebug(on bool) { sc.debug = on }
+
+// Reclaim drops every freelist and cached state, letting the garbage
+// collector take the arena memory. Buffers currently held by callers
+// stay valid; they simply become ordinary garbage once dropped.
+func (sc *Scratch) Reclaim() {
+	clear(sc.aux)
+}
+
+func poolOf[T any](s *Sim) *slicePool[T] {
+	sc := s.Scratch()
+	if v := sc.aux[poolKey[T]{}]; v != nil {
+		return v.(*slicePool[T])
+	}
+	p := &slicePool[T]{}
+	sc.SetAux(poolKey[T]{}, p)
+	return p
+}
+
+// class returns the size class whose capacity 1<<c is the smallest power
+// of two >= n (n >= 1).
+func class(n int) int { return bits.Len(uint(n - 1)) }
+
+// Grab returns a length-n slice from the Sim's arena, zeroed like a
+// fresh make. Use GrabNoClear when every element is written before it is
+// read.
+func Grab[T any](s *Sim, n int) []T {
+	out := GrabNoClear[T](s, n)
+	clear(out)
+	return out
+}
+
+// GrabNoClear returns a length-n slice from the arena without clearing
+// it: the contents are whatever a previous user left behind.
+func GrabNoClear[T any](s *Sim, n int) []T {
+	if n <= 0 {
+		return nil
+	}
+	p := poolOf[T](s)
+	c := class(n)
+	if l := p.classes[c]; len(l) > 0 {
+		b := l[len(l)-1]
+		l[len(l)-1] = nil
+		p.classes[c] = l[:len(l)-1]
+		return b[:n]
+	}
+	return make([]T, n, 1<<c)
+}
+
+// Release returns a slice obtained from Grab (or any slice, e.g. a
+// result built with make) to the arena for reuse. Releasing nil or an
+// empty-capacity slice is a no-op.
+func Release[T any](s *Sim, b []T) {
+	if cap(b) == 0 {
+		return
+	}
+	p := poolOf[T](s)
+	c := bits.Len(uint(cap(b))) - 1 // floor: the class whose 1<<c <= cap
+	b = b[: 0 : 1<<c]
+	if s.scratch.debug {
+		for _, e := range p.classes[c] {
+			if unsafe.SliceData(e) == unsafe.SliceData(b) {
+				panic("pram: double Release of the same buffer")
+			}
+		}
+	}
+	p.classes[c] = append(p.classes[c], b)
+}

@@ -1,0 +1,109 @@
+package pram
+
+import "testing"
+
+func TestGrabRelease(t *testing.T) {
+	s := NewSerial()
+	s.Scratch().SetDebug(true)
+	a := Grab[int](s, 100)
+	if len(a) != 100 || cap(a) != 128 {
+		t.Fatalf("Grab(100): len=%d cap=%d, want 100/128", len(a), cap(a))
+	}
+	for i := range a {
+		if a[i] != 0 {
+			t.Fatalf("Grab not zeroed at %d", i)
+		}
+		a[i] = i + 1
+	}
+	Release(s, a)
+	b := GrabNoClear[int](s, 90)
+	if &b[0] != &a[0] {
+		t.Fatal("Release/Grab did not reuse the buffer")
+	}
+	if b[5] != 6 {
+		t.Fatal("GrabNoClear cleared the buffer")
+	}
+	c := Grab[int](s, 90)
+	if cap(c) > 0 && len(b) > 0 && &c[0] == &b[0] {
+		t.Fatal("Grab handed out a buffer that is still lent")
+	}
+	for i := range c {
+		if c[i] != 0 {
+			t.Fatalf("recycled Grab not zeroed at %d", i)
+		}
+	}
+}
+
+func TestGrabZeroAndTypes(t *testing.T) {
+	s := NewSerial()
+	if g := Grab[int](s, 0); g != nil {
+		t.Fatal("Grab(0) != nil")
+	}
+	if g := Grab[int](s, -3); g != nil {
+		t.Fatal("Grab(-3) != nil")
+	}
+	bs := Grab[bool](s, 7)
+	is := Grab[int64](s, 7)
+	bs[0] = true
+	is[0] = 42
+	Release(s, bs)
+	Release(s, is)
+	bs2 := GrabNoClear[bool](s, 7)
+	if !bs2[0] {
+		t.Fatal("bool pool did not recycle")
+	}
+}
+
+func TestReleaseForeignSlice(t *testing.T) {
+	// Slices not born in the arena (e.g. a result built with make) may be
+	// released too; odd capacities land in their floor class.
+	s := NewSerial()
+	b := make([]int, 0, 100) // floor class 6 (cap 64)
+	Release(s, b)
+	g := GrabNoClear[int](s, 64)
+	if cap(g) != 64 {
+		t.Fatalf("foreign slice reclassed with cap %d, want 64", cap(g))
+	}
+	Release(s, []int(nil)) // no-op
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	s := NewSerial()
+	s.Scratch().SetDebug(true)
+	a := Grab[int](s, 16)
+	Release(s, a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic under debug")
+		}
+	}()
+	Release(s, a)
+}
+
+func TestGrabSteadyStateAllocFree(t *testing.T) {
+	s := NewSerial()
+	Release(s, Grab[int](s, 5000)) // warm the class
+	allocs := testing.AllocsPerRun(100, func() {
+		b := Grab[int](s, 5000)
+		Release(s, b)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state Grab/Release allocates %.1f objects, want 0", allocs)
+	}
+}
+
+func TestAuxRegistry(t *testing.T) {
+	s := NewSerial()
+	type key struct{}
+	if s.Scratch().Aux(key{}) != nil {
+		t.Fatal("unset aux key not nil")
+	}
+	s.Scratch().SetAux(key{}, 42)
+	if got := s.Scratch().Aux(key{}); got != 42 {
+		t.Fatalf("aux = %v, want 42", got)
+	}
+	s.Scratch().Reclaim()
+	if s.Scratch().Aux(key{}) != nil {
+		t.Fatal("Reclaim did not drop aux state")
+	}
+}

@@ -28,10 +28,11 @@ package pathcover
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"pathcover/internal/baseline"
 	"pathcover/internal/cograph"
-	"pathcover/internal/core"
 	"pathcover/internal/cotree"
 	"pathcover/internal/pram"
 	"pathcover/internal/render"
@@ -170,39 +171,113 @@ func (g *Graph) MinPathCoverSize() int {
 	return baseline.PathCounts(b, L)[b.Root]
 }
 
+// solverPool recycles default-configured Solvers across the package-
+// level Graph methods, so even one-shot calls amortise the worker pool
+// and arena across the process.
+var solverPool = sync.Pool{New: func() any { return NewSolver() }}
+
+// borrowSolver returns a Solver compatible with cfg plus a function to
+// give it back. Only the worker count is baked into a Solver at
+// construction; any other per-call configuration rides in via cfg.
+func borrowSolver(cfg config) (*Solver, func()) {
+	if cfg.workers > 0 {
+		// Custom pool size: a transient Solver, torn down after the call.
+		sv := NewSolver(WithWorkers(cfg.workers))
+		return sv, sv.Close
+	}
+	sv := solverPool.Get().(*Solver)
+	return sv, func() {
+		sv.retireAll()
+		solverPool.Put(sv)
+	}
+}
+
+// retireAll recycles every outstanding output (used before a Solver goes
+// back to the pool, once results have been copied out).
+func (sv *Solver) retireAll() {
+	if sv.sim != nil {
+		sv.retire()
+	}
+}
+
 // MinimumPathCover computes a minimum path cover. The default runs the
 // paper's parallel algorithm on the PRAM cost simulator with the
 // paper's processor count n/log n; see Options for the sequential and
 // naive-parallel baselines and for tuning.
+//
+// Each call returns freshly allocated paths. For query-serving loops,
+// NewSolver amortises the execution state across calls and avoids the
+// copy.
 func (g *Graph) MinimumPathCover(opts ...Option) (*Cover, error) {
 	cfg := defaultConfig(g.N())
 	for _, o := range opts {
 		o(&cfg)
 	}
-	switch cfg.algorithm {
-	case Sequential:
+	if cfg.algorithm == Sequential {
 		paths := baseline.Run(g.t)
 		return &Cover{Paths: paths, NumPaths: len(paths)}, nil
-	case Naive:
-		s := pram.New(cfg.procs, pram.WithWorkers(cfg.workers))
-		b := g.t.Binarize(s)
-		L := b.MakeLeftist(s, cfg.seed)
-		paths := baseline.NaiveCover(s, b, L)
-		return &Cover{Paths: paths, NumPaths: len(paths), Stats: statsOf(s)}, nil
-	default:
-		s := pram.New(cfg.procs, pram.WithWorkers(cfg.workers))
-		cov, err := core.ParallelCover(s, g.t, core.Options{Seed: cfg.seed})
-		if err != nil {
-			return nil, err
-		}
-		return &Cover{Paths: cov.Paths, NumPaths: cov.NumPaths, Stats: statsOf(s)}, nil
+	}
+	sv, done := borrowSolver(cfg)
+	defer done()
+	cov, err := sv.coverCfg(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.algorithm != Naive {
+		// Everything except the Sequential (returned above) and Naive
+		// baselines routes through the arena-backed parallel pipeline;
+		// copy before the solver (and its arena) goes back to the pool.
+		cov.Paths = clonePaths(cov.Paths)
+	}
+	return cov, nil
+}
+
+// clonePaths deep-copies arena-backed paths into ordinary heap slices
+// (one shared backing array, like the arena layout).
+func clonePaths(paths [][]int) [][]int {
+	total := 0
+	for _, p := range paths {
+		total += len(p)
+	}
+	backing := make([]int, total)
+	out := make([][]int, len(paths))
+	off := 0
+	for i, p := range paths {
+		copy(backing[off:], p)
+		out[i] = backing[off : off+len(p) : off+len(p)]
+		off += len(p)
+	}
+	return out
+}
+
+// fallbackHook, when set, observes internal errors of the parallel
+// Hamiltonian constructions before the sequential fallback masks them.
+var fallbackHook atomic.Pointer[func(op string, err error)]
+
+// SetFallbackHook registers f to be called with the operation name and
+// the internal error whenever a parallel construction fails and a
+// Graph method silently falls back to the sequential algorithm. Passing
+// nil removes the hook. Regressions in the parallel pipeline stay
+// observable this way; Solver methods return the error directly instead.
+func SetFallbackHook(f func(op string, err error)) {
+	if f == nil {
+		fallbackHook.Store(nil)
+		return
+	}
+	fallbackHook.Store(&f)
+}
+
+func notifyFallback(op string, err error) {
+	if f := fallbackHook.Load(); f != nil {
+		(*f)(op, err)
 	}
 }
 
 // HamiltonianPath returns a Hamiltonian path and true when the cograph
 // has one (iff the minimum path cover has a single path). The default is
 // the sequential construction; WithAlgorithm(Parallel) routes through
-// the paper's parallel pipeline.
+// the paper's parallel pipeline, falling back to the sequential
+// construction on an internal error (observable via SetFallbackHook).
 func (g *Graph) HamiltonianPath(opts ...Option) ([]int, bool) {
 	cfg := defaultConfig(g.N())
 	cfg.algorithm = Sequential
@@ -210,12 +285,13 @@ func (g *Graph) HamiltonianPath(opts ...Option) ([]int, bool) {
 		o(&cfg)
 	}
 	if cfg.algorithm == Parallel {
-		s := pram.New(cfg.procs, pram.WithWorkers(cfg.workers))
-		p, ok, err := core.ParallelHamiltonianPath(s, g.t, core.Options{Seed: cfg.seed})
+		sv, done := borrowSolver(cfg)
+		defer done()
+		p, ok, err := sv.hamiltonianPathCfg(g, cfg)
 		if err == nil {
-			return p, ok
+			return append([]int(nil), p...), ok
 		}
-		// fall through to the sequential construction on internal error
+		notifyFallback("HamiltonianPath", err)
 	}
 	s := pram.NewSerial()
 	b := g.t.Binarize(s)
@@ -226,7 +302,9 @@ func (g *Graph) HamiltonianPath(opts ...Option) ([]int, bool) {
 // HamiltonianCycle returns a Hamiltonian cycle and true when the cograph
 // has one (decided by the join condition p(v) <= L(w) at the root). The
 // default is the sequential construction; WithAlgorithm(Parallel) uses
-// the O(log n) split-and-interleave construction.
+// the O(log n) split-and-interleave construction, falling back to the
+// sequential construction on an internal error (observable via
+// SetFallbackHook).
 func (g *Graph) HamiltonianCycle(opts ...Option) ([]int, bool) {
 	cfg := defaultConfig(g.N())
 	cfg.algorithm = Sequential
@@ -234,11 +312,13 @@ func (g *Graph) HamiltonianCycle(opts ...Option) ([]int, bool) {
 		o(&cfg)
 	}
 	if cfg.algorithm == Parallel {
-		s := pram.New(cfg.procs, pram.WithWorkers(cfg.workers))
-		c, ok, err := core.ParallelHamiltonianCycle(s, g.t, core.Options{Seed: cfg.seed})
+		sv, done := borrowSolver(cfg)
+		defer done()
+		c, ok, err := sv.hamiltonianCycleCfg(g, cfg)
 		if err == nil {
-			return c, ok
+			return append([]int(nil), c...), ok
 		}
+		notifyFallback("HamiltonianCycle", err)
 	}
 	s := pram.NewSerial()
 	b := g.t.Binarize(s)

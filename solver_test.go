@@ -1,0 +1,181 @@
+package pathcover
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestSolverMatchesOneShot: a reused Solver must produce exactly the
+// covers the one-shot API produces, call after call.
+func TestSolverMatchesOneShot(t *testing.T) {
+	sv := NewSolver()
+	defer sv.Close()
+	for _, shape := range []Shape{Mixed, Balanced, Caterpillar} {
+		for _, n := range []int{1, 2, 17, 256, 1500} {
+			g := Random(uint64(n)+7, n, shape)
+			cov, err := sv.MinimumPathCover(g)
+			if err != nil {
+				t.Fatalf("%v/n=%d: %v", shape, n, err)
+			}
+			if err := g.Verify(cov.Paths); err != nil {
+				t.Fatalf("%v/n=%d: invalid cover: %v", shape, n, err)
+			}
+			if want := g.MinPathCoverSize(); cov.NumPaths != want {
+				t.Fatalf("%v/n=%d: %d paths, want %d", shape, n, cov.NumPaths, want)
+			}
+		}
+	}
+}
+
+// TestSolverResultsValidUntilNextCall documents the ownership contract:
+// the previous call's paths are recycled by the next call.
+func TestSolverResultsValidUntilNextCall(t *testing.T) {
+	sv := NewSolver()
+	defer sv.Close()
+	g := Random(1, 800, Mixed)
+	cov1, err := sv.MinimumPathCover(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Verify(cov1.Paths); err != nil {
+		t.Fatalf("first cover invalid: %v", err)
+	}
+	cov2, err := sv.MinimumPathCover(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Verify(cov2.Paths); err != nil {
+		t.Fatalf("second cover invalid: %v", err)
+	}
+}
+
+// TestSolverHamiltonian exercises the error-returning Hamiltonian
+// methods on graphs with and without Hamiltonian paths/cycles.
+func TestSolverHamiltonian(t *testing.T) {
+	sv := NewSolver()
+	defer sv.Close()
+
+	g, err := ParseCotree("(1 (0 a b) (0 c d))") // C4: cycle a-c-b-d
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok, err := sv.HamiltonianPath(g)
+	if err != nil || !ok {
+		t.Fatalf("C4 Hamiltonian path: ok=%v err=%v", ok, err)
+	}
+	if len(p) != 4 {
+		t.Fatalf("path length %d, want 4", len(p))
+	}
+	c, ok, err := sv.HamiltonianCycle(g)
+	if err != nil || !ok {
+		t.Fatalf("C4 Hamiltonian cycle: ok=%v err=%v", ok, err)
+	}
+	if len(c) != 4 {
+		t.Fatalf("cycle length %d, want 4", len(c))
+	}
+
+	disc := Union(Vertex("x"), Vertex("y")) // disconnected: no path
+	if _, ok, err := sv.HamiltonianPath(disc); err != nil || ok {
+		t.Fatalf("disconnected graph: ok=%v err=%v, want false,nil", ok, err)
+	}
+}
+
+// TestSolverStressManyGraphs drives one Solver (with a real worker pool)
+// through many differently-sized graphs; run under -race this audits the
+// pool + arena interplay in its steady state.
+func TestSolverStressManyGraphs(t *testing.T) {
+	sv := NewSolver(WithWorkers(4))
+	defer sv.Close()
+	for i := 0; i < 40; i++ {
+		n := 64 + (i*97)%2000
+		g := Random(uint64(i), n, Shape(i%3))
+		cov, err := sv.MinimumPathCover(g)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if want := g.MinPathCoverSize(); cov.NumPaths != want {
+			t.Fatalf("iter %d: %d paths, want %d", i, cov.NumPaths, want)
+		}
+		if err := g.Verify(cov.Paths); err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+	}
+}
+
+// TestSolverCoverAllocsBounded is the pipeline-level allocation
+// regression: a repeated cover on a reused Solver must allocate a small,
+// n-independent number of objects (the residue is per-phase closures in
+// the generic stages; every buffer is arena-recycled). The seed code
+// allocated ~9k objects and ~39 MB per call at n=4096, growing with n.
+func TestSolverCoverAllocsBounded(t *testing.T) {
+	var per [2]float64
+	for i, n := range []int{1 << 12, 1 << 14} {
+		g := Random(3, n, Mixed)
+		sv := NewSolver()
+		sv.MinimumPathCover(g)
+		sv.MinimumPathCover(g) // steady state
+		per[i] = testing.AllocsPerRun(10, func() {
+			if _, err := sv.MinimumPathCover(g); err != nil {
+				t.Fatal(err)
+			}
+		})
+		sv.Close()
+	}
+	for i, n := range []int{1 << 12, 1 << 14} {
+		if per[i] > 1024 {
+			t.Errorf("n=%d: %.0f allocs/op, want <= 1024", n, per[i])
+		}
+	}
+	// Flat in n: 4x the input must not even double the allocations.
+	if per[1] > 2*per[0] {
+		t.Errorf("allocs/op grow with n: %.0f at 4096 vs %.0f at 16384", per[0], per[1])
+	}
+}
+
+// TestGraphMethodsConcurrent: the package-level API shares a solver pool
+// internally; concurrent callers must each get correct, private results.
+func TestGraphMethodsConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				n := 100 + 53*w + i
+				g := Random(uint64(w*100+i), n, Mixed)
+				cov, err := g.MinimumPathCover()
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if err := g.Verify(cov.Paths); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestFallbackHook: the Hamiltonian wrappers must surface internal
+// parallel errors through the hook instead of discarding them.
+func TestFallbackHook(t *testing.T) {
+	var gotOp string
+	var gotErr error
+	SetFallbackHook(func(op string, err error) { gotOp, gotErr = op, err })
+	defer SetFallbackHook(nil)
+
+	// A healthy run must not fire the hook.
+	g := Random(5, 300, Mixed)
+	g.HamiltonianPath(WithAlgorithm(Parallel))
+	if gotOp != "" {
+		t.Fatalf("hook fired on healthy run: op=%q err=%v", gotOp, gotErr)
+	}
+	// The hook plumbing itself.
+	notifyFallback("HamiltonianPath", errors.New("boom"))
+	if gotOp != "HamiltonianPath" || gotErr == nil {
+		t.Fatalf("hook not invoked: op=%q err=%v", gotOp, gotErr)
+	}
+}
