@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	pcbench                       # run everything
-//	pcbench -exp e4               # one experiment
-//	pcbench -exp e4 -max 20       # larger sweep (2^20)
-//	pcbench -json BENCH_PR1.json  # also dump machine-readable results
+//	pcbench                        # run everything
+//	pcbench -exp e4                # one experiment
+//	pcbench -exp e4 -max 20        # larger sweep (2^20)
+//	pcbench -json BENCH_PR3.json   # also dump machine-readable results
+//	pcbench -compare old.json new.json
+//	                               # diff two -json reports: every numeric
+//	                               # column becomes old -> new (ratio)
 package main
 
 import (
@@ -17,7 +20,10 @@ import (
 	"math"
 	"math/rand/v2"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/debug"
+	"strconv"
 	"strings"
 	"time"
 
@@ -35,6 +41,7 @@ var (
 	maxLog   = flag.Int("max", 18, "largest input size as a power of two")
 	seed     = flag.Uint64("seed", 1, "random seed")
 	jsonPath = flag.String("json", "", "write machine-readable results to this file")
+	compare  = flag.Bool("compare", false, "compare two -json reports (pcbench -compare old.json new.json) instead of running experiments")
 )
 
 // jsonExperiment mirrors one rendered table; the -json dump gives future
@@ -47,21 +54,65 @@ type jsonExperiment struct {
 
 type jsonReport struct {
 	Date        string           `json:"date"`
+	Commit      string           `json:"commit"`
 	GoVersion   string           `json:"go_version"`
 	NumCPU      int              `json:"num_cpu"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
 	MaxLog      int              `json:"max_log"`
 	Seed        uint64           `json:"seed"`
 	Experiments []jsonExperiment `json:"experiments"`
 }
 
 var report = jsonReport{
-	Date:      time.Now().UTC().Format(time.RFC3339),
-	GoVersion: runtime.Version(),
-	NumCPU:    runtime.NumCPU(),
+	Date:       time.Now().UTC().Format(time.RFC3339),
+	GoVersion:  runtime.Version(),
+	NumCPU:     runtime.NumCPU(),
+	GOMAXPROCS: runtime.GOMAXPROCS(0),
+}
+
+// commitHash identifies the measured tree: the VCS revision stamped into
+// the binary when available (built/installed binaries), the working
+// tree's HEAD otherwise (go run), "unknown" failing both.
+func commitHash() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		rev, dirty := "", ""
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			return rev + dirty
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func main() {
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "pcbench: -compare needs exactly two report files: pcbench -compare old.json new.json")
+			os.Exit(1)
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintf(os.Stderr, "pcbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	report.MaxLog = *maxLog
 	report.Seed = *seed
 	run := func(name string, f func()) {
@@ -83,6 +134,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *jsonPath != "" {
+		report.Commit = commitHash() // resolved only when a report is written
 		blob, err := json.MarshalIndent(&report, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pcbench: %v\n", err)
@@ -385,4 +437,211 @@ func e9() {
 	row("this paper / this repo", "EREW", "O(log n)", "n/log n", fmt.Sprint(s.Time()))
 	fmt.Printf("\nheight of this caterpillar cotree: %d; log2 n = %.0f\n",
 		baseline.Height(bin), lg2(n))
+}
+
+// runCompare renders the speedup table between two -json reports: for
+// every experiment present in both, rows are matched on their
+// non-numeric key cells and each numeric column is shown as
+// "old -> new (ratio)", ratio = old/new (so >1 means the new report is
+// better on time-like columns). This replaces the hand-assembled
+// before/after tables of the README.
+func runCompare(oldPath, newPath string) error {
+	oldBlob, err := os.ReadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newBlob, err := os.ReadFile(newPath)
+	if err != nil {
+		return err
+	}
+	oldRep, err := loadReport(oldBlob, oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newBlob, newPath)
+	if err != nil {
+		return err
+	}
+	if len(oldRep.Experiments) == 0 && len(newRep.Experiments) == 0 {
+		// Not pcbench reports: try the BENCH_PRn.json snapshot format.
+		return compareBench(oldPath, newPath, oldBlob, newBlob)
+	}
+	fmt.Printf("comparing %s (%s, %s) -> %s (%s, %s)\n",
+		oldPath, oldRep.Commit, oldRep.Date, newPath, newRep.Commit, newRep.Date)
+	if oldRep.NumCPU != newRep.NumCPU || oldRep.GOMAXPROCS != newRep.GOMAXPROCS {
+		fmt.Printf("WARNING: host mismatch: cpus %d vs %d, GOMAXPROCS %d vs %d\n",
+			oldRep.NumCPU, newRep.NumCPU, oldRep.GOMAXPROCS, newRep.GOMAXPROCS)
+	}
+	matched := 0
+	for _, ne := range newRep.Experiments {
+		oe := findExperiment(oldRep, ne.Title)
+		if oe == nil || !columnsEqual(oe.Columns, ne.Columns) {
+			continue
+		}
+		matched++
+		fmt.Printf("\n### %s\n\n", ne.Title)
+		fmt.Println("| " + strings.Join(ne.Columns, " | ") + " |")
+		sep := make([]string, len(ne.Columns))
+		for i := range sep {
+			sep[i] = "---"
+		}
+		fmt.Println("| " + strings.Join(sep, " | ") + " |")
+		oldRows := make(map[string][]string, len(oe.Rows))
+		for _, r := range oe.Rows {
+			oldRows[rowKey(r)] = r
+		}
+		for _, nr := range ne.Rows {
+			or, ok := oldRows[rowKey(nr)]
+			if !ok || len(or) != len(nr) {
+				fmt.Println("| " + strings.Join(nr, " | ") + " | (new row)")
+				continue
+			}
+			cells := make([]string, len(nr))
+			for i := range nr {
+				ov, oerr := parseCell(or[i])
+				nv, nerr := parseCell(nr[i])
+				switch {
+				case oerr != nil || nerr != nil || or[i] == nr[i]:
+					cells[i] = nr[i]
+				case nv == 0 || ov == 0:
+					cells[i] = fmt.Sprintf("%s -> %s", or[i], nr[i])
+				default:
+					cells[i] = fmt.Sprintf("%s -> %s (%.2fx)", or[i], nr[i], ov/nv)
+				}
+			}
+			fmt.Println("| " + strings.Join(cells, " | ") + " |")
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no experiments in common between %s and %s", oldPath, newPath)
+	}
+	return nil
+}
+
+func loadReport(blob []byte, path string) (*jsonReport, error) {
+	var rep jsonReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func findExperiment(rep *jsonReport, title string) *jsonExperiment {
+	for i := range rep.Experiments {
+		if rep.Experiments[i].Title == title {
+			return &rep.Experiments[i]
+		}
+	}
+	return nil
+}
+
+func columnsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rowKey joins the non-numeric cells of a row — the shape/size/label
+// columns that identify it across reports.
+func rowKey(row []string) string {
+	var key []string
+	for _, c := range row {
+		if _, err := parseCell(c); err != nil {
+			key = append(key, c)
+		} else if n, err := strconv.Atoi(c); err == nil && isSizeLike(n) {
+			// Integer size columns (n, procs, k, height) are identity, not
+			// measurement: match on them too.
+			key = append(key, c)
+		}
+	}
+	return strings.Join(key, "\x00")
+}
+
+// isSizeLike treats round or structural integers as identity columns.
+// Measurements (simtime, wall ms) are floats or large irregular ints;
+// sizes are the sweep's powers of two and small structural counts.
+func isSizeLike(n int) bool {
+	return n >= 0 && (n < 64 || n&(n-1) == 0)
+}
+
+// parseCell parses a numeric table cell, tolerating the "1.23x" ratio
+// suffix.
+func parseCell(c string) (float64, error) {
+	c = strings.TrimSuffix(strings.TrimSpace(c), "x")
+	return strconv.ParseFloat(c, 64)
+}
+
+// The BENCH_PRn.json format: the per-PR wall-clock snapshots recorded at
+// the repo root. -compare accepts these too, diffing each benchmark's
+// "after" point by name, which generates the README's speedup table
+// instead of assembling it by hand.
+type benchPoint struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type benchEntry struct {
+	Name    string      `json:"name"`
+	Before  *benchPoint `json:"before,omitempty"`
+	After   *benchPoint `json:"after,omitempty"`
+	Speedup float64     `json:"speedup,omitempty"`
+}
+
+type benchReport struct {
+	PR         int          `json:"pr"`
+	Commit     string       `json:"commit,omitempty"`
+	Date       string       `json:"date,omitempty"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+// compareBench diffs two BENCH_PRn.json snapshots on their "after"
+// points.
+func compareBench(oldPath, newPath string, oldBlob, newBlob []byte) error {
+	var oldRep, newRep benchReport
+	if err := json.Unmarshal(oldBlob, &oldRep); err != nil {
+		return fmt.Errorf("%s: %w", oldPath, err)
+	}
+	if err := json.Unmarshal(newBlob, &newRep); err != nil {
+		return fmt.Errorf("%s: %w", newPath, err)
+	}
+	oldBy := make(map[string]*benchPoint, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		if b.After != nil {
+			oldBy[b.Name] = b.After
+		}
+	}
+	fmt.Printf("comparing PR %d (%s) -> PR %d (%s), wall clock and bytes per op\n\n",
+		oldRep.PR, oldPath, newRep.PR, newPath)
+	fmt.Println("| benchmark | ns/op | B/op | allocs/op |")
+	fmt.Println("| --- | --- | --- | --- |")
+	matched := 0
+	for _, b := range newRep.Benchmarks {
+		o := oldBy[b.Name]
+		if o == nil || b.After == nil {
+			continue
+		}
+		matched++
+		fmt.Printf("| %s | %s | %s | %s |\n", b.Name,
+			ratioCell(o.NsPerOp, b.After.NsPerOp),
+			ratioCell(o.BytesPerOp, b.After.BytesPerOp),
+			ratioCell(o.AllocsPerOp, b.After.AllocsPerOp))
+	}
+	if matched == 0 {
+		return fmt.Errorf("no benchmarks in common between %s and %s", oldPath, newPath)
+	}
+	return nil
+}
+
+func ratioCell(old, new float64) string {
+	if old <= 0 || new <= 0 {
+		return fmt.Sprintf("%.3g -> %.3g", old, new)
+	}
+	return fmt.Sprintf("%.3g -> %.3g (%.2fx)", old, new, old/new)
 }

@@ -44,10 +44,11 @@ func (k Kind) Rune() byte {
 	}
 }
 
-// BracketSeq is the sequence B(R) of Step 4 in struct-of-arrays form.
-// Vert[i] is the emitting vertex (>= NumVertices for dummies).
-type BracketSeq struct {
-	Vert []int
+// BracketSeqIx is the sequence B(R) of Step 4 in struct-of-arrays form,
+// generic over the index width (see par.Ix). Vert[i] is the emitting
+// vertex (>= NumVertices for dummies).
+type BracketSeqIx[I par.Ix] struct {
+	Vert []I
 	Kind []Kind
 	// EffDummies is the number of dummy vertices actually emitted
 	// (0 when the generator ran in the paper's pre-§4 form without
@@ -55,18 +56,21 @@ type BracketSeq struct {
 	EffDummies int
 }
 
+// BracketSeq is the int-width bracket sequence, the historical form.
+type BracketSeq = BracketSeqIx[int]
+
 // Len returns the number of brackets.
-func (bs *BracketSeq) Len() int { return len(bs.Vert) }
+func (bs *BracketSeqIx[I]) Len() int { return len(bs.Vert) }
 
 // Release returns the sequence's slices to the Sim's arena.
-func (bs *BracketSeq) Release(s *pram.Sim) {
+func (bs *BracketSeqIx[I]) Release(s *pram.Sim) {
 	pram.Release(s, bs.Vert)
 	pram.Release(s, bs.Kind)
 	bs.Vert, bs.Kind = nil, nil
 }
 
 // String renders the bare bracket characters.
-func (bs *BracketSeq) String() string {
+func (bs *BracketSeqIx[I]) String() string {
 	var sb strings.Builder
 	for _, k := range bs.Kind {
 		sb.WriteByte(k.Rune())
@@ -76,13 +80,13 @@ func (bs *BracketSeq) String() string {
 
 // Annotated renders the sequence with the emitting vertex before each
 // bracket, e.g. "a[ a( a( b) ...", using the provided namer.
-func (bs *BracketSeq) Annotated(name func(id int) string) string {
+func (bs *BracketSeqIx[I]) Annotated(name func(id int) string) string {
 	var sb strings.Builder
 	for i := range bs.Vert {
 		if i > 0 {
 			sb.WriteByte(' ')
 		}
-		sb.WriteString(name(bs.Vert[i]))
+		sb.WriteString(name(int(bs.Vert[i])))
 		sb.WriteByte(bs.Kind[i].Rune())
 	}
 	return sb.String()
@@ -100,8 +104,12 @@ func (bs *BracketSeq) Annotated(name func(id int) string) string {
 // to leaf-rank order). Offsets come from one prefix sum; every bracket
 // is then decoded independently in O(1).
 func GenBrackets(s *pram.Sim, b *cotree.Bin, red *Reduction, withDummies bool) *BracketSeq {
+	return genBracketsIx(s, b, red, withDummies)
+}
+
+func genBracketsIx[I par.Ix](s *pram.Sim, b *cotree.BinIx[I], red *ReductionIx[I], withDummies bool) *BracketSeqIx[I] {
 	n := red.NumVertices
-	unitLen := pram.Grab[int](s, n)
+	unitLen := pram.Grab[I](s, n)
 	s.ParallelForRange(n, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			x := red.VertAt[r]
@@ -110,8 +118,8 @@ func GenBrackets(s *pram.Sim, b *cotree.Bin, red *Reduction, withDummies bool) *
 				unitLen[r] = 3
 				continue
 			}
-			if r == red.Start[b.Right[u]] {
-				nd := 0
+			if I(r) == red.Start[b.Right[u]] {
+				nd := I(0)
 				if withDummies {
 					nd = red.ND[u]
 				}
@@ -119,9 +127,9 @@ func GenBrackets(s *pram.Sim, b *cotree.Bin, red *Reduction, withDummies bool) *
 			}
 		}
 	})
-	owner, off, total := par.Distribute(s, unitLen)
-	bs := &BracketSeq{
-		Vert: pram.GrabNoClear[int](s, total),
+	owner, off, total := par.DistributeIx(s, unitLen)
+	bs := &BracketSeqIx[I]{
+		Vert: pram.GrabNoClear[I](s, total),
 		Kind: pram.GrabNoClear[Kind](s, total),
 	}
 	if withDummies {
@@ -140,7 +148,7 @@ func GenBrackets(s *pram.Sim, b *cotree.Bin, red *Reduction, withDummies bool) *
 
 // decodeBracket writes bracket i of the sequence, which sits at offset j
 // of the unit owned by leaf rank r.
-func decodeBracket(bs *BracketSeq, red *Reduction, b *cotree.Bin, r, j, i int, withDummies bool) {
+func decodeBracket[I par.Ix](bs *BracketSeqIx[I], red *ReductionIx[I], b *cotree.BinIx[I], r, j I, i int, withDummies bool) {
 	x := red.VertAt[r]
 	u := red.Owner[x]
 	if u < 0 { // primary leaf
@@ -156,12 +164,12 @@ func decodeBracket(bs *BracketSeq, red *Reduction, b *cotree.Bin, r, j, i int, w
 		return
 	}
 	nb, ni := red.NB[u], red.NI[u]
-	nd := 0
+	nd := I(0)
 	if withDummies {
 		nd = red.ND[u]
 	}
 	start := red.Start[b.Right[u]]
-	n := red.NumVertices
+	n := I(red.NumVertices)
 	switch {
 	case j < 3*nb: // bridge triple ] ] [
 		bv := red.VertAt[start+j/3]

@@ -21,6 +21,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"pathcover/internal/cotree"
 	"pathcover/internal/par"
@@ -76,11 +77,39 @@ func (c *Cover) Release(s *pram.Sim) {
 	c.seq, c.Paths = nil, nil
 }
 
+// IndexWidth selects the element width of the pipeline's index arrays.
+type IndexWidth uint8
+
+const (
+	// WidthAuto picks int32 kernels when every derived index fits and
+	// int kernels otherwise (the default).
+	WidthAuto IndexWidth = iota
+	// WidthNarrow forces the int32 kernels (the caller guarantees the
+	// input is small enough; ParallelCover rejects inputs past the
+	// narrow bound rather than truncate).
+	WidthNarrow
+	// WidthWide forces the int kernels.
+	WidthWide
+)
+
+// MaxNarrowVertices is the largest vertex count the int32 pipeline
+// accepts. The binding constraint is not n itself but the largest id the
+// pipeline ever stores in a narrow cell: the dummy-augmented pseudo
+// forest has up to 3n-2 nodes, its Euler tour 3x that many items, and
+// the weighted list ranks over the tour sum to its length — all bounded
+// by 10n with room to spare, hence the /10.
+const MaxNarrowVertices = (math.MaxInt32 - 64) / 10
+
+// fitsNarrow reports whether an n-vertex cover can run on the int32
+// kernels without any derived value overflowing.
+func fitsNarrow(n int) bool { return n <= MaxNarrowVertices }
+
 // Options tune the pipeline (mostly for tests and experiments).
 type Options struct {
 	Seed         uint64     // randomization seed for list ranking
 	WithoutDummy bool       // skip dummy vertices (Fig. 9/10 demonstrations only: produces pseudo path trees that may be invalid)
 	SkipFix      bool       // skip Step 6 (for observing illegal inserts)
+	Width        IndexWidth // index-array element width (default WidthAuto)
 	Trace        *StepTrace // when non-nil, per-step simulated costs are recorded
 }
 
@@ -113,13 +142,47 @@ func (tr *StepTrace) String() string {
 
 // ParallelCover runs the full pipeline on a cotree. The number of
 // simulated processors (and the goroutine parallelism) comes from s.
+//
+// The index width follows opt.Width: by default the whole pipeline —
+// binarization through path extraction — runs on int32 index arrays
+// whenever the input is small enough (MaxNarrowVertices), halving the
+// bytes every bandwidth-bound phase streams, and falls back to the int
+// kernels otherwise. The two widths produce identical covers and
+// identical simulated cost counters.
 func ParallelCover(s *pram.Sim, t *cotree.Tree, opt Options) (*Cover, error) {
+	narrow, err := resolveWidth(t.NumVertices(), opt.Width)
+	if err != nil {
+		return nil, err
+	}
+	if narrow {
+		return parallelCoverIx[int32](s, t, opt)
+	}
+	return parallelCoverIx[int](s, t, opt)
+}
+
+// resolveWidth maps the requested index width onto the narrow/wide
+// routes for an n-vertex input, rejecting a forced-narrow request the
+// int32 kernels cannot hold rather than truncating.
+func resolveWidth(n int, w IndexWidth) (narrow bool, err error) {
+	narrow = fitsNarrow(n)
+	switch w {
+	case WidthNarrow:
+		if !narrow {
+			return false, fmt.Errorf("core: %d vertices exceed the narrow-index bound %d", n, MaxNarrowVertices)
+		}
+	case WidthWide:
+		narrow = false
+	}
+	return narrow, nil
+}
+
+func parallelCoverIx[I par.Ix](s *pram.Sim, t *cotree.Tree, opt Options) (*Cover, error) {
 	t0, w0 := s.Time(), s.Work()
-	b := t.Binarize(s) // Step 1
+	b := cotree.BinarizeIx[I](s, t) // Step 1
 	t0, w0 = opt.Trace.add(s, "1 binarize", t0, w0)
 	L := b.MakeLeftist(s, opt.Seed) // Step 2
 	opt.Trace.add(s, "2 leaf counts + leftist", t0, w0)
-	cov, err := ParallelCoverBin(s, b, L, opt)
+	cov, err := coverBinIx(s, b, L, opt)
 	pram.Release(s, L)
 	b.Release(s)
 	return cov, err
@@ -127,21 +190,25 @@ func ParallelCover(s *pram.Sim, t *cotree.Tree, opt Options) (*Cover, error) {
 
 // ParallelCoverBin runs Steps 3-8 on an already leftist binarized cotree.
 func ParallelCoverBin(s *pram.Sim, b *cotree.Bin, L []int, opt Options) (*Cover, error) {
+	return coverBinIx(s, b, L, opt)
+}
+
+func coverBinIx[I par.Ix](s *pram.Sim, b *cotree.BinIx[I], L []I, opt Options) (*Cover, error) {
 	n := b.NumVertices()
 	if n == 1 {
 		return &Cover{Paths: [][]int{{0}}, NumPaths: 1, Stats: s.Stats()}, nil
 	}
 	t0, w0 := s.Time(), s.Work()
-	tour := par.TourBinary(s, b.BinTree, opt.Seed^0x9e37)
+	tour := par.TourBinaryIx(s, b.BinTree, opt.Seed^0x9e37)
 	t0, w0 = opt.Trace.add(s, "3a euler tour", t0, w0)
-	p := ComputeP(s, b, L, tour) // Step 3 (Lemma 2.4)
+	p := computePIx(s, b, L, tour) // Step 3 (Lemma 2.4)
 	t0, w0 = opt.Trace.add(s, "3b p(u) contraction", t0, w0)
-	red := Reduce(s, b, L, p, tour)
+	red := reduceIx(s, b, L, p, tour)
 	t0, w0 = opt.Trace.add(s, "3c reduction", t0, w0)
 	tour.Release(s)
-	seq := GenBrackets(s, b, red, !opt.WithoutDummy) // Step 4
+	seq := genBracketsIx(s, b, red, !opt.WithoutDummy) // Step 4
 	t0, w0 = opt.Trace.add(s, "4 bracket generation", t0, w0)
-	ps, err := BuildPseudo(s, n, red, seq) // Step 5
+	ps, err := buildPseudoIx(s, n, red, seq) // Step 5
 	seq.Release(s)
 	if err != nil {
 		red.Release(s)
@@ -149,27 +216,51 @@ func ParallelCoverBin(s *pram.Sim, b *cotree.Bin, L []int, opt Options) (*Cover,
 	}
 	t0, w0 = opt.Trace.add(s, "5 matching + pseudo trees", t0, w0)
 	if !opt.SkipFix && !opt.WithoutDummy {
-		if _, err := FixIllegal(s, ps, red, opt.Seed^0xabcd); err != nil {
+		if _, err := fixIllegalIx(s, ps, red, opt.Seed^0xabcd); err != nil {
 			red.Release(s)
 			ps.Release(s)
 			return nil, err
 		}
 	}
 	t0, w0 = opt.Trace.add(s, "6 illegal-insert exchange", t0, w0)
-	final := Bypass(s, ps, red, opt.Seed^0x1234) // Step 7
+	final := bypassIx(s, ps, red, opt.Seed^0x1234) // Step 7
 	t0, w0 = opt.Trace.add(s, "7 dummy bypass", t0, w0)
 	ps.Release(s)
-	pRoot := p[b.Root]
-	red.Release(s)                                               // red.P aliases p; released here
-	paths, seqBacking := ExtractPaths(s, final, opt.Seed^0x7777) // Step 8
+	pRoot := int(p[b.Root])
+	red.Release(s)                                                  // red.P aliases p; released here
+	pathsIx, backingIx := extractPathsIx(s, final, opt.Seed^0x7777) // Step 8
 	opt.Trace.add(s, "8 extract paths", t0, w0)
-	par.ReleaseBinTree(s, final)
-	if len(paths) != pRoot {
-		pram.Release(s, seqBacking)
-		pram.Release(s, paths)
-		return nil, fmt.Errorf("core: produced %d paths, p(root)=%d", len(paths), pRoot)
+	par.ReleaseBinTreeIx(s, final)
+	if len(pathsIx) != pRoot {
+		pram.Release(s, backingIx)
+		pram.Release(s, pathsIx)
+		return nil, fmt.Errorf("core: produced %d paths, p(root)=%d", len(pathsIx), pRoot)
 	}
+	paths, seqBacking := toIntPaths(s, pathsIx, backingIx)
 	return &Cover{Paths: paths, NumPaths: len(paths), Stats: s.Stats(), seq: seqBacking}, nil
+}
+
+// toIntPaths converts the arena-backed paths of a narrow run to the int
+// representation the Cover type exposes; the int instantiation is the
+// identity. The conversion is a host-level representation change (one
+// pass over n elements), not a simulated phase, so it charges nothing.
+func toIntPaths[I par.Ix](s *pram.Sim, pathsIx [][]I, backing []I) ([][]int, []int) {
+	if p, ok := any(pathsIx).([][]int); ok {
+		return p, any(backing).([]int)
+	}
+	seq := pram.GrabNoClear[int](s, len(backing))
+	for i, v := range backing {
+		seq[i] = int(v)
+	}
+	paths := pram.GrabNoClear[[]int](s, len(pathsIx))
+	off := 0
+	for i, p := range pathsIx {
+		paths[i] = seq[off : off+len(p)]
+		off += len(p)
+	}
+	pram.Release(s, backing)
+	pram.Release(s, pathsIx)
+	return paths, seq
 }
 
 // ComputeP evaluates the Lin et al. recurrence (Lemma 2.4)
@@ -181,6 +272,10 @@ func ParallelCoverBin(s *pram.Sim, b *cotree.Bin, L []int, opt Options) (*Cover,
 // for every node of the leftist binarized cotree by parallel tree
 // contraction in O(log n) time and O(n) work.
 func ComputeP(s *pram.Sim, b *cotree.Bin, L []int, tour *par.Tour) []int {
+	return computePIx(s, b, L, tour)
+}
+
+func computePIx[I par.Ix](s *pram.Sim, b *cotree.BinIx[I], L []I, tour *par.TourIx[I]) []I {
 	nn := b.NumNodes()
 	op := pram.Grab[par.NodeOp](s, nn)
 	leafVal := pram.Grab[int64](s, nn)
@@ -196,11 +291,11 @@ func ComputeP(s *pram.Sim, b *cotree.Bin, L []int, tour *par.Tour) []int {
 		}
 	})
 	ranks, _ := tour.LeafRanks(s, b.BinTree)
-	vals := par.EvalTree(s, b.BinTree, op, leafVal, ranks)
-	p := pram.GrabNoClear[int](s, nn)
+	vals := par.EvalTreeIx(s, b.BinTree, op, leafVal, ranks)
+	p := pram.GrabNoClear[I](s, nn)
 	s.ParallelForRange(nn, func(lo, hi int) {
 		for u := lo; u < hi; u++ {
-			p[u] = int(vals[u])
+			p[u] = I(vals[u])
 		}
 	})
 	pram.Release(s, op)

@@ -17,6 +17,9 @@ import (
 // construction splits a parallel cover of G(v) into exactly L(w)
 // segments and interleaves the vertices of G(w) around the cycle with
 // prefix-sum arithmetic — O(log n) time, O(n) work end to end.
+//
+// Like ParallelCover, both constructions follow opt.Width: narrow
+// (int32) index kernels whenever the input fits, int otherwise.
 
 // ParallelHamiltonianPath returns a Hamiltonian path computed by the
 // optimal parallel algorithm, or ok=false when none exists. The path is
@@ -40,7 +43,18 @@ func ParallelHamiltonianPath(s *pram.Sim, t *cotree.Tree, opt Options) ([]int, b
 // parallel pipeline, or ok=false when none exists. The cycle is drawn
 // from the Sim's arena; the caller owns (and may Release) it.
 func ParallelHamiltonianCycle(s *pram.Sim, t *cotree.Tree, opt Options) ([]int, bool, error) {
-	b := t.Binarize(s)
+	narrow, err := resolveWidth(t.NumVertices(), opt.Width)
+	if err != nil {
+		return nil, false, err
+	}
+	if narrow {
+		return hamCycleIx[int32](s, t, opt)
+	}
+	return hamCycleIx[int](s, t, opt)
+}
+
+func hamCycleIx[I par.Ix](s *pram.Sim, t *cotree.Tree, opt Options) ([]int, bool, error) {
+	b := cotree.BinarizeIx[I](s, t)
 	L := b.MakeLeftist(s, opt.Seed)
 	n := b.NumVertices()
 	root := b.Root
@@ -52,21 +66,21 @@ func ParallelHamiltonianCycle(s *pram.Sim, t *cotree.Tree, opt Options) ([]int, 
 		release()
 		return nil, false, nil
 	}
-	tour := par.TourBinary(s, b.BinTree, opt.Seed^0x5ca1e)
-	p := ComputeP(s, b, L, tour)
+	tour := par.TourBinaryIx(s, b.BinTree, opt.Seed^0x5ca1e)
+	p := computePIx(s, b, L, tour)
 	v, w := b.Left[root], b.Right[root]
-	k := L[w]
+	k := int(L[w])
 	pv := p[v]
 	pram.Release(s, p)
-	if pv > k {
+	if int(pv) > k {
 		tour.Release(s)
 		release()
 		return nil, false, nil
 	}
 
 	// Cover G(v) with the parallel algorithm on the extracted subtree.
-	sub, toSub, fromSub := ExtractSubtree(s, b, v, tour)
-	subL := pram.Grab[int](s, sub.NumNodes())
+	sub, toSub, fromSub := extractSubtreeIx(s, b, int(v), tour)
+	subL := pram.Grab[I](s, sub.NumNodes())
 	s.ParallelForRange(b.NumNodes(), func(lo, hi int) {
 		for u := lo; u < hi; u++ {
 			if su := toSub[u]; su >= 0 {
@@ -75,7 +89,7 @@ func ParallelHamiltonianCycle(s *pram.Sim, t *cotree.Tree, opt Options) ([]int, 
 		}
 	})
 	pram.Release(s, toSub)
-	cov, err := ParallelCoverBin(s, sub, subL, opt)
+	cov, err := coverBinIx(s, sub, subL, opt)
 	pram.Release(s, subL)
 	sub.Release(s)
 	if err != nil {
@@ -87,16 +101,16 @@ func ParallelHamiltonianCycle(s *pram.Sim, t *cotree.Tree, opt Options) ([]int, 
 
 	// Flatten the cover: order[] is the concatenation of the paths;
 	// pathEnd[j] marks the last vertex of each path.
-	nv := L[v]
-	order := pram.GrabNoClear[int](s, nv)
+	nv := int(L[v])
+	order := pram.GrabNoClear[I](s, nv)
 	pathEnd := pram.GrabNoClear[bool](s, nv)
-	lens := pram.GrabNoClear[int](s, len(cov.Paths))
-	s.ParallelFor(len(cov.Paths), func(i int) { lens[i] = len(cov.Paths[i]) })
-	offs, _ := par.ScanInt(s, lens)
+	lens := pram.GrabNoClear[I](s, len(cov.Paths))
+	s.ParallelFor(len(cov.Paths), func(i int) { lens[i] = I(len(cov.Paths[i])) })
+	offs, _ := par.ScanIx(s, lens)
 	s.ParallelFor(len(cov.Paths), func(i int) {
 		for j, sv := range cov.Paths[i] { // cost folded into ForCost below
-			order[offs[i]+j] = fromSub[sv]
-			pathEnd[offs[i]+j] = j == len(cov.Paths[i])-1
+			order[int(offs[i])+j] = fromSub[sv]
+			pathEnd[int(offs[i])+j] = j == len(cov.Paths[i])-1
 		}
 	})
 	s.Charge(0, int64(nv)) // account the copy above
@@ -108,9 +122,9 @@ func ParallelHamiltonianCycle(s *pram.Sim, t *cotree.Tree, opt Options) ([]int, 
 
 	// Split into exactly k segments: the p(v) path ends plus the first
 	// k - p(v) interior positions become segment ends.
-	cuts := k - numPaths
-	interior := boolInts(s, pathEnd, true)
-	interiorRank, _ := par.ScanInt(s, interior)
+	cuts := I(k - numPaths)
+	interior := boolIxs[I](s, pathEnd, true)
+	interiorRank, _ := par.ScanIx(s, interior)
 	pram.Release(s, interior)
 	segEnd := pram.GrabNoClear[bool](s, nv)
 	s.ParallelForRange(nv, func(lo, hi int) {
@@ -121,23 +135,23 @@ func ParallelHamiltonianCycle(s *pram.Sim, t *cotree.Tree, opt Options) ([]int, 
 	pram.Release(s, interiorRank)
 	// Output index of order[j] = j + (number of segment ends before j);
 	// the w vertex after segment i goes right after that segment's end.
-	ends := boolInts(s, segEnd, false)
-	endsBefore, totalEnds := par.ScanInt(s, ends)
+	ends := boolIxs[I](s, segEnd, false)
+	endsBefore, totalEnds := par.ScanIx(s, ends)
 	pram.Release(s, ends)
-	if totalEnds != k {
+	if int(totalEnds) != k {
 		pram.Release(s, order)
 		pram.Release(s, pathEnd)
 		pram.Release(s, segEnd)
 		pram.Release(s, endsBefore)
 		tour.Release(s)
 		release()
-		return nil, false, fmt.Errorf("core: cycle split produced %d segments, want %d", totalEnds, k)
+		return nil, false, fmt.Errorf("core: cycle split produced %d segments, want %d", int(totalEnds), k)
 	}
-	ws := subtreeLeafVertices(s, b, w, tour)
-	cycle := pram.GrabNoClear[int](s, n)
+	ws := subtreeLeafVerticesIx(s, b, int(w), tour)
+	cycle := pram.GrabNoClear[I](s, n)
 	s.ParallelForRange(nv, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
-			pos := j + endsBefore[j]
+			pos := j + int(endsBefore[j])
 			cycle[pos] = order[j]
 			if segEnd[j] {
 				cycle[pos+1] = ws[endsBefore[j]]
@@ -151,13 +165,28 @@ func ParallelHamiltonianCycle(s *pram.Sim, t *cotree.Tree, opt Options) ([]int, 
 	pram.Release(s, ws)
 	tour.Release(s)
 	release()
-	return cycle, true, nil
+	return toIntSlice(s, cycle), true, nil
 }
 
-// boolInts converts a flag slice to 0/1 ints; when invert is set the
+// toIntSlice converts an arena-backed narrow result to the int
+// representation the public API exposes; the int instantiation is the
+// identity. Uncharged, like toIntPaths.
+func toIntSlice[I par.Ix](s *pram.Sim, v []I) []int {
+	if out, ok := any(v).([]int); ok {
+		return out
+	}
+	out := pram.GrabNoClear[int](s, len(v))
+	for i, x := range v {
+		out[i] = int(x)
+	}
+	pram.Release(s, v)
+	return out
+}
+
+// boolIxs converts a flag slice to 0/1 values; when invert is set the
 // flags are negated (1 for false).
-func boolInts(s *pram.Sim, flags []bool, invert bool) []int {
-	out := pram.GrabNoClear[int](s, len(flags))
+func boolIxs[I par.Ix](s *pram.Sim, flags []bool, invert bool) []I {
+	out := pram.GrabNoClear[I](s, len(flags))
 	s.ParallelForRange(len(flags), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if flags[i] != invert {
@@ -175,6 +204,10 @@ func boolInts(s *pram.Sim, flags []bool, invert bool) []int {
 // the new tree plus the node mapping old->new (-1 outside the subtree)
 // and the vertex mapping new vertex -> old vertex.
 func ExtractSubtree(s *pram.Sim, b *cotree.Bin, v int, tour *par.Tour) (*cotree.Bin, []int, []int) {
+	return extractSubtreeIx(s, b, v, tour)
+}
+
+func extractSubtreeIx[I par.Ix](s *pram.Sim, b *cotree.BinIx[I], v int, tour *par.TourIx[I]) (*cotree.BinIx[I], []I, []I) {
 	nn := b.NumNodes()
 	inSub := pram.GrabNoClear[bool](s, nn)
 	s.ParallelForRange(nn, func(lo, hi int) {
@@ -182,14 +215,14 @@ func ExtractSubtree(s *pram.Sim, b *cotree.Bin, v int, tour *par.Tour) (*cotree.
 			inSub[x] = tour.Pre[v] <= tour.Pre[x] && tour.Post[x] <= tour.Post[v]
 		}
 	})
-	nodes := par.IndexPack(s, inSub)
-	toSub := pram.GrabNoClear[int](s, nn)
+	nodes := par.IndexPackIx[I](s, inSub)
+	toSub := pram.GrabNoClear[I](s, nn)
 	s.ParallelForRange(nn, func(lo, hi int) {
 		for x := lo; x < hi; x++ {
 			toSub[x] = -1
 		}
 	})
-	s.ParallelFor(len(nodes), func(i int) { toSub[nodes[i]] = i })
+	s.ParallelFor(len(nodes), func(i int) { toSub[nodes[i]] = I(i) })
 
 	// Vertices: leaves of the subtree, renumbered by leaf order.
 	isLeafIn := pram.GrabNoClear[bool](s, nn)
@@ -198,20 +231,20 @@ func ExtractSubtree(s *pram.Sim, b *cotree.Bin, v int, tour *par.Tour) (*cotree.
 			isLeafIn[x] = inSub[x] && b.IsLeaf(x)
 		}
 	})
-	leaves := par.IndexPack(s, isLeafIn)
-	fromSub := pram.GrabNoClear[int](s, len(leaves))
-	vertSub := pram.Grab[int](s, nn) // old node -> new vertex id
+	leaves := par.IndexPackIx[I](s, isLeafIn)
+	fromSub := pram.GrabNoClear[I](s, len(leaves))
+	vertSub := pram.Grab[I](s, nn) // old node -> new vertex id
 	s.ParallelFor(len(leaves), func(i int) {
 		fromSub[i] = b.VertexOf[leaves[i]]
-		vertSub[leaves[i]] = i
+		vertSub[leaves[i]] = I(i)
 	})
 
-	sub := &cotree.Bin{
-		BinTree:  par.GrabBinTree(s, len(nodes)),
+	sub := &cotree.BinIx[I]{
+		BinTree:  par.GrabBinTreeIx[I](s, len(nodes)),
 		One:      pram.Grab[bool](s, len(nodes)),
-		VertexOf: pram.GrabNoClear[int](s, len(nodes)),
-		LeafOf:   pram.GrabNoClear[int](s, len(leaves)),
-		Root:     toSub[v],
+		VertexOf: pram.GrabNoClear[I](s, len(nodes)),
+		LeafOf:   pram.GrabNoClear[I](s, len(leaves)),
+		Root:     int(toSub[v]),
 	}
 	s.ForCostRange(len(nodes), 2, func(ilo, ihi int) {
 		for i := ilo; i < ihi; i++ {
@@ -220,15 +253,15 @@ func ExtractSubtree(s *pram.Sim, b *cotree.Bin, v int, tour *par.Tour) (*cotree.
 			sub.VertexOf[i] = -1
 			if l := b.Left[x]; l >= 0 {
 				sub.Left[i] = toSub[l]
-				sub.Parent[toSub[l]] = i
+				sub.Parent[toSub[l]] = I(i)
 			}
 			if r := b.Right[x]; r >= 0 {
 				sub.Right[i] = toSub[r]
-				sub.Parent[toSub[r]] = i
+				sub.Parent[toSub[r]] = I(i)
 			}
-			if b.IsLeaf(x) {
+			if b.IsLeaf(int(x)) {
 				sub.VertexOf[i] = vertSub[x]
-				sub.LeafOf[vertSub[x]] = i
+				sub.LeafOf[vertSub[x]] = I(i)
 			}
 		}
 	})
@@ -241,8 +274,8 @@ func ExtractSubtree(s *pram.Sim, b *cotree.Bin, v int, tour *par.Tour) (*cotree.
 	return sub, toSub, fromSub
 }
 
-// subtreeLeafVertices lists the vertices under node w in leaf order.
-func subtreeLeafVertices(s *pram.Sim, b *cotree.Bin, w int, tour *par.Tour) []int {
+// subtreeLeafVerticesIx lists the vertices under node w in leaf order.
+func subtreeLeafVerticesIx[I par.Ix](s *pram.Sim, b *cotree.BinIx[I], w int, tour *par.TourIx[I]) []I {
 	nn := b.NumNodes()
 	flags := pram.GrabNoClear[bool](s, nn)
 	s.ParallelForRange(nn, func(lo, hi int) {
@@ -250,8 +283,8 @@ func subtreeLeafVertices(s *pram.Sim, b *cotree.Bin, w int, tour *par.Tour) []in
 			flags[x] = b.IsLeaf(x) && tour.Pre[w] <= tour.Pre[x] && tour.Post[x] <= tour.Post[w]
 		}
 	})
-	leaves := par.IndexPack(s, flags)
-	out := pram.GrabNoClear[int](s, len(leaves))
+	leaves := par.IndexPackIx[I](s, flags)
+	out := pram.GrabNoClear[I](s, len(leaves))
 	s.ParallelFor(len(leaves), func(i int) { out[i] = b.VertexOf[leaves[i]] })
 	pram.Release(s, flags)
 	pram.Release(s, leaves)

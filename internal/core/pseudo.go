@@ -7,20 +7,29 @@ import (
 	"pathcover/internal/pram"
 )
 
-// Pseudo is the pseudo path forest of Step 5: binary trees over the n
-// real vertices plus the dummy vertices (ids n..n+EffDummies-1), whose
-// inorder traversals spell out candidate paths. Until Step 6 it may
-// contain illegal insert vertices (paper Fig. 9).
-type Pseudo struct {
-	par.BinTree
+// BinTree re-aliases the width-generic binary forest of internal/par so
+// PseudoIx can embed it under the field name the int-width code has
+// always used.
+type BinTree[I par.Ix] = par.BinTreeIx[I]
+
+// PseudoIx is the pseudo path forest of Step 5, generic over the index
+// width (see par.Ix): binary trees over the n real vertices plus the
+// dummy vertices (ids n..n+EffDummies-1), whose inorder traversals spell
+// out candidate paths. Until Step 6 it may contain illegal insert
+// vertices (paper Fig. 9).
+type PseudoIx[I par.Ix] struct {
+	BinTree[I]
 	NumVertices int
 	EffDummies  int
 }
 
+// Pseudo is the int-width pseudo forest, the historical form.
+type Pseudo = PseudoIx[int]
+
 // Release returns the pseudo forest's link slices to the Sim's arena.
-func (ps *Pseudo) Release(s *pram.Sim) {
-	par.ReleaseBinTree(s, ps.BinTree)
-	ps.BinTree = par.BinTree{}
+func (ps *PseudoIx[I]) Release(s *pram.Sim) {
+	par.ReleaseBinTreeIx(s, ps.BinTree)
+	ps.BinTree = BinTree[I]{}
 }
 
 // BuildPseudo matches the square and round bracket families
@@ -37,9 +46,13 @@ func (ps *Pseudo) Release(s *pram.Sim) {
 // capacity invariant S(x) >= L(x)+p(x) of §4 rules it out, and the
 // builder reports it as an error if it ever happens.
 func BuildPseudo(s *pram.Sim, n int, red *Reduction, seq *BracketSeq) (*Pseudo, error) {
+	return buildPseudoIx(s, n, red, seq)
+}
+
+func buildPseudoIx[I par.Ix](s *pram.Sim, n int, red *ReductionIx[I], seq *BracketSeqIx[I]) (*PseudoIx[I], error) {
 	total := seq.Len()
 	N := n + seq.EffDummies
-	ps := &Pseudo{BinTree: par.GrabBinTree(s, N), NumVertices: n, EffDummies: seq.EffDummies}
+	ps := &PseudoIx[I]{BinTree: par.GrabBinTreeIx[I](s, N), NumVertices: n, EffDummies: seq.EffDummies}
 
 	for _, square := range []bool{true, false} {
 		square := square
@@ -49,7 +62,7 @@ func BuildPseudo(s *pram.Sim, n int, red *Reduction, seq *BracketSeq) (*Pseudo, 
 				inFam[i] = seq.Kind[i].IsSquare() == square
 			}
 		})
-		pos := par.IndexPack(s, inFam)
+		pos := par.IndexPackIx[I](s, inFam)
 		m := len(pos)
 		open := pram.GrabNoClear[bool](s, m)
 		s.ParallelForRange(m, func(lo, hi int) {
@@ -57,9 +70,9 @@ func BuildPseudo(s *pram.Sim, n int, red *Reduction, seq *BracketSeq) (*Pseudo, 
 				open[k] = seq.Kind[pos[k]].IsOpen()
 			}
 		})
-		match := par.MatchBrackets(s, open)
+		match := par.MatchBracketsIx[I](s, open)
 
-		bad := pram.Grab[int](s, m)
+		bad := pram.Grab[I](s, m)
 		s.ForCostRange(m, 2, func(lo, hi int) {
 			for k := lo; k < hi; k++ {
 				i := pos[k]
@@ -95,7 +108,7 @@ func BuildPseudo(s *pram.Sim, n int, red *Reduction, seq *BracketSeq) (*Pseudo, 
 				}
 			}
 		})
-		nbad := par.Reduce(s, bad, 0, func(a, b int) int { return a + b })
+		nbad := par.Reduce(s, bad, 0, func(a, b I) I { return a + b })
 		pram.Release(s, inFam)
 		pram.Release(s, pos)
 		pram.Release(s, open)
@@ -103,7 +116,7 @@ func BuildPseudo(s *pram.Sim, n int, red *Reduction, seq *BracketSeq) (*Pseudo, 
 		pram.Release(s, bad)
 		if nbad > 0 {
 			ps.Release(s)
-			return nil, fmt.Errorf("core: %d unmatched parent brackets (capacity invariant violated)", nbad)
+			return nil, fmt.Errorf("core: %d unmatched parent brackets (capacity invariant violated)", int(nbad))
 		}
 	}
 	return ps, nil
@@ -129,6 +142,10 @@ func BuildPseudo(s *pram.Sim, n int, red *Reduction, seq *BracketSeq) (*Pseudo, 
 //
 // It returns the total number of exchanges performed.
 func FixIllegal(s *pram.Sim, ps *Pseudo, red *Reduction, seed uint64) (int, error) {
+	return fixIllegalIx(s, ps, red, seed)
+}
+
+func fixIllegalIx[I par.Ix](s *pram.Sim, ps *PseudoIx[I], red *ReductionIx[I], seed uint64) (int, error) {
 	n := red.NumVertices
 	N := ps.Len()
 	nd := ps.EffDummies
@@ -136,15 +153,11 @@ func FixIllegal(s *pram.Sim, ps *Pseudo, red *Reduction, seed uint64) (int, erro
 		return 0, nil
 	}
 
-	type seg struct {
-		sum   int
-		reset bool
-	}
-	segOp := func(a, b seg) seg {
+	segOp := func(a, b segIx[I]) segIx[I] {
 		if b.reset {
 			return b
 		}
-		return seg{a.sum + b.sum, a.reset}
+		return segIx[I]{a.sum + b.sum, a.reset}
 	}
 
 	// Inserts in (owner, idx) order = leaf-rank order filtered to inserts.
@@ -154,47 +167,48 @@ func FixIllegal(s *pram.Sim, ps *Pseudo, red *Reduction, seed uint64) (int, erro
 			isIns[r] = red.Role[red.VertAt[r]] == RoleInsert
 		}
 	})
-	insRanks := par.IndexPack(s, isIns)
+	insRanks := par.IndexPackIx[I](s, isIns)
 	pram.Release(s, isIns)
 	ni := len(insRanks)
 	defer pram.Release(s, insRanks)
 
+	sentinel := par.MinIx[I]()
 	totalSwaps := 0
 	const maxRounds = 48
 	for round := 0; ; round++ {
 		if round >= maxRounds {
 			return totalSwaps, fmt.Errorf("core: illegal-insert exchange did not converge in %d rounds", maxRounds)
 		}
-		tour := par.TourBinary(s, ps.BinTree, seed+uint64(round))
+		tour := par.TourBinaryIx(s, ps.BinTree, seed+uint64(round))
 
 		// Effective neighbours: nearest non-dummy left/right in inorder.
-		lastReal := pram.GrabNoClear[int](s, N)
+		lastReal := pram.GrabNoClear[I](s, N)
 		s.ParallelForRange(N, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				if tour.InSeq[i] < n {
-					lastReal[i] = i
+				if int(tour.InSeq[i]) < n {
+					lastReal[i] = I(i)
 				} else {
 					lastReal[i] = -1
 				}
 			}
 		})
-		prevReal := par.MaxScanInt(s, lastReal)
+		prevReal := par.MaxScanIx(s, lastReal)
 		// next non-dummy via a max-scan over the reversed sequence.
-		rev := pram.GrabNoClear[int](s, N)
+		rev := pram.GrabNoClear[I](s, N)
 		s.ParallelForRange(N, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				j := N - 1 - i
-				if tour.InSeq[j] < n {
-					rev[i] = -(j + 1) // encode so that max = smallest j
+				if int(tour.InSeq[j]) < n {
+					rev[i] = -I(j + 1) // encode so that max = smallest j
 				} else {
-					rev[i] = minIntSentinel
+					rev[i] = sentinel
 				}
 			}
 		})
-		nextRealEnc := par.MaxScanInt(s, rev)
+		nextRealEnc := par.MaxScanIx(s, rev)
 
 		effNeighbor := func(x int, left bool) int {
-			in := tour.In[x]
+			in := int(tour.In[x])
 			if left {
 				if in == 0 {
 					return -1
@@ -203,7 +217,7 @@ func FixIllegal(s *pram.Sim, ps *Pseudo, red *Reduction, seed uint64) (int, erro
 				if p < 0 {
 					return -1
 				}
-				y := tour.InSeq[p]
+				y := int(tour.InSeq[p])
 				if tour.Root[y] != tour.Root[x] {
 					return -1
 				}
@@ -213,10 +227,10 @@ func FixIllegal(s *pram.Sim, ps *Pseudo, red *Reduction, seed uint64) (int, erro
 				return -1
 			}
 			enc := nextRealEnc[N-1-(in+1)]
-			if enc == minIntSentinel {
+			if enc == sentinel {
 				return -1
 			}
-			y := tour.InSeq[-enc-1]
+			y := int(tour.InSeq[-enc-1])
 			if tour.Root[y] != tour.Root[x] {
 				return -1
 			}
@@ -248,28 +262,28 @@ func FixIllegal(s *pram.Sim, ps *Pseudo, red *Reduction, seed uint64) (int, erro
 		pram.Release(s, nextRealEnc)
 
 		// Rank illegal inserts per owner.
-		insItems := pram.GrabNoClear[seg](s, ni)
+		insItems := pram.GrabNoClear[segIx[I]](s, ni)
 		s.ForCostRange(ni, 2, func(lo, hi int) {
 			for k := lo; k < hi; k++ {
 				x := red.VertAt[insRanks[k]]
-				v := 0
+				v := I(0)
 				if illegal[x] {
 					v = 1
 				}
 				reset := k == 0 || red.Owner[red.VertAt[insRanks[k-1]]] != red.Owner[x]
-				insItems[k] = seg{v, reset}
+				insItems[k] = segIx[I]{v, reset}
 			}
 		})
-		insScan := par.InclusiveScan(s, insItems, seg{}, segOp)
+		insScan := par.InclusiveScan(s, insItems, segIx[I]{}, segOp)
 		nIllegal := 0
 		{
-			flags := pram.GrabNoClear[int](s, ni)
+			flags := pram.GrabNoClear[I](s, ni)
 			s.ParallelForRange(ni, func(lo, hi int) {
 				for k := lo; k < hi; k++ {
 					flags[k] = insItems[k].sum
 				}
 			})
-			nIllegal = par.Reduce(s, flags, 0, func(a, b int) int { return a + b })
+			nIllegal = int(par.Reduce(s, flags, 0, func(a, b I) I { return a + b }))
 			pram.Release(s, flags)
 		}
 		pram.Release(s, insItems)
@@ -281,20 +295,20 @@ func FixIllegal(s *pram.Sim, ps *Pseudo, red *Reduction, seed uint64) (int, erro
 
 		// Rank legal dummies per owner (dummies are grouped by owner in
 		// id order) and count them per owner.
-		dumItems := pram.GrabNoClear[seg](s, nd)
+		dumItems := pram.GrabNoClear[segIx[I]](s, nd)
 		s.ForCostRange(nd, 2, func(lo, hi int) {
 			for d := lo; d < hi; d++ {
-				v := 0
+				v := I(0)
 				if !illegal[n+d] {
 					v = 1
 				}
 				reset := d == 0 || red.DummyOwner[d-1] != red.DummyOwner[d]
-				dumItems[d] = seg{v, reset}
+				dumItems[d] = segIx[I]{v, reset}
 			}
 		})
-		dumScan := par.InclusiveScan(s, dumItems, seg{}, segOp)
-		legalAt := pram.GrabNoClear[int](s, nd)
-		legalCount := pram.Grab[int](s, nd) // per owner, stored at DummyBase
+		dumScan := par.InclusiveScan(s, dumItems, segIx[I]{}, segOp)
+		legalAt := pram.GrabNoClear[I](s, nd)
+		legalCount := pram.Grab[I](s, nd) // per owner, stored at DummyBase
 		s.ParallelForRange(nd, func(lo, hi int) {
 			for d := lo; d < hi; d++ {
 				legalAt[d] = -1
@@ -304,7 +318,7 @@ func FixIllegal(s *pram.Sim, ps *Pseudo, red *Reduction, seed uint64) (int, erro
 			for d := lo; d < hi; d++ {
 				u := red.DummyOwner[d]
 				if !illegal[n+d] {
-					legalAt[red.DummyBase[u]+dumScan[d].sum-1] = n + d
+					legalAt[red.DummyBase[u]+dumScan[d].sum-1] = I(n + d)
 				}
 				if d == nd-1 || red.DummyOwner[d+1] != u {
 					legalCount[red.DummyBase[u]] = dumScan[d].sum
@@ -315,7 +329,7 @@ func FixIllegal(s *pram.Sim, ps *Pseudo, red *Reduction, seed uint64) (int, erro
 		// Exchange: k-th illegal insert of node u takes the
 		// (k+round)-mod-legalCount legal dummy of u (the rotation breaks
 		// potential ping-pong cycles across rounds).
-		missing := pram.Grab[int](s, ni)
+		missing := pram.Grab[I](s, ni)
 		s.ForCostRange(ni, 4, func(lo, hi int) {
 			for k := lo; k < hi; k++ {
 				x := red.VertAt[insRanks[k]]
@@ -324,13 +338,13 @@ func FixIllegal(s *pram.Sim, ps *Pseudo, red *Reduction, seed uint64) (int, erro
 				}
 				u := red.Owner[x]
 				base := red.DummyBase[u]
-				lc := legalCount[base]
-				rank := insScan[k].sum - 1
+				lc := int(legalCount[base])
+				rank := int(insScan[k].sum) - 1
 				if lc == 0 || rank >= lc {
 					missing[k] = 1
 					continue
 				}
-				d := legalAt[base+(rank+round)%lc]
+				d := legalAt[int(base)+(rank+round)%lc]
 				if d < 0 {
 					missing[k] = 1
 					continue
@@ -338,7 +352,7 @@ func FixIllegal(s *pram.Sim, ps *Pseudo, red *Reduction, seed uint64) (int, erro
 				swapPositions(ps, x, d)
 			}
 		})
-		nm := par.Reduce(s, missing, 0, func(a, b int) int { return a + b })
+		nm := par.Reduce(s, missing, 0, func(a, b I) I { return a + b })
 		pram.Release(s, illegal)
 		pram.Release(s, insScan)
 		pram.Release(s, dumItems)
@@ -347,18 +361,23 @@ func FixIllegal(s *pram.Sim, ps *Pseudo, red *Reduction, seed uint64) (int, erro
 		pram.Release(s, legalCount)
 		pram.Release(s, missing)
 		if nm > 0 {
-			return totalSwaps, fmt.Errorf("core: %d illegal inserts without a legal dummy partner", nm)
+			return totalSwaps, fmt.Errorf("core: %d illegal inserts without a legal dummy partner", int(nm))
 		}
 		totalSwaps += nIllegal
 	}
 }
 
-const minIntSentinel = -int(^uint(0)>>1) - 1
+// segIx is the segmented-sum monoid of FixIllegal's per-owner ranking
+// (a value plus a segment-restart flag).
+type segIx[I par.Ix] struct {
+	sum   I
+	reset bool
+}
 
 // swapPositions exchanges the tree positions of x and y, carrying their
 // subtrees along (only the parent links and the two parents' child slots
 // change).
-func swapPositions(ps *Pseudo, x, y int) {
+func swapPositions[I par.Ix](ps *PseudoIx[I], x, y I) {
 	px, py := ps.Parent[x], ps.Parent[y]
 	xLeft := px >= 0 && ps.Left[px] == x
 	yLeft := py >= 0 && ps.Left[py] == y
@@ -384,9 +403,13 @@ func swapPositions(ps *Pseudo, x, y int) {
 // downward chains; chain collapse (list ranking on the dummy links)
 // finds each chain's first real descendant in O(log n) time.
 func Bypass(s *pram.Sim, ps *Pseudo, red *Reduction, seed uint64) par.BinTree {
+	return bypassIx(s, ps, red, seed)
+}
+
+func bypassIx[I par.Ix](s *pram.Sim, ps *PseudoIx[I], red *ReductionIx[I], seed uint64) par.BinTreeIx[I] {
 	n := ps.NumVertices
 	N := ps.Len()
-	next := pram.GrabNoClear[int](s, N)
+	next := pram.GrabNoClear[I](s, N)
 	s.ParallelForRange(N, func(lo, hi int) {
 		for x := lo; x < hi; x++ {
 			if x >= n { // dummy: follow its single (right) child
@@ -396,15 +419,15 @@ func Bypass(s *pram.Sim, ps *Pseudo, red *Reduction, seed uint64) par.BinTree {
 			}
 		}
 	})
-	dist, last := par.RankOpt(s, next, seed)
+	dist, last := par.RankOptIx(s, next, seed)
 	pram.Release(s, dist)
 	pram.Release(s, next)
 
-	final := par.GrabBinTree(s, n)
+	final := par.GrabBinTreeIx[I](s, n)
 	s.ForCostRange(n, 4, func(lo, hi int) {
 		for x := lo; x < hi; x++ {
 			for _, side := range [2]bool{true, false} {
-				var c int
+				var c I
 				if side {
 					c = ps.Left[x]
 				} else {
@@ -414,9 +437,9 @@ func Bypass(s *pram.Sim, ps *Pseudo, red *Reduction, seed uint64) par.BinTree {
 					continue
 				}
 				t := c
-				if c >= n {
+				if int(c) >= n {
 					t = last[c]
-					if t >= n { // childless dummy chain: slot empties
+					if int(t) >= n { // childless dummy chain: slot empties
 						continue
 					}
 				}
@@ -425,7 +448,7 @@ func Bypass(s *pram.Sim, ps *Pseudo, red *Reduction, seed uint64) par.BinTree {
 				} else {
 					final.Right[x] = t
 				}
-				final.Parent[t] = x
+				final.Parent[t] = I(x)
 			}
 		}
 	})
@@ -439,26 +462,30 @@ func Bypass(s *pram.Sim, ps *Pseudo, red *Reduction, seed uint64) par.BinTree {
 // drawn from the Sim's arena (the Cover that wraps them owns their
 // release).
 func ExtractPaths(s *pram.Sim, final par.BinTree, seed uint64) (paths [][]int, backing []int) {
+	return extractPathsIx(s, final, seed)
+}
+
+func extractPathsIx[I par.Ix](s *pram.Sim, final par.BinTreeIx[I], seed uint64) (paths [][]I, backing []I) {
 	n := final.Len()
 	if n == 0 {
 		return nil, nil
 	}
-	tour := par.TourBinary(s, final, seed)
+	tour := par.TourBinaryIx(s, final, seed)
 	size, leaves := tour.SubtreeCounts(s, final)
 	pram.Release(s, leaves)
 	// Global inorder sequence; trees occupy consecutive blocks in root
 	// order.
-	seq := pram.GrabNoClear[int](s, n)
+	seq := pram.GrabNoClear[I](s, n)
 	s.ParallelForRange(n, func(lo, hi int) {
 		for x := lo; x < hi; x++ {
-			seq[tour.In[x]] = x
+			seq[tour.In[x]] = I(x)
 		}
 	})
 	roots := tour.Roots
-	sizes := pram.GrabNoClear[int](s, len(roots))
+	sizes := pram.GrabNoClear[I](s, len(roots))
 	s.ParallelFor(len(roots), func(k int) { sizes[k] = size[roots[k]] })
-	offs, _ := par.ScanInt(s, sizes)
-	paths = pram.GrabNoClear[[]int](s, len(roots))
+	offs, _ := par.ScanIx(s, sizes)
+	paths = pram.GrabNoClear[[]I](s, len(roots))
 	s.ParallelFor(len(roots), func(k int) {
 		paths[k] = seq[offs[k] : offs[k]+sizes[k]]
 	})

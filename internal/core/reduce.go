@@ -12,33 +12,36 @@ import (
 // right child w is flattened into L(w) classified leaves (bridge or
 // insert vertices, plus the dummy placeholders of §4), because the edges
 // inside G(w) are never used by the cover.
-type Reduction struct {
+type ReductionIx[I par.Ix] struct {
 	NumVertices int
 
 	// Per cotree node of b:
 	Active     []bool // u is an active 1-node (emits a bracket block)
-	NB, NI, ND []int  // bridge / insert / dummy counts at active nodes
-	DummyBase  []int  // first dummy index belonging to u's block
-	Start      []int  // leaf rank of the leftmost leaf under the node
+	NB, NI, ND []I    // bridge / insert / dummy counts at active nodes
+	DummyBase  []I    // first dummy index belonging to u's block
+	Start      []I    // leaf rank of the leftmost leaf under the node
 
 	// Per vertex (0..n-1):
 	Role     []Role
-	Owner    []int // active 1-node that classified the vertex; -1 for primary
-	RoleIdx  []int // index among its node's bridges or inserts
-	LeafRank []int // inorder leaf rank of the vertex in b
-	VertAt   []int // leaf rank -> vertex
+	Owner    []I // active 1-node that classified the vertex; -1 for primary
+	RoleIdx  []I // index among its node's bridges or inserts
+	LeafRank []I // inorder leaf rank of the vertex in b
+	VertAt   []I // leaf rank -> vertex
 
 	// Dummies (ids n..n+TotalDummies-1):
 	TotalDummies int
-	DummyOwner   []int // per dummy index: owning active 1-node
+	DummyOwner   []I // per dummy index: owning active 1-node
 
-	P []int // p(u) per node (kept for the bracket generator)
-	L []int // L(u) per node
+	P []I // p(u) per node (kept for the bracket generator)
+	L []I // L(u) per node
 }
+
+// Reduction is the int-width reduction, the historical form.
+type Reduction = ReductionIx[int]
 
 // Release returns the reduction's slices — including the P slice it took
 // ownership of, but not L, which stays with the caller — to the arena.
-func (r *Reduction) Release(s *pram.Sim) {
+func (r *ReductionIx[I]) Release(s *pram.Sim) {
 	pram.Release(s, r.Active)
 	pram.Release(s, r.NB)
 	pram.Release(s, r.NI)
@@ -58,10 +61,10 @@ func (r *Reduction) Release(s *pram.Sim) {
 }
 
 // IsDummy reports whether a pseudo-tree id denotes a dummy vertex.
-func (r *Reduction) IsDummy(id int) bool { return id >= r.NumVertices }
+func (r *ReductionIx[I]) IsDummy(id int) bool { return id >= r.NumVertices }
 
 // RoleOf returns the role of any pseudo-tree id (vertex or dummy).
-func (r *Reduction) RoleOf(id int) Role {
+func (r *ReductionIx[I]) RoleOf(id int) Role {
 	if r.IsDummy(id) {
 		return RoleDummy
 	}
@@ -69,11 +72,11 @@ func (r *Reduction) RoleOf(id int) Role {
 }
 
 // OwnerOf returns the owning active 1-node of any pseudo-tree id.
-func (r *Reduction) OwnerOf(id int) int {
+func (r *ReductionIx[I]) OwnerOf(id int) int {
 	if r.IsDummy(id) {
-		return r.DummyOwner[id-r.NumVertices]
+		return int(r.DummyOwner[id-r.NumVertices])
 	}
-	return r.Owner[id]
+	return int(r.Owner[id])
 }
 
 // Reduce performs the classification half of Step 3: it determines the
@@ -83,20 +86,24 @@ func (r *Reduction) OwnerOf(id int) int {
 // are resolved with leaf-rank scatter + prefix scans rather than
 // per-vertex ancestor walks.
 func Reduce(s *pram.Sim, b *cotree.Bin, L, p []int, tour *par.Tour) *Reduction {
+	return reduceIx(s, b, L, p, tour)
+}
+
+func reduceIx[I par.Ix](s *pram.Sim, b *cotree.BinIx[I], L, p []I, tour *par.TourIx[I]) *ReductionIx[I] {
 	nn := b.NumNodes()
 	n := b.NumVertices()
-	red := &Reduction{
+	red := &ReductionIx[I]{
 		NumVertices: n,
 		Active:      pram.Grab[bool](s, nn),
-		NB:          pram.Grab[int](s, nn),
-		NI:          pram.Grab[int](s, nn),
-		ND:          pram.Grab[int](s, nn),
+		NB:          pram.Grab[I](s, nn),
+		NI:          pram.Grab[I](s, nn),
+		ND:          pram.Grab[I](s, nn),
 		Start:       tour.LeafStarts(s, b.BinTree),
 		Role:        pram.Grab[Role](s, n),
-		Owner:       pram.GrabNoClear[int](s, n),
-		RoleIdx:     pram.Grab[int](s, n),
-		LeafRank:    pram.GrabNoClear[int](s, n),
-		VertAt:      pram.GrabNoClear[int](s, n),
+		Owner:       pram.GrabNoClear[I](s, n),
+		RoleIdx:     pram.Grab[I](s, n),
+		LeafRank:    pram.GrabNoClear[I](s, n),
+		VertAt:      pram.GrabNoClear[I](s, n),
 		P:           p,
 		L:           L,
 	}
@@ -107,7 +114,7 @@ func Reduce(s *pram.Sim, b *cotree.Bin, L, p []int, tour *par.Tour) *Reduction {
 	s.ParallelForRange(nn, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			pa := b.Parent[v]
-			flag[v] = pa >= 0 && b.One[pa] && b.Right[pa] == v
+			flag[v] = pa >= 0 && b.One[pa] && b.Right[pa] == I(v)
 		}
 	})
 	flagCnt := tour.AncestorFlagCounts(s, flag)
@@ -128,7 +135,8 @@ func Reduce(s *pram.Sim, b *cotree.Bin, L, p []int, tour *par.Tour) *Reduction {
 			}
 		}
 	})
-	red.DummyBase, red.TotalDummies = par.ScanInt(s, red.ND)
+	dummyBase, totalDummies := par.ScanIx(s, red.ND)
+	red.DummyBase, red.TotalDummies = dummyBase, int(totalDummies)
 
 	// Leaf ranks and the rank->vertex map.
 	ranks, _ := tour.LeafRanks(s, b.BinTree)
@@ -147,7 +155,7 @@ func Reduce(s *pram.Sim, b *cotree.Bin, L, p []int, tour *par.Tour) *Reduction {
 	// [Start[w], Start[w]+L[w]). Scatter end-markers first, then start
 	// markers (starts win shared cells), then a "last marker" scan.
 	const unset = -2
-	markers := pram.GrabNoClear[int](s, n)
+	markers := pram.GrabNoClear[I](s, n)
 	s.ParallelForRange(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			markers[i] = unset
@@ -157,7 +165,7 @@ func Reduce(s *pram.Sim, b *cotree.Bin, L, p []int, tour *par.Tour) *Reduction {
 		for u := lo; u < hi; u++ {
 			if red.Active[u] {
 				w := b.Right[u]
-				if e := red.Start[w] + L[w]; e < n {
+				if e := int(red.Start[w] + L[w]); e < n {
 					markers[e] = -1
 				}
 			}
@@ -166,11 +174,11 @@ func Reduce(s *pram.Sim, b *cotree.Bin, L, p []int, tour *par.Tour) *Reduction {
 	s.ParallelForRange(nn, func(lo, hi int) {
 		for u := lo; u < hi; u++ {
 			if red.Active[u] {
-				markers[red.Start[b.Right[u]]] = u
+				markers[red.Start[b.Right[u]]] = I(u)
 			}
 		}
 	})
-	owners := par.InclusiveScan(s, markers, unset, func(a, b int) int {
+	owners := par.InclusiveScan(s, markers, I(unset), func(a, b I) I {
 		if b != unset {
 			return b
 		}
@@ -201,8 +209,8 @@ func Reduce(s *pram.Sim, b *cotree.Bin, L, p []int, tour *par.Tour) *Reduction {
 
 	// Dummy owners.
 	if red.TotalDummies > 0 {
-		red.DummyOwner = pram.GrabNoClear[int](s, red.TotalDummies)
-		downer, doff, _ := par.Distribute(s, red.ND)
+		red.DummyOwner = pram.GrabNoClear[I](s, red.TotalDummies)
+		downer, doff, _ := par.DistributeIx(s, red.ND)
 		s.ParallelForRange(red.TotalDummies, func(lo, hi int) {
 			for d := lo; d < hi; d++ {
 				red.DummyOwner[d] = downer[d]

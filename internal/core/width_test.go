@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"pathcover/internal/baseline"
+	"pathcover/internal/cotree"
+	"pathcover/internal/pram"
+	"pathcover/internal/verify"
+	"pathcover/internal/workload"
+)
+
+// The width/cutover differential suite: the narrow (int32) pipeline, the
+// wide (int) pipeline and the sequential baseline must agree on every
+// input, for every placement of the sequential-cutover threshold, and
+// the two widths must additionally agree on the simulated cost counters
+// bit for bit.
+
+// coverWith runs one full parallel cover under the given width and
+// cutover and returns the paths plus the Sim's counters.
+func coverWith(t *testing.T, tr *workloadTree, width IndexWidth, cutover int) ([][]int, pram.Stats) {
+	t.Helper()
+	s := pram.New(pram.ProcsFor(tr.n), pram.WithWorkers(2), pram.WithGrain(64), pram.WithSeqCutover(cutover))
+	defer s.Close()
+	cov, err := ParallelCover(s, tr.tree, Options{Seed: tr.seed, Width: width})
+	if err != nil {
+		t.Fatalf("%v cover (width=%d cutover=%d): %v", tr, width, cutover, err)
+	}
+	paths := make([][]int, len(cov.Paths))
+	for i, p := range cov.Paths {
+		paths[i] = append([]int(nil), p...)
+	}
+	return paths, cov.Stats
+}
+
+type workloadTree struct {
+	tree  *cotree.Tree
+	n     int
+	seed  uint64
+	shape workload.Shape
+}
+
+func pathsEq(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkInstance cross-checks one instance across widths, cutover
+// placements and the sequential baseline.
+func checkInstance(t *testing.T, seed uint64, n int, shape workload.Shape) {
+	t.Helper()
+	tree := workload.Random(seed, n, shape)
+	tr := &workloadTree{tree: tree, n: n, seed: seed, shape: shape}
+
+	// The cutover boundary: thresholds below, at and above every phase
+	// size the pipeline will see, including the dispatch-everything and
+	// fuse-everything extremes.
+	cutovers := []int{-1, n / 2, n, 3*n + 1, 1 << 30}
+	var refPaths [][]int
+	var refStats pram.Stats
+	for ci, cut := range cutovers {
+		for _, width := range []IndexWidth{WidthNarrow, WidthWide} {
+			paths, stats := coverWith(t, tr, width, cut)
+			if ci == 0 && width == WidthNarrow {
+				refPaths, refStats = paths, stats
+				// The referee: valid cover, provably minimum size.
+				if err := verify.MinimumCover(tree, paths); err != nil {
+					t.Fatalf("seed=%d n=%d %v: %v", seed, n, shape, err)
+				}
+				continue
+			}
+			if !pathsEq(paths, refPaths) {
+				t.Fatalf("seed=%d n=%d %v width=%d cutover=%d: paths diverge from reference",
+					seed, n, shape, width, cut)
+			}
+			if stats.Time != refStats.Time || stats.Work != refStats.Work || stats.Phases != refStats.Phases {
+				t.Fatalf("seed=%d n=%d %v width=%d cutover=%d: stats %+v != reference %+v",
+					seed, n, shape, width, cut, stats, refStats)
+			}
+		}
+	}
+
+	// Sequential baseline agreement on the cover size (the constructions
+	// legitimately differ path by path; minimality is the contract).
+	sser := pram.NewSerial()
+	b := tree.Binarize(sser)
+	L := b.MakeLeftist(sser, 1)
+	seqPaths := baseline.SequentialCover(b, L)
+	if len(seqPaths) != len(refPaths) {
+		t.Fatalf("seed=%d n=%d %v: parallel %d paths, sequential baseline %d",
+			seed, n, shape, len(refPaths), len(seqPaths))
+	}
+	if err := verify.MinimumCover(tree, seqPaths); err != nil {
+		t.Fatalf("seed=%d n=%d %v: sequential baseline invalid: %v", seed, n, shape, err)
+	}
+}
+
+// TestDifferentialWidthsAndCutover is the deterministic corpus run on
+// every `go test`.
+func TestDifferentialWidthsAndCutover(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2026, 729))
+	shapes := []workload.Shape{workload.Mixed, workload.Balanced, workload.Caterpillar}
+	for trial := 0; trial < 12; trial++ {
+		n := 2 + rng.IntN(900)
+		checkInstance(t, rng.Uint64(), n, shapes[trial%len(shapes)])
+	}
+	// Tiny corner sizes, where cutover/fused routes always engage.
+	for _, n := range []int{2, 3, 4, 5} {
+		checkInstance(t, uint64(n)*17, n, workload.Mixed)
+	}
+}
+
+// TestHamiltonianCycleWidths pins the Width plumbing of the cycle
+// construction: both widths must agree on existence and on the cycle
+// itself, and produced cycles must verify against the graph.
+func TestHamiltonianCycleWidths(t *testing.T) {
+	rng := rand.New(rand.NewPCG(55, 66))
+	trees := []*cotree.Tree{
+		workload.Clique(3),
+		workload.Clique(257),
+		workload.CompleteBipartite(40, 40),
+		workload.Random(7, 500, workload.Mixed),
+		workload.Random(8, 501, workload.Balanced),
+	}
+	for ti, tree := range trees {
+		seed := rng.Uint64()
+		run := func(w IndexWidth) ([]int, bool) {
+			s := pram.New(pram.ProcsFor(tree.NumVertices()), pram.WithWorkers(2), pram.WithGrain(64))
+			defer s.Close()
+			c, ok, err := ParallelHamiltonianCycle(s, tree, Options{Seed: seed, Width: w})
+			if err != nil {
+				t.Fatalf("tree %d width %d: %v", ti, w, err)
+			}
+			return append([]int(nil), c...), ok
+		}
+		nc, nok := run(WidthNarrow)
+		wc, wok := run(WidthWide)
+		if nok != wok {
+			t.Fatalf("tree %d: narrow ok=%v wide ok=%v", ti, nok, wok)
+		}
+		if !nok {
+			continue
+		}
+		if len(nc) != len(wc) {
+			t.Fatalf("tree %d: cycle lengths %d vs %d", ti, len(nc), len(wc))
+		}
+		for i := range nc {
+			if nc[i] != wc[i] {
+				t.Fatalf("tree %d: cycles diverge at %d: %d vs %d", ti, i, nc[i], wc[i])
+			}
+		}
+		if err := verify.Cycle(tree, nc); err != nil {
+			t.Fatalf("tree %d: %v", ti, err)
+		}
+	}
+}
+
+// FuzzDifferentialWidths lets the fuzzer pick the instance.
+func FuzzDifferentialWidths(f *testing.F) {
+	f.Add(uint64(1), uint16(50), uint8(0))
+	f.Add(uint64(99), uint16(700), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, n16 uint16, shape uint8) {
+		n := 2 + int(n16)%1500
+		checkInstance(t, seed, n, workload.Shape(shape%3))
+	})
+}

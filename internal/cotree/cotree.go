@@ -289,32 +289,41 @@ func (t *Tree) Validate() error {
 	return nil
 }
 
-// Bin is a binarized cotree (the paper's Tb(G), or Tbl(G) after
-// MakeLeftist): every internal node has exactly two children; the labels
-// of chain nodes introduced by binarization repeat their source node's
-// label, which preserves the LCA adjacency semantics.
-type Bin struct {
-	par.BinTree
+// BinTree is the width-generic binary forest of internal/par, re-aliased
+// so BinIx can embed it under the field name the int-width code has
+// always used.
+type BinTree[I par.Ix] = par.BinTreeIx[I]
+
+// BinIx is a binarized cotree (the paper's Tb(G), or Tbl(G) after
+// MakeLeftist), generic over the index width (see par.Ix): every
+// internal node has exactly two children; the labels of chain nodes
+// introduced by binarization repeat their source node's label, which
+// preserves the LCA adjacency semantics.
+type BinIx[I par.Ix] struct {
+	BinTree[I]
 	One      []bool // true for 1-nodes (meaningful on internal nodes)
-	VertexOf []int  // node -> vertex (-1 internal)
-	LeafOf   []int  // vertex -> node
+	VertexOf []I    // node -> vertex (-1 internal)
+	LeafOf   []I    // vertex -> node
 	Root     int
 }
 
+// Bin is the int-width binarized cotree, the historical form.
+type Bin = BinIx[int]
+
 // NumNodes returns the node count of the binarized tree.
-func (b *Bin) NumNodes() int { return b.Len() }
+func (b *BinIx[I]) NumNodes() int { return b.Len() }
 
 // NumVertices returns the vertex count.
-func (b *Bin) NumVertices() int { return len(b.LeafOf) }
+func (b *BinIx[I]) NumVertices() int { return len(b.LeafOf) }
 
 // Release returns the binarized tree's slices to the Sim's arena (they
 // were drawn from it by Binarize). The Bin must not be used afterwards.
-func (b *Bin) Release(s *pram.Sim) {
-	par.ReleaseBinTree(s, b.BinTree)
+func (b *BinIx[I]) Release(s *pram.Sim) {
+	par.ReleaseBinTreeIx(s, b.BinTree)
 	pram.Release(s, b.One)
 	pram.Release(s, b.VertexOf)
 	pram.Release(s, b.LeafOf)
-	b.BinTree = par.BinTree{}
+	b.BinTree = BinTree[I]{}
 	b.One, b.VertexOf, b.LeafOf = nil, nil, nil
 }
 
@@ -325,33 +334,41 @@ func (b *Bin) Release(s *pram.Sim) {
 // The phase structure is parallel: chain slots are allocated by a prefix
 // sum over (k-1) and each new node derives its links in O(1).
 func (t *Tree) Binarize(s *pram.Sim) *Bin {
+	return BinarizeIx[int](s, t)
+}
+
+// BinarizeIx is Binarize onto a chosen index width (see par.Ix): the
+// caller guarantees that the binarized tree's 2n-1 node ids — and the 3x
+// larger Euler-tour item ids derived from them downstream — fit in I.
+// The simulated cost is width-blind.
+func BinarizeIx[I par.Ix](s *pram.Sim, t *Tree) *BinIx[I] {
 	nOrig := t.NumNodes()
 	nv := t.NumVertices()
 	if nv == 1 {
-		b := &Bin{BinTree: par.GrabBinTree(s, 1), One: pram.Grab[bool](s, 1),
-			VertexOf: pram.GrabNoClear[int](s, 1), LeafOf: pram.GrabNoClear[int](s, 1), Root: 0}
+		b := &BinIx[I]{BinTree: par.GrabBinTreeIx[I](s, 1), One: pram.Grab[bool](s, 1),
+			VertexOf: pram.GrabNoClear[I](s, 1), LeafOf: pram.GrabNoClear[I](s, 1), Root: 0}
 		b.VertexOf[0], b.LeafOf[0] = 0, 0
 		return b
 	}
 
 	// Chain lengths: leaves 0, internal k-1 new nodes.
-	chainLen := pram.Grab[int](s, nOrig)
+	chainLen := pram.Grab[I](s, nOrig)
 	s.ParallelForRange(nOrig, func(lo, hi int) {
 		for u := lo; u < hi; u++ {
 			if t.Label[u] != LabelLeaf {
-				chainLen[u] = len(t.Children[u]) - 1
+				chainLen[u] = I(len(t.Children[u]) - 1)
 			}
 		}
 	})
 	// New ids: vertices keep ids 0..nv-1 (leaf of vertex v is node v);
 	// chain nodes follow from nv.
-	chainOff, totalChain := ScanIntOffset(s, chainLen, nv)
+	chainOff, totalChain := scanOffsetIx(s, chainLen, I(nv))
 	total := nv + totalChain
-	b := &Bin{
-		BinTree:  par.GrabBinTree(s, total),
+	b := &BinIx[I]{
+		BinTree:  par.GrabBinTreeIx[I](s, total),
 		One:      pram.Grab[bool](s, total),
-		VertexOf: pram.GrabNoClear[int](s, total),
-		LeafOf:   pram.GrabNoClear[int](s, nv),
+		VertexOf: pram.GrabNoClear[I](s, total),
+		LeafOf:   pram.GrabNoClear[I](s, nv),
 		Root:     0,
 	}
 	s.ParallelForRange(total, func(lo, hi int) {
@@ -361,16 +378,16 @@ func (t *Tree) Binarize(s *pram.Sim) *Bin {
 	})
 	s.ParallelForRange(nv, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
-			b.VertexOf[v] = v
-			b.LeafOf[v] = v
+			b.VertexOf[v] = I(v)
+			b.LeafOf[v] = I(v)
 		}
 	})
 
 	// rep(u) = the binarized subtree root for original node u: its leaf
 	// id for leaves, the top chain node for internal nodes.
-	rep := func(u int) int {
+	rep := func(u int) I {
 		if t.Label[u] == LabelLeaf {
-			return t.VertexOf[u]
+			return I(t.VertexOf[u])
 		}
 		return chainOff[u] + chainLen[u] - 1
 	}
@@ -378,14 +395,14 @@ func (t *Tree) Binarize(s *pram.Sim) *Bin {
 	// Wire each chain node: chain node j (0-based from the bottom) of
 	// original node u has left = previous chain node (or rep of child 0)
 	// and right = rep of child j+1.
-	owner, slot, _ := par.Distribute(s, chainLen)
+	owner, slot, _ := par.DistributeIx(s, chainLen)
 	s.ForCostRange(totalChain, 2, func(klo, khi int) {
 		for k := klo; k < khi; k++ {
-			u := owner[k]
-			j := slot[k]
-			x := chainOff[u] + j
+			u := int(owner[k])
+			j := int(slot[k])
+			x := chainOff[u] + I(j)
 			b.One[x] = t.Label[u] == Label1
-			var l int
+			var l I
 			if j == 0 {
 				l = rep(t.Children[u][0])
 			} else {
@@ -398,7 +415,7 @@ func (t *Tree) Binarize(s *pram.Sim) *Bin {
 			b.Parent[r] = x
 		}
 	})
-	b.Root = rep(t.Root)
+	b.Root = int(rep(t.Root))
 	pram.Release(s, chainLen)
 	pram.Release(s, chainOff)
 	pram.Release(s, owner)
@@ -409,20 +426,25 @@ func (t *Tree) Binarize(s *pram.Sim) *Bin {
 // ScanIntOffset is a prefix sum with a starting base, returning also the
 // total (excluding the base).
 func ScanIntOffset(s *pram.Sim, in []int, base int) (off []int, total int) {
-	off, total = par.ScanInt(s, in)
+	return scanOffsetIx(s, in, base)
+}
+
+// scanOffsetIx is the width-generic ScanIntOffset.
+func scanOffsetIx[I par.Ix](s *pram.Sim, in []I, base I) (off []I, total int) {
+	off, totalI := par.ScanIx(s, in)
 	s.ParallelForRange(len(off), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			off[i] += base
 		}
 	})
-	return off, total
+	return off, int(totalI)
 }
 
 // LeafCounts returns L(u) — the number of leaf descendants — for every
 // node of the binarized cotree (paper Step 2, via the Euler tour of
 // Lemma 5.2).
-func (b *Bin) LeafCounts(s *pram.Sim, seed uint64) []int {
-	tour := par.TourBinary(s, b.BinTree, seed)
+func (b *BinIx[I]) LeafCounts(s *pram.Sim, seed uint64) []I {
+	tour := par.TourBinaryIx(s, b.BinTree, seed)
 	size, leaves := tour.SubtreeCounts(s, b.BinTree)
 	pram.Release(s, size)
 	tour.Release(s)
@@ -432,7 +454,7 @@ func (b *Bin) LeafCounts(s *pram.Sim, seed uint64) []int {
 // MakeLeftist swaps children so that L(left) >= L(right) at every
 // internal node (the paper's Tbl(G)); child order is immaterial to the
 // represented graph. It returns L.
-func (b *Bin) MakeLeftist(s *pram.Sim, seed uint64) []int {
+func (b *BinIx[I]) MakeLeftist(s *pram.Sim, seed uint64) []I {
 	leaves := b.LeafCounts(s, seed)
 	s.ParallelForRange(b.NumNodes(), func(lo, hi int) {
 		for u := lo; u < hi; u++ {
@@ -446,7 +468,7 @@ func (b *Bin) MakeLeftist(s *pram.Sim, seed uint64) []int {
 }
 
 // IsLeftist reports whether L(left) >= L(right) holds everywhere.
-func (b *Bin) IsLeftist(s *pram.Sim, L []int) bool {
+func (b *BinIx[I]) IsLeftist(s *pram.Sim, L []I) bool {
 	ok := true
 	for u := 0; u < b.NumNodes(); u++ {
 		l, r := b.Left[u], b.Right[u]

@@ -90,6 +90,110 @@ func TestMatchBracketsAllocFree(t *testing.T) {
 	}
 }
 
+// The narrow (int32) kernels keep their own per-width cached state and
+// size-classed freelists, so they are held to the same steady-state
+// zero-allocation bar as the int kernels.
+
+func TestScanIxNarrowAllocFree(t *testing.T) {
+	s := allocSim()
+	defer s.Close()
+	in := make([]int32, 1<<15)
+	for i := range in {
+		in[i] = int32(i % 7)
+	}
+	run := func() {
+		out, _ := ScanIx(s, in)
+		pram.Release(s, out)
+	}
+	run()
+	if allocs := testing.AllocsPerRun(20, run); allocs > 2 {
+		t.Errorf("ScanIx[int32] allocates %.1f objects/op in steady state, want <= 2", allocs)
+	}
+}
+
+func TestMaxScanIxNarrowAllocFree(t *testing.T) {
+	s := allocSim()
+	defer s.Close()
+	in := make([]int32, 1<<15)
+	for i := range in {
+		in[i] = int32((i * 31) % 1000)
+	}
+	run := func() {
+		pram.Release(s, MaxScanIx(s, in))
+	}
+	run()
+	if allocs := testing.AllocsPerRun(20, run); allocs > 2 {
+		t.Errorf("MaxScanIx[int32] allocates %.1f objects/op in steady state, want <= 2", allocs)
+	}
+}
+
+func TestRankOptIxNarrowAllocFree(t *testing.T) {
+	s := allocSim()
+	defer s.Close()
+	n := 1 << 15
+	next := make([]int32, n)
+	for i := 0; i < n-1; i++ {
+		next[i] = int32(i + 1)
+	}
+	next[n-1] = -1
+	run := func() {
+		dist, last := RankOptIx(s, next, 12345)
+		pram.Release(s, dist)
+		pram.Release(s, last)
+	}
+	run()
+	if allocs := testing.AllocsPerRun(10, run); allocs > 2 {
+		t.Errorf("RankOptIx[int32] allocates %.1f objects/op in steady state, want <= 2", allocs)
+	}
+}
+
+func TestMatchBracketsIxNarrowAllocFree(t *testing.T) {
+	s := allocSim()
+	defer s.Close()
+	n := 1 << 15
+	rng := rand.New(rand.NewPCG(9, 9))
+	open := make([]bool, n)
+	for i := range open {
+		open[i] = rng.IntN(2) == 0
+	}
+	run := func() {
+		pram.Release(s, MatchBracketsIx[int32](s, open))
+	}
+	run()
+	if allocs := testing.AllocsPerRun(10, run); allocs > 2 {
+		t.Errorf("MatchBracketsIx[int32] allocates %.1f objects/op in steady state, want <= 2", allocs)
+	}
+}
+
+// TestFusedPrimitivesAllocFree holds the fused sequential bodies (the
+// small-n cutover route) to the same bar.
+func TestFusedPrimitivesAllocFree(t *testing.T) {
+	s := pram.New(pram.ProcsFor(1<<15), pram.WithWorkers(2), pram.WithSeqCutover(1<<30))
+	defer s.Close()
+	n := 1 << 13
+	in := make([]int32, n)
+	keep := make([]bool, n)
+	next := make([]int32, n)
+	for i := range in {
+		in[i] = int32(i % 5)
+		keep[i] = i%3 == 0
+		next[i] = int32(i + 1)
+	}
+	next[n-1] = -1
+	run := func() {
+		out, _ := ScanIx(s, in)
+		pram.Release(s, out)
+		pram.Release(s, IndexPackIx[int32](s, keep))
+		dist, last := RankWeightedIx(s, next, nil)
+		pram.Release(s, dist)
+		pram.Release(s, last)
+	}
+	run()
+	if allocs := testing.AllocsPerRun(20, run); allocs > 2 {
+		t.Errorf("fused primitives allocate %.1f objects/op in steady state, want <= 2", allocs)
+	}
+}
+
 // TestPrimitivesMatchSerialAfterReuse drives the pooled primitives
 // through many iterations on one Sim — the buffer-recycling regime — and
 // cross-checks every iteration against the serial reference, guarding

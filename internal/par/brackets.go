@@ -7,6 +7,11 @@ import "pathcover/internal/pram"
 // bracket. It returns match[i] = index of i's partner, or -1 for
 // unmatched brackets. This is Lemma 5.1(3) of the paper and the engine
 // behind Step 5 of the path-cover algorithm.
+func MatchBrackets(s *pram.Sim, open []bool) []int {
+	return MatchBracketsIx[int](s, open)
+}
+
+// MatchBracketsIx is the width-generic MatchBrackets (see Ix).
 //
 // The parallel algorithm is the classical block-decomposition scheme
 // (Bar-On–Vishkin family), O(log n) time and O(n) work on the simulator:
@@ -34,40 +39,43 @@ import "pathcover/internal/pram"
 // lists live in one flat arena buffer (block b owns [b*bs, (b+1)*bs)),
 // and the walk-up chunks are four parallel integer arrays instead of a
 // slice of structs, so steady-state matching allocates nothing.
-func MatchBrackets(s *pram.Sim, open []bool) []int {
+func MatchBracketsIx[I Ix](s *pram.Sim, open []bool) []I {
 	n := len(open)
-	match := pram.GrabNoClear[int](s, n)
+	match := pram.GrabNoClear[I](s, n)
 	nb := s.NumBlocks(n)
+	st := bracketsOf[I](s)
 	if nb <= 1 {
-		s.Sequential(n, func() { matchSerial(open, match) })
+		// Single-block route: the sequential stack matcher, with the stack
+		// cached in the per-Sim state so small-input serving allocates
+		// nothing in steady state.
+		s.Sequential(n, func() { st.stack = matchSerialStack(open, match, st.stack[:0]) })
 		return match
 	}
-	st := bracketsOf(s)
 	st.open, st.match, st.n = open, match, n
 	st.phase = brkPhaseInit
 	s.ParallelForRange(n, st.body)
 
 	// Phase 1: depths. depth[i] = depth after position i.
-	st.w = pram.GrabNoClear[int](s, n)
+	st.w = pram.GrabNoClear[I](s, n)
 	st.phase = brkPhaseDepthW
 	s.ParallelForRange(n, st.body)
-	st.depth = InclusiveScanInt(s, st.w)
+	st.depth = InclusiveScanIx(s, st.w)
 
 	// Phase 2: block-local matching into the flat survivor arena.
 	bs := s.BlockSize(n)
 	st.bs = bs
-	st.survO = pram.GrabNoClear[int](s, nb*bs) // surviving opens per block, ascending position
-	st.survC = pram.GrabNoClear[int](s, nb*bs) // surviving closes per block, ascending position
-	st.nO = pram.GrabNoClear[int](s, nb)
-	st.nC = pram.GrabNoClear[int](s, nb)
+	st.survO = pram.GrabNoClear[I](s, nb*bs) // surviving opens per block, ascending position
+	st.survC = pram.GrabNoClear[I](s, nb*bs) // surviving closes per block, ascending position
+	st.nO = pram.GrabNoClear[I](s, nb)
+	st.nC = pram.GrabNoClear[I](s, nb)
 	st.blkPhase = brkBlockLocal
 	s.Blocks(n, st.blockBody)
 
 	// Run descriptors: the level of an open at i is depth[i]; of a close,
 	// depth[i]+1. Surviving closes occupy consecutive descending levels
 	// from cTop; surviving opens consecutive ascending levels up to oTop.
-	st.cTop = pram.GrabNoClear[int](s, nb)
-	st.oLo = pram.GrabNoClear[int](s, nb)
+	st.cTop = pram.GrabNoClear[I](s, nb)
+	st.oLo = pram.GrabNoClear[I](s, nb)
 	st.phase = brkPhaseTops
 	s.ParallelForRange(nb, st.body)
 
@@ -78,10 +86,10 @@ func MatchBrackets(s *pram.Sim, open []bool) []int {
 	}
 	st.p2 = p2
 	size := 2 * p2
-	st.oCnt = pram.GrabNoClear[int](s, size)
-	st.cCnt = pram.GrabNoClear[int](s, size)
-	st.mCnt = pram.GrabNoClear[int](s, size)
-	st.splitD = pram.GrabNoClear[int](s, size)
+	st.oCnt = pram.GrabNoClear[I](s, size)
+	st.cCnt = pram.GrabNoClear[I](s, size)
+	st.mCnt = pram.GrabNoClear[I](s, size)
+	st.splitD = pram.GrabNoClear[I](s, size)
 	st.phase = brkPhaseLeaves
 	s.ParallelForRange(p2, st.body)
 	st.mCnt[0], st.splitD[0] = 0, 0 // root slot 0 is outside the heap but scanned below
@@ -93,7 +101,8 @@ func MatchBrackets(s *pram.Sim, open []bool) []int {
 	}
 
 	// Pair slot offsets per merge-tree node.
-	pairOff, totalPairs := ScanInt(s, st.mCnt)
+	pairOff, totalPairsI := ScanIx(s, st.mCnt)
+	totalPairs := int(totalPairsI)
 	st.pairOff = pairOff
 	if totalPairs == 0 {
 		st.release(s)
@@ -102,22 +111,22 @@ func MatchBrackets(s *pram.Sim, open []bool) []int {
 
 	// Phase 4: run walk-up. Runs 2b (closes) and 2b+1 (opens).
 	nRuns := 2 * nb
-	st.runNode = pram.GrabNoClear[int](s, nRuns)
-	st.runHi = pram.GrabNoClear[int](s, nRuns)
-	st.runLo = pram.GrabNoClear[int](s, nRuns)
+	st.runNode = pram.GrabNoClear[I](s, nRuns)
+	st.runHi = pram.GrabNoClear[I](s, nRuns)
+	st.runLo = pram.GrabNoClear[I](s, nRuns)
 	st.runAlive = pram.GrabNoClear[bool](s, nRuns)
 	st.phase = brkPhaseRuns
 	s.ForCostRange(nb, 2, st.body)
 
-	st.bufNode = pram.GrabNoClear[int](s, nRuns)
-	st.bufLo = pram.GrabNoClear[int](s, nRuns)
-	st.bufHi = pram.GrabNoClear[int](s, nRuns)
+	st.bufNode = pram.GrabNoClear[I](s, nRuns)
+	st.bufLo = pram.GrabNoClear[I](s, nRuns)
+	st.bufHi = pram.GrabNoClear[I](s, nRuns)
 	st.emitted = pram.GrabNoClear[bool](s, nRuns)
 	st.chNode, st.chLo, st.chHi, st.chRi = st.chNode[:0], st.chLo[:0], st.chHi[:0], st.chRi[:0]
 	for lvl := p2; lvl > 1; lvl /= 2 {
 		st.phase = brkPhaseEmit
 		s.ForCostRange(nRuns, 3, st.body)
-		idx := IndexPack(s, st.emitted)
+		idx := IndexPackIx[I](s, st.emitted)
 		st.idx = idx
 		st.chBase = len(st.chNode)
 		grow := st.chBase + len(idx)
@@ -133,18 +142,18 @@ func MatchBrackets(s *pram.Sim, open []bool) []int {
 
 	// Phase 5: scatter chunks into pair slots, then resolve each pair.
 	nChunks := len(st.chNode)
-	st.lens = pram.GrabNoClear[int](s, nChunks)
+	st.lens = pram.GrabNoClear[I](s, nChunks)
 	st.phase = brkPhaseLens
 	s.ParallelForRange(nChunks, st.body)
-	st.owner, st.offset, st.items = Distribute(s, st.lens)
-	st.pairOpen = pram.GrabNoClear[int](s, totalPairs)
-	st.pairClose = pram.GrabNoClear[int](s, totalPairs)
+	st.owner, st.offset, st.items = DistributeIx(s, st.lens)
+	st.pairOpen = pram.GrabNoClear[I](s, totalPairs)
+	st.pairClose = pram.GrabNoClear[I](s, totalPairs)
 	st.phase = brkPhaseScatter
 	s.ForCostRange(st.items, 2, st.body)
 	pram.Release(s, st.owner)
 	pram.Release(s, st.offset)
 
-	st.owner, st.offset, _ = Distribute(s, st.mCnt)
+	st.owner, st.offset, _ = DistributeIx(s, st.mCnt)
 	st.phase = brkPhaseResolve
 	s.ForCostRange(totalPairs, 3, st.body)
 	pram.Release(s, st.owner)
@@ -171,41 +180,42 @@ func MatchBrackets(s *pram.Sim, open []bool) []int {
 // ensureLen grows a state-cached slice to length n, keeping contents up
 // to the old length (steady state: the capacity stabilises and append
 // never reallocates).
-func ensureLen(b []int, n int) []int {
+func ensureLen[I Ix](b []I, n int) []I {
 	if cap(b) >= n {
 		return b[:n]
 	}
-	nb := make([]int, n, 2*n)
+	nb := make([]I, n, 2*n)
 	copy(nb, b)
 	return nb
 }
 
-// bracketState is the reusable per-Sim state of MatchBrackets.
-type bracketState struct {
+// bracketState is the reusable per-(Sim, width) state of MatchBrackets.
+type bracketState[I Ix] struct {
 	open         []bool
-	match        []int
+	match        []I
 	n, bs, p2    int
-	w, depth     []int
-	survO, survC []int
-	nO, nC       []int
-	cTop, oLo    []int
-	oCnt, cCnt   []int
-	mCnt, splitD []int
-	pairOff      []int
+	w, depth     []I
+	survO, survC []I
+	nO, nC       []I
+	cTop, oLo    []I
+	oCnt, cCnt   []I
+	mCnt, splitD []I
+	pairOff      []I
 	lvl, span    int
 
-	runNode, runHi, runLo []int
+	runNode, runHi, runLo []I
 	runAlive              []bool
-	bufNode, bufLo, bufHi []int
+	bufNode, bufLo, bufHi []I
 	emitted               []bool
-	chNode, chLo, chHi    []int
-	chRi                  []int
-	idx                   []int
+	chNode, chLo, chHi    []I
+	chRi                  []I
+	idx                   []I
 	chBase                int
 
-	lens, owner, offset []int
+	lens, owner, offset []I
 	items               int
-	pairOpen, pairClose []int
+	pairOpen, pairClose []I
+	stack               []int // sequential-route scratch
 
 	phase     int
 	blkPhase  int
@@ -229,22 +239,22 @@ const (
 
 const brkBlockLocal = 0
 
-type bracketsKey struct{}
+type bracketsKey[I Ix] struct{}
 
-func bracketsOf(s *pram.Sim) *bracketState {
+func bracketsOf[I Ix](s *pram.Sim) *bracketState[I] {
 	sc := s.Scratch()
-	if v := sc.Aux(bracketsKey{}); v != nil {
-		return v.(*bracketState)
+	if v := sc.Aux(bracketsKey[I]{}); v != nil {
+		return v.(*bracketState[I])
 	}
-	st := &bracketState{}
+	st := &bracketState[I]{}
 	st.body = st.run
 	st.blockBody = st.runBlock
-	sc.SetAux(bracketsKey{}, st)
+	sc.SetAux(bracketsKey[I]{}, st)
 	return st
 }
 
 // release returns the buffers shared by the early-exit and full paths.
-func (st *bracketState) release(s *pram.Sim) {
+func (st *bracketState[I]) release(s *pram.Sim) {
 	pram.Release(s, st.w)
 	pram.Release(s, st.depth)
 	pram.Release(s, st.survO)
@@ -264,27 +274,27 @@ func (st *bracketState) release(s *pram.Sim) {
 	st.mCnt, st.splitD, st.pairOff = nil, nil, nil
 }
 
-func (st *bracketState) runBlock(b, lo, hi int) {
+func (st *bracketState[I]) runBlock(b, lo, hi int) {
 	// Block-local matching with the survivor arena as the stack.
 	base := b * st.bs
 	nO, nC := 0, 0
 	for i := lo; i < hi; i++ {
 		if st.open[i] {
-			st.survO[base+nO] = i
+			st.survO[base+nO] = I(i)
 			nO++
 		} else if nO > 0 {
 			nO--
 			j := st.survO[base+nO]
-			st.match[i], st.match[j] = j, i
+			st.match[i], st.match[j] = j, I(i)
 		} else {
-			st.survC[base+nC] = i
+			st.survC[base+nC] = I(i)
 			nC++
 		}
 	}
-	st.nO[b], st.nC[b] = nO, nC
+	st.nO[b], st.nC[b] = I(nO), I(nC)
 }
 
-func (st *bracketState) run(lo, hi int) {
+func (st *bracketState[I]) run(lo, hi int) {
 	switch st.phase {
 	case brkPhaseInit:
 		match := st.match
@@ -345,7 +355,7 @@ func (st *bracketState) run(lo, hi int) {
 	case brkPhaseRuns:
 		for b := lo; b < hi; b++ {
 			if c := st.nC[b]; c > 0 {
-				st.runNode[2*b] = st.p2 + b
+				st.runNode[2*b] = I(st.p2 + b)
 				st.runHi[2*b] = st.cTop[b]
 				st.runLo[2*b] = st.cTop[b] - c + 1
 				st.runAlive[2*b] = true
@@ -353,7 +363,7 @@ func (st *bracketState) run(lo, hi int) {
 				st.runAlive[2*b] = false
 			}
 			if o := st.nO[b]; o > 0 {
-				st.runNode[2*b+1] = st.p2 + b
+				st.runNode[2*b+1] = I(st.p2 + b)
 				st.runHi[2*b+1] = st.oLo[b] + o - 1
 				st.runLo[2*b+1] = st.oLo[b]
 				st.runAlive[2*b+1] = true
@@ -421,10 +431,10 @@ func (st *bracketState) run(lo, hi int) {
 	case brkPhaseResolve:
 		for i := lo; i < hi; i++ {
 			v := st.owner[i]
-			lev := st.splitD[v] - st.mCnt[v] + 1 + st.offset[i]
+			lev := st.splitD[v] - st.mCnt[v] + 1 + I(st.offset[i])
 			bO, bC := st.pairOpen[i], st.pairClose[i]
-			oi := st.survO[bO*st.bs+lev-st.oLo[bO]]
-			ci := st.survC[bC*st.bs+st.cTop[bC]-lev]
+			oi := st.survO[int(bO)*st.bs+int(lev-st.oLo[bO])]
+			ci := st.survC[int(bC)*st.bs+int(st.cTop[bC]-lev)]
 			st.match[oi], st.match[ci] = ci, oi
 		}
 	}
@@ -432,8 +442,13 @@ func (st *bracketState) run(lo, hi int) {
 
 // matchSerial is the sequential stack matcher, used for single-block
 // inputs and as the differential-testing reference.
-func matchSerial(open []bool, match []int) {
-	var stack []int
+func matchSerial[I Ix](open []bool, match []I) {
+	matchSerialStack(open, match, nil)
+}
+
+// matchSerialStack is matchSerial over a caller-provided stack buffer,
+// returned (possibly grown) for reuse.
+func matchSerialStack[I Ix](open []bool, match []I, stack []int) []int {
 	for i := range open {
 		if open[i] {
 			match[i] = -1
@@ -441,9 +456,10 @@ func matchSerial(open []bool, match []int) {
 		} else if len(stack) > 0 {
 			j := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			match[i], match[j] = j, i
+			match[i], match[j] = I(j), I(i)
 		} else {
 			match[i] = -1
 		}
 	}
+	return stack[:0]
 }

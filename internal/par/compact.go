@@ -6,7 +6,12 @@ import "pathcover/internal/pram"
 // order (stable stream compaction). O(log n) time, O(n) work via one scan
 // and one scatter.
 func Pack[T any](s *pram.Sim, in []T, keep []bool) []T {
-	idx := IndexPack(s, keep)
+	return PackIx[int](s, in, keep)
+}
+
+// PackIx is Pack with a chosen width for the internal index arrays.
+func PackIx[I Ix, T any](s *pram.Sim, in []T, keep []bool) []T {
+	idx := IndexPackIx[I](s, keep)
 	out := pram.GrabNoClear[T](s, len(idx))
 	s.ParallelFor(len(idx), func(i int) { out[i] = in[idx[i]] })
 	pram.Release(s, idx)
@@ -16,15 +21,43 @@ func Pack[T any](s *pram.Sim, in []T, keep []bool) []T {
 // IndexPack returns, in increasing order, the indices i with keep[i]
 // set.
 func IndexPack(s *pram.Sim, keep []bool) []int {
+	return IndexPackIx[int](s, keep)
+}
+
+// IndexPackIx is the width-generic IndexPack (see Ix).
+func IndexPackIx[I Ix](s *pram.Sim, keep []bool) []I {
 	n := len(keep)
-	st := packStateOf(s)
+	if n > 0 && s.PreferSequential(n) {
+		// Fused sequential route: one pass to count, one to fill, versus
+		// the flags/scan/scatter phase chain. Charges replayed exactly.
+		total := 0
+		for _, k := range keep {
+			if k {
+				total++
+			}
+		}
+		out := pram.GrabNoClear[I](s, total)
+		j := 0
+		for i, k := range keep {
+			if k {
+				out[j] = I(i)
+				j++
+			}
+		}
+		p := s.Procs()
+		s.Charge(int64(ceilDivInt(n, p)), int64(n)) // flags phase
+		chargeScan(s, n, false)                     // position scan
+		s.Charge(int64(ceilDivInt(n, p)), int64(n)) // scatter phase
+		return out
+	}
+	st := packStateOf[I](s)
 	st.keep = keep
-	st.flags = pram.GrabNoClear[int](s, n)
+	st.flags = pram.GrabNoClear[I](s, n)
 	st.phase = packPhaseFlags
 	s.ParallelForRange(n, st.body)
-	pos, total := ScanInt(s, st.flags)
+	pos, total := ScanIx(s, st.flags)
 	st.pos = pos
-	st.out = pram.GrabNoClear[int](s, total)
+	st.out = pram.GrabNoClear[I](s, int(total))
 	st.phase = packPhaseScatter
 	s.ParallelForRange(n, st.body)
 	out := st.out
@@ -34,10 +67,11 @@ func IndexPack(s *pram.Sim, keep []bool) []int {
 	return out
 }
 
-// packState keeps the phase bodies of IndexPack reusable per Sim.
-type packState struct {
+// packState keeps the phase bodies of IndexPack reusable per (Sim,
+// width).
+type packState[I Ix] struct {
 	keep            []bool
-	flags, pos, out []int
+	flags, pos, out []I
 	phase           int
 	body            func(lo, hi int)
 }
@@ -47,20 +81,20 @@ const (
 	packPhaseScatter
 )
 
-type packKey struct{}
+type packKey[I Ix] struct{}
 
-func packStateOf(s *pram.Sim) *packState {
+func packStateOf[I Ix](s *pram.Sim) *packState[I] {
 	sc := s.Scratch()
-	if v := sc.Aux(packKey{}); v != nil {
-		return v.(*packState)
+	if v := sc.Aux(packKey[I]{}); v != nil {
+		return v.(*packState[I])
 	}
-	st := &packState{}
+	st := &packState[I]{}
 	st.body = st.run
-	sc.SetAux(packKey{}, st)
+	sc.SetAux(packKey[I]{}, st)
 	return st
 }
 
-func (st *packState) run(lo, hi int) {
+func (st *packState[I]) run(lo, hi int) {
 	switch st.phase {
 	case packPhaseFlags:
 		keep, flags := st.keep, st.flags
@@ -75,7 +109,7 @@ func (st *packState) run(lo, hi int) {
 		keep, pos, out := st.keep, st.pos, st.out
 		for i := lo; i < hi; i++ {
 			if keep[i] {
-				out[pos[i]] = i
+				out[pos[i]] = I(i)
 			}
 		}
 	}
@@ -91,18 +125,55 @@ func (st *packState) run(lo, hi int) {
 // broadcasts ids across items — O(log n) time, O(total + segments) work,
 // EREW.
 func Distribute(s *pram.Sim, lengths []int) (owner, offset []int, total int) {
-	st := distStateOf(s)
+	return DistributeIx(s, lengths)
+}
+
+// DistributeIx is the width-generic Distribute (see Ix).
+func DistributeIx[I Ix](s *pram.Sim, lengths []I) (owner, offset []I, total int) {
+	nseg := len(lengths)
+	// The starts scan runs first either way (it auto-fuses below the
+	// cutover) and yields the total the route decision needs, so no
+	// extra uncharged sweep over lengths is ever paid.
+	starts, totI := ScanIx(s, lengths)
+	tot := int(totI)
+	if s.PreferSequential(tot + nseg) {
+		// Fused sequential route for the remaining four phases: emit each
+		// segment's run directly, replaying their exact charges.
+		pram.Release(s, starts)
+		owner = pram.GrabNoClear[I](s, tot)
+		offset = pram.GrabNoClear[I](s, tot)
+		t := 0
+		for seg, l := range lengths {
+			for j := I(0); j < l; j++ {
+				owner[t] = I(seg)
+				offset[t] = j
+				t++
+			}
+		}
+		p := s.Procs()
+		if tot > 0 {
+			s.Charge(int64(ceilDivInt(tot, p)), int64(tot)) // heads fill
+		}
+		if nseg > 0 {
+			s.Charge(int64(ceilDivInt(nseg, p)), int64(nseg)) // head scatter
+		}
+		chargeScan(s, tot, true) // owner max-scan
+		if tot > 0 {
+			s.Charge(int64(ceilDivInt(tot, p)), int64(tot)) // offsets
+		}
+		return owner, offset, tot
+	}
+	st := distStateOf[I](s)
 	st.lengths = lengths
-	starts, tot := ScanInt(s, lengths)
 	st.starts = starts
-	st.heads = pram.GrabNoClear[int](s, tot)
+	st.heads = pram.GrabNoClear[I](s, tot)
 	st.phase = distPhaseFill
 	s.ParallelForRange(tot, st.body)
 	st.phase = distPhaseHeads
-	s.ParallelForRange(len(lengths), st.body)
-	owner = MaxScanInt(s, st.heads)
+	s.ParallelForRange(nseg, st.body)
+	owner = MaxScanIx(s, st.heads)
 	st.owner = owner
-	st.offset = pram.GrabNoClear[int](s, tot)
+	st.offset = pram.GrabNoClear[I](s, tot)
 	st.phase = distPhaseOffsets
 	s.ParallelForRange(tot, st.body)
 	offset = st.offset
@@ -112,9 +183,9 @@ func Distribute(s *pram.Sim, lengths []int) (owner, offset []int, total int) {
 	return owner, offset, tot
 }
 
-type distState struct {
-	lengths, starts, heads []int
-	owner, offset          []int
+type distState[I Ix] struct {
+	lengths, starts, heads []I
+	owner, offset          []I
 	phase                  int
 	body                   func(lo, hi int)
 }
@@ -125,36 +196,37 @@ const (
 	distPhaseOffsets
 )
 
-type distKey struct{}
+type distKey[I Ix] struct{}
 
-func distStateOf(s *pram.Sim) *distState {
+func distStateOf[I Ix](s *pram.Sim) *distState[I] {
 	sc := s.Scratch()
-	if v := sc.Aux(distKey{}); v != nil {
-		return v.(*distState)
+	if v := sc.Aux(distKey[I]{}); v != nil {
+		return v.(*distState[I])
 	}
-	st := &distState{}
+	st := &distState[I]{}
 	st.body = st.run
-	sc.SetAux(distKey{}, st)
+	sc.SetAux(distKey[I]{}, st)
 	return st
 }
 
-func (st *distState) run(lo, hi int) {
+func (st *distState[I]) run(lo, hi int) {
 	switch st.phase {
 	case distPhaseFill:
 		heads := st.heads
+		sentinel := MinIx[I]()
 		for i := lo; i < hi; i++ {
-			heads[i] = minInt
+			heads[i] = sentinel
 		}
 	case distPhaseHeads:
 		for i := lo; i < hi; i++ {
 			if st.lengths[i] > 0 {
-				st.heads[st.starts[i]] = i
+				st.heads[st.starts[i]] = I(i)
 			}
 		}
 	case distPhaseOffsets:
 		starts, owner, offset := st.starts, st.owner, st.offset
 		for i := lo; i < hi; i++ {
-			offset[i] = i - starts[owner[i]]
+			offset[i] = I(i) - starts[owner[i]]
 		}
 	}
 }

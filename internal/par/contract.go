@@ -109,8 +109,8 @@ func applyOp(op NodeOp, left, right int64) int64 {
 	panic("par: unknown OpKind")
 }
 
-type rakeRec struct {
-	x, p, sib int
+type rakeRec[I Ix] struct {
+	x, p, sib I
 	fx, fs    MaxPlus
 	xLeft     bool
 }
@@ -121,17 +121,24 @@ type rakeRec struct {
 // children. leafRank must number the leaves 0..m-1 left to right (as
 // produced by Tour.LeafRanks).
 func EvalTree(s *pram.Sim, t BinTree, op []NodeOp, leafVal []int64, leafRank []int) []int64 {
+	return EvalTreeIx(s, t, op, leafVal, leafRank)
+}
+
+// EvalTreeIx is the width-generic EvalTree (see Ix): the mutable link
+// structure and the rake records ride on the narrow width; the
+// expression values themselves stay int64.
+func EvalTreeIx[I Ix](s *pram.Sim, t BinTreeIx[I], op []NodeOp, leafVal []int64, leafRank []I) []int64 {
 	n := t.Len()
 	val := pram.Grab[int64](s, n)
 	if n == 0 {
 		return val
 	}
 	// Working copies of the mutable link structure.
-	left := pram.GrabNoClear[int](s, n)
-	right := pram.GrabNoClear[int](s, n)
-	parent := pram.GrabNoClear[int](s, n)
+	left := pram.GrabNoClear[I](s, n)
+	right := pram.GrabNoClear[I](s, n)
+	parent := pram.GrabNoClear[I](s, n)
 	f := pram.GrabNoClear[MaxPlus](s, n)
-	num := pram.Grab[int](s, n)
+	num := pram.Grab[I](s, n)
 	isLeaf := pram.GrabNoClear[bool](s, n)
 	s.ForCostRange(n, 2, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
@@ -144,9 +151,9 @@ func EvalTree(s *pram.Sim, t BinTree, op []NodeOp, leafVal []int64, leafRank []i
 			}
 		}
 	})
-	leaves := IndexPack(s, isLeaf)
+	leaves := IndexPackIx[I](s, isLeaf)
 
-	var rounds [][]rakeRec
+	var rounds [][]rakeRec[I]
 	rakeSub := func(wantLeft bool) {
 		cand := pram.Grab[bool](s, len(leaves))
 		s.ParallelFor(len(leaves), func(k int) {
@@ -160,23 +167,23 @@ func EvalTree(s *pram.Sim, t BinTree, op []NodeOp, leafVal []int64, leafRank []i
 				}
 			}
 		})
-		sel := Pack(s, leaves, cand)
+		sel := PackIx[I](s, leaves, cand)
 		pram.Release(s, cand)
 		if len(sel) == 0 {
 			pram.Release(s, sel)
 			return
 		}
-		recs := pram.GrabNoClear[rakeRec](s, len(sel))
+		recs := pram.GrabNoClear[rakeRec[I]](s, len(sel))
 		s.ForCost(len(sel), 4, func(k int) {
 			x := sel[k]
 			p := parent[x]
-			var sib int
+			var sib I
 			if left[p] == x {
 				sib = right[p]
 			} else {
 				sib = left[p]
 			}
-			recs[k] = rakeRec{x: x, p: p, sib: sib, fx: f[x], fs: f[sib], xLeft: left[p] == x}
+			recs[k] = rakeRec[I]{x: x, p: p, sib: sib, fx: f[x], fs: f[sib], xLeft: left[p] == x}
 			// Splice p out: sib takes p's place under p's parent.
 			g := parent[p]
 			if g >= 0 {
@@ -212,7 +219,7 @@ func EvalTree(s *pram.Sim, t BinTree, op []NodeOp, leafVal []int64, leafRank []i
 				live[k] = true
 			}
 		})
-		next := Pack(s, leaves, live)
+		next := PackIx[I](s, leaves, live)
 		pram.Release(s, live)
 		pram.Release(s, leaves)
 		leaves = next

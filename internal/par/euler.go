@@ -2,23 +2,33 @@ package par
 
 import "pathcover/internal/pram"
 
-// BinTree is a binary forest in arena form. All three slices have the
-// same length; -1 denotes absence. Roots have Parent -1. An internal node
-// may have one or two children (path trees are like that); full binary
-// trees (cotrees) always have both.
-type BinTree struct {
-	Left, Right, Parent []int
+// BinTreeIx is a binary forest in arena form, generic over the index
+// width (see Ix). All three slices have the same length; -1 denotes
+// absence. Roots have Parent -1. An internal node may have one or two
+// children (path trees are like that); full binary trees (cotrees)
+// always have both.
+type BinTreeIx[I Ix] struct {
+	Left, Right, Parent []I
 }
 
+// BinTree is the int-width binary forest, the historical form.
+type BinTree = BinTreeIx[int]
+
 // Len returns the number of nodes.
-func (t BinTree) Len() int { return len(t.Parent) }
+func (t BinTreeIx[I]) Len() int { return len(t.Parent) }
+
+// IsLeaf reports whether v has no children.
+func (t BinTreeIx[I]) IsLeaf(v int) bool { return t.Left[v] < 0 && t.Right[v] < 0 }
 
 // NewBinTree allocates an n-node forest with every link empty.
-func NewBinTree(n int) BinTree {
-	t := BinTree{
-		Left:   make([]int, n),
-		Right:  make([]int, n),
-		Parent: make([]int, n),
+func NewBinTree(n int) BinTree { return NewBinTreeIx[int](n) }
+
+// NewBinTreeIx is the width-generic NewBinTree.
+func NewBinTreeIx[I Ix](n int) BinTreeIx[I] {
+	t := BinTreeIx[I]{
+		Left:   make([]I, n),
+		Right:  make([]I, n),
+		Parent: make([]I, n),
 	}
 	for i := 0; i < n; i++ {
 		t.Left[i], t.Right[i], t.Parent[i] = -1, -1, -1
@@ -28,11 +38,14 @@ func NewBinTree(n int) BinTree {
 
 // GrabBinTree is NewBinTree with the three link slices drawn from the
 // Sim's scratch arena; pair it with ReleaseBinTree.
-func GrabBinTree(s *pram.Sim, n int) BinTree {
-	t := BinTree{
-		Left:   pram.GrabNoClear[int](s, n),
-		Right:  pram.GrabNoClear[int](s, n),
-		Parent: pram.GrabNoClear[int](s, n),
+func GrabBinTree(s *pram.Sim, n int) BinTree { return GrabBinTreeIx[int](s, n) }
+
+// GrabBinTreeIx is the width-generic GrabBinTree.
+func GrabBinTreeIx[I Ix](s *pram.Sim, n int) BinTreeIx[I] {
+	t := BinTreeIx[I]{
+		Left:   pram.GrabNoClear[I](s, n),
+		Right:  pram.GrabNoClear[I](s, n),
+		Parent: pram.GrabNoClear[I](s, n),
 	}
 	for i := 0; i < n; i++ {
 		t.Left[i], t.Right[i], t.Parent[i] = -1, -1, -1
@@ -41,37 +54,40 @@ func GrabBinTree(s *pram.Sim, n int) BinTree {
 }
 
 // ReleaseBinTree returns a forest's link slices to the arena.
-func ReleaseBinTree(s *pram.Sim, t BinTree) {
+func ReleaseBinTree(s *pram.Sim, t BinTree) { ReleaseBinTreeIx(s, t) }
+
+// ReleaseBinTreeIx is the width-generic ReleaseBinTree.
+func ReleaseBinTreeIx[I Ix](s *pram.Sim, t BinTreeIx[I]) {
 	pram.Release(s, t.Left)
 	pram.Release(s, t.Right)
 	pram.Release(s, t.Parent)
 }
 
-// IsLeaf reports whether v has no children.
-func (t BinTree) IsLeaf(v int) bool { return t.Left[v] < 0 && t.Right[v] < 0 }
-
-// Tour is the Euler tour of a binary forest together with the numberings
-// derived from it (paper Lemma 5.2). Each node contributes three tour
-// items — pre (first visit), in (between the two subtrees) and post
-// (last visit) — and the items of all trees are chained root after root
-// in increasing root order.
+// TourIx is the Euler tour of a binary forest together with the
+// numberings derived from it (paper Lemma 5.2), generic over the index
+// width. Each node contributes three tour items — pre (first visit), in
+// (between the two subtrees) and post (last visit) — and the items of
+// all trees are chained root after root in increasing root order.
 //
-// A Tour's slices come from the owning Sim's arena; call Release once
+// A tour's slices come from the owning Sim's arena; call Release once
 // the tour is no longer needed.
-type Tour struct {
+type TourIx[I Ix] struct {
 	N   int
-	Pos []int // Pos[item] = position of tour item; items are 3v, 3v+1, 3v+2
-	Seq []int // Seq[pos] = item at that position (inverse of Pos)
+	Pos []I // Pos[item] = position of tour item; items are 3v, 3v+1, 3v+2
+	Seq []I // Seq[pos] = item at that position (inverse of Pos)
 
-	Pre, In, Post []int // numberings of the nodes, 0-based across the forest
-	InSeq         []int // InSeq[k] = node with inorder number k
-	Root          []int // root of each node's tree
-	Roots         []int // the roots, in increasing index order
+	Pre, In, Post []I // numberings of the nodes, 0-based across the forest
+	InSeq         []I // InSeq[k] = node with inorder number k
+	Root          []I // root of each node's tree
+	Roots         []I // the roots, in increasing index order
 }
 
-// Release returns the tour's slices to the Sim's arena. The Tour must
+// Tour is the int-width tour, the historical form.
+type Tour = TourIx[int]
+
+// Release returns the tour's slices to the Sim's arena. The tour must
 // not be used afterwards.
-func (tr *Tour) Release(s *pram.Sim) {
+func (tr *TourIx[I]) Release(s *pram.Sim) {
 	pram.Release(s, tr.Pos)
 	pram.Release(s, tr.Seq)
 	pram.Release(s, tr.Pre)
@@ -85,16 +101,22 @@ func (tr *Tour) Release(s *pram.Sim) {
 }
 
 // item encoding helpers.
-func preItem(v int) int   { return 3 * v }
-func inItem(v int) int    { return 3*v + 1 }
-func postItem(v int) int  { return 3*v + 2 }
-func itemNode(it int) int { return it / 3 }
+func preItem[I Ix](v I) I   { return 3 * v }
+func inItem[I Ix](v I) I    { return 3*v + 1 }
+func postItem[I Ix](v I) I  { return 3*v + 2 }
+func itemNode[I Ix](it I) I { return it / 3 }
 
 // TourBinary builds the Euler tour of t and the pre/in/post numberings.
 // seed drives the randomized work-optimal list ranking.
 func TourBinary(s *pram.Sim, t BinTree, seed uint64) *Tour {
+	return TourBinaryIx(s, t, seed)
+}
+
+// TourBinaryIx is the width-generic TourBinary (see Ix). Note the tour
+// stores item ids up to 3n, so the narrow width needs 3n to fit.
+func TourBinaryIx[I Ix](s *pram.Sim, t BinTreeIx[I], seed uint64) *TourIx[I] {
 	n := t.Len()
-	tr := &Tour{N: n}
+	tr := &TourIx[I]{N: n}
 	if n == 0 {
 		return tr
 	}
@@ -105,29 +127,30 @@ func TourBinary(s *pram.Sim, t BinTree, seed uint64) *Tour {
 			isRoot[v] = t.Parent[v] < 0
 		}
 	})
-	roots := IndexPack(s, isRoot)
+	roots := IndexPackIx[I](s, isRoot)
 	pram.Release(s, isRoot)
 	tr.Roots = roots
 
 	// Successor links between the 3n items.
-	next := pram.GrabNoClear[int](s, 3*n)
+	next := pram.GrabNoClear[I](s, 3*n)
 	s.ForCostRange(n, 3, func(vlo, vhi int) {
-		for v := vlo; v < vhi; v++ {
+		for vi := vlo; vi < vhi; vi++ {
+			v := I(vi)
 			// pre(v) -> first of left subtree, else in(v)
-			if l := t.Left[v]; l >= 0 {
+			if l := t.Left[vi]; l >= 0 {
 				next[preItem(v)] = preItem(l)
 			} else {
 				next[preItem(v)] = inItem(v)
 			}
 			// in(v) -> first of right subtree, else post(v)
-			if r := t.Right[v]; r >= 0 {
+			if r := t.Right[vi]; r >= 0 {
 				next[inItem(v)] = preItem(r)
 			} else {
 				next[inItem(v)] = postItem(v)
 			}
 			// post(v) -> in(parent) when v is a left child, post(parent) when
 			// right; roots are linked to the next root below.
-			p := t.Parent[v]
+			p := t.Parent[vi]
 			switch {
 			case p < 0:
 				next[postItem(v)] = -1
@@ -145,22 +168,23 @@ func TourBinary(s *pram.Sim, t BinTree, seed uint64) *Tour {
 		}
 	})
 
-	pos, length := ListPositions(s, next, preItem(roots[0]), seed)
+	pos, lengthI := ListPositionsIx(s, next, preItem(roots[0]), seed)
+	length := int(lengthI)
 	pram.Release(s, next)
 	tr.Pos = pos
-	seq := pram.GrabNoClear[int](s, length)
+	seq := pram.GrabNoClear[I](s, length)
 	s.ParallelForRange(3*n, func(lo, hi int) {
 		for it := lo; it < hi; it++ {
 			if pos[it] >= 0 {
-				seq[pos[it]] = it
+				seq[pos[it]] = I(it)
 			}
 		}
 	})
 	tr.Seq = seq
 
 	// Numberings: rank of each item kind along the sequence.
-	kindFlag := func(kind int) []int {
-		f := pram.Grab[int](s, length)
+	kindFlag := func(kind I) []I {
+		f := pram.Grab[I](s, length)
 		s.ParallelForRange(length, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				if seq[i]%3 == kind {
@@ -168,27 +192,28 @@ func TourBinary(s *pram.Sim, t BinTree, seed uint64) *Tour {
 				}
 			}
 		})
-		r, _ := ScanInt(s, f)
+		r, _ := ScanIx(s, f)
 		pram.Release(s, f)
 		return r
 	}
 	preRank := kindFlag(0)
 	inRank := kindFlag(1)
 	postRank := kindFlag(2)
-	tr.Pre = pram.GrabNoClear[int](s, n)
-	tr.In = pram.GrabNoClear[int](s, n)
-	tr.Post = pram.GrabNoClear[int](s, n)
-	tr.InSeq = pram.GrabNoClear[int](s, n)
+	tr.Pre = pram.GrabNoClear[I](s, n)
+	tr.In = pram.GrabNoClear[I](s, n)
+	tr.Post = pram.GrabNoClear[I](s, n)
+	tr.InSeq = pram.GrabNoClear[I](s, n)
 	s.ForCostRange(n, 3, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			tr.Pre[v] = preRank[pos[preItem(v)]]
-			tr.In[v] = inRank[pos[inItem(v)]]
-			tr.Post[v] = postRank[pos[postItem(v)]]
+		for vi := lo; vi < hi; vi++ {
+			v := I(vi)
+			tr.Pre[vi] = preRank[pos[preItem(v)]]
+			tr.In[vi] = inRank[pos[inItem(v)]]
+			tr.Post[vi] = postRank[pos[postItem(v)]]
 		}
 	})
 	s.ParallelForRange(n, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
-			tr.InSeq[tr.In[v]] = v
+			tr.InSeq[tr.In[v]] = I(v)
 		}
 	})
 	pram.Release(s, preRank)
@@ -197,18 +222,19 @@ func TourBinary(s *pram.Sim, t BinTree, seed uint64) *Tour {
 
 	// Root of each node: roots appear in increasing index order along the
 	// tour, so a prefix max over root markers at pre positions works.
-	marks := pram.GrabNoClear[int](s, length)
+	marks := pram.GrabNoClear[I](s, length)
+	sentinel := MinIx[I]()
 	s.ParallelForRange(length, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			marks[i] = minInt
+			marks[i] = sentinel
 		}
 	})
 	s.ParallelFor(len(roots), func(k int) { marks[pos[preItem(roots[k])]] = roots[k] })
-	owner := MaxScanInt(s, marks)
-	tr.Root = pram.GrabNoClear[int](s, n)
+	owner := MaxScanIx(s, marks)
+	tr.Root = pram.GrabNoClear[I](s, n)
 	s.ParallelForRange(n, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
-			tr.Root[v] = owner[pos[preItem(v)]]
+			tr.Root[v] = owner[pos[preItem(I(v))]]
 		}
 	})
 	pram.Release(s, marks)
@@ -219,8 +245,8 @@ func TourBinary(s *pram.Sim, t BinTree, seed uint64) *Tour {
 // Depths returns the depth of every node (roots have depth 0), via a
 // prefix sum of +1 at pre items and -1 at post items. The caller owns
 // (and may Release) the result.
-func (tr *Tour) Depths(s *pram.Sim) []int {
-	w := pram.GrabNoClear[int](s, len(tr.Seq))
+func (tr *TourIx[I]) Depths(s *pram.Sim) []I {
+	w := pram.GrabNoClear[I](s, len(tr.Seq))
 	s.ParallelForRange(len(tr.Seq), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			switch tr.Seq[i] % 3 {
@@ -233,11 +259,11 @@ func (tr *Tour) Depths(s *pram.Sim) []int {
 			}
 		}
 	})
-	sums := InclusiveScanInt(s, w)
-	d := pram.GrabNoClear[int](s, tr.N)
+	sums := InclusiveScanIx(s, w)
+	d := pram.GrabNoClear[I](s, tr.N)
 	s.ParallelForRange(tr.N, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
-			d[v] = sums[tr.Pos[preItem(v)]] - 1
+			d[v] = sums[tr.Pos[preItem(I(v))]] - 1
 		}
 	})
 	pram.Release(s, w)
@@ -248,33 +274,34 @@ func (tr *Tour) Depths(s *pram.Sim) []int {
 // SubtreeCounts returns, for every node, the number of nodes and the
 // number of leaves in its subtree (inclusive). The caller owns both
 // results.
-func (tr *Tour) SubtreeCounts(s *pram.Sim, t BinTree) (size, leaves []int) {
+func (tr *TourIx[I]) SubtreeCounts(s *pram.Sim, t BinTreeIx[I]) (size, leaves []I) {
 	length := len(tr.Seq)
-	nodeW := pram.Grab[int](s, length)
-	leafW := pram.Grab[int](s, length)
+	nodeW := pram.Grab[I](s, length)
+	leafW := pram.Grab[I](s, length)
 	s.ParallelForRange(length, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			it := tr.Seq[i]
 			if it%3 == 0 {
 				v := itemNode(it)
 				nodeW[i] = 1
-				if t.IsLeaf(v) {
+				if t.IsLeaf(int(v)) {
 					leafW[i] = 1
 				}
 			}
 		}
 	})
-	nodeSum := InclusiveScanInt(s, nodeW)
-	leafSum := InclusiveScanInt(s, leafW)
-	size = pram.GrabNoClear[int](s, tr.N)
-	leaves = pram.GrabNoClear[int](s, tr.N)
+	nodeSum := InclusiveScanIx(s, nodeW)
+	leafSum := InclusiveScanIx(s, leafW)
+	size = pram.GrabNoClear[I](s, tr.N)
+	leaves = pram.GrabNoClear[I](s, tr.N)
 	s.ForCostRange(tr.N, 2, func(vlo, vhi int) {
-		for v := vlo; v < vhi; v++ {
+		for vi := vlo; vi < vhi; vi++ {
+			v := I(vi)
 			lo, hi := tr.Pos[preItem(v)], tr.Pos[postItem(v)]
-			size[v] = nodeSum[hi] - nodeSum[lo] + 1
-			leaves[v] = leafSum[hi] - leafSum[lo]
-			if t.IsLeaf(v) {
-				leaves[v] = 1
+			size[vi] = nodeSum[hi] - nodeSum[lo] + 1
+			leaves[vi] = leafSum[hi] - leafSum[lo]
+			if t.IsLeaf(vi) {
+				leaves[vi] = 1
 			}
 		}
 	})
@@ -287,9 +314,9 @@ func (tr *Tour) SubtreeCounts(s *pram.Sim, t BinTree) (size, leaves []int) {
 
 // AncestorFlagCounts returns for every node the number of flagged nodes
 // on the path from its tree root to the node, inclusive.
-func (tr *Tour) AncestorFlagCounts(s *pram.Sim, flag []bool) []int {
+func (tr *TourIx[I]) AncestorFlagCounts(s *pram.Sim, flag []bool) []I {
 	length := len(tr.Seq)
-	w := pram.Grab[int](s, length)
+	w := pram.Grab[I](s, length)
 	s.ParallelForRange(length, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			it := tr.Seq[i]
@@ -304,11 +331,11 @@ func (tr *Tour) AncestorFlagCounts(s *pram.Sim, flag []bool) []int {
 			}
 		}
 	})
-	sums := InclusiveScanInt(s, w)
-	out := pram.GrabNoClear[int](s, tr.N)
+	sums := InclusiveScanIx(s, w)
+	out := pram.GrabNoClear[I](s, tr.N)
 	s.ParallelForRange(tr.N, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
-			out[v] = sums[tr.Pos[preItem(v)]]
+			out[v] = sums[tr.Pos[preItem(I(v))]]
 		}
 	})
 	pram.Release(s, w)
@@ -319,22 +346,22 @@ func (tr *Tour) AncestorFlagCounts(s *pram.Sim, flag []bool) []int {
 // LeafStarts returns, for every node, the number of leaves strictly to
 // the left of its subtree in inorder — i.e. the leaf rank of the node's
 // leftmost leaf descendant.
-func (tr *Tour) LeafStarts(s *pram.Sim, t BinTree) []int {
+func (tr *TourIx[I]) LeafStarts(s *pram.Sim, t BinTreeIx[I]) []I {
 	length := len(tr.Seq)
-	w := pram.Grab[int](s, length)
+	w := pram.Grab[I](s, length)
 	s.ParallelForRange(length, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			it := tr.Seq[i]
-			if it%3 == 1 && t.IsLeaf(itemNode(it)) {
+			if it%3 == 1 && t.IsLeaf(int(itemNode(it))) {
 				w[i] = 1
 			}
 		}
 	})
-	r, _ := ScanInt(s, w)
-	out := pram.GrabNoClear[int](s, tr.N)
+	r, _ := ScanIx(s, w)
+	out := pram.GrabNoClear[I](s, tr.N)
 	s.ParallelForRange(tr.N, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
-			out[v] = r[tr.Pos[preItem(v)]]
+			out[v] = r[tr.Pos[preItem(I(v))]]
 		}
 	})
 	pram.Release(s, w)
@@ -344,23 +371,23 @@ func (tr *Tour) LeafStarts(s *pram.Sim, t BinTree) []int {
 
 // LeafRanks numbers the leaves of the forest 0..m-1 in left-to-right
 // (inorder) order; non-leaves get -1. Also returns m.
-func (tr *Tour) LeafRanks(s *pram.Sim, t BinTree) ([]int, int) {
+func (tr *TourIx[I]) LeafRanks(s *pram.Sim, t BinTreeIx[I]) ([]I, int) {
 	length := len(tr.Seq)
-	w := pram.Grab[int](s, length)
+	w := pram.Grab[I](s, length)
 	s.ParallelForRange(length, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			it := tr.Seq[i]
-			if it%3 == 1 && t.IsLeaf(itemNode(it)) {
+			if it%3 == 1 && t.IsLeaf(int(itemNode(it))) {
 				w[i] = 1
 			}
 		}
 	})
-	r, m := ScanInt(s, w)
-	out := pram.GrabNoClear[int](s, tr.N)
+	r, m := ScanIx(s, w)
+	out := pram.GrabNoClear[I](s, tr.N)
 	s.ParallelForRange(tr.N, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			if t.IsLeaf(v) {
-				out[v] = r[tr.Pos[inItem(v)]]
+				out[v] = r[tr.Pos[inItem(I(v))]]
 			} else {
 				out[v] = -1
 			}
@@ -368,5 +395,5 @@ func (tr *Tour) LeafRanks(s *pram.Sim, t BinTree) ([]int, int) {
 	})
 	pram.Release(s, w)
 	pram.Release(s, r)
-	return out, m
+	return out, int(m)
 }

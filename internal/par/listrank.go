@@ -13,15 +13,22 @@ import "pathcover/internal/pram"
 // work-optimal variant. Rank is retained as the simple reference and as
 // the comparison point for the work-optimality ablation bench.
 func Rank(s *pram.Sim, next []int) (dist, last []int) {
-	return RankWeighted(s, next, nil)
+	return RankWeightedIx[int](s, next, nil)
+}
+
+// RankIx is the width-generic Rank (see Ix). Note dist accumulates link
+// weights: the caller guarantees the totals fit the width.
+func RankIx[I Ix](s *pram.Sim, next []I) (dist, last []I) {
+	return RankWeightedIx(s, next, nil)
 }
 
 // wyllieState keeps the phase bodies and working arrays of RankWeighted
-// reusable per Sim, so steady-state ranking performs no allocation.
-type wyllieState struct {
-	next, weight    []int
-	dist, last, nxt []int
-	nd, nn, nl      []int
+// reusable per (Sim, width), so steady-state ranking performs no
+// allocation.
+type wyllieState[I Ix] struct {
+	next, weight    []I
+	dist, last, nxt []I
+	nd, nn, nl      []I
 	phase           int
 	body            func(lo, hi int)
 }
@@ -31,25 +38,25 @@ const (
 	wylPhaseJump
 )
 
-type wyllieKey struct{}
+type wyllieKey[I Ix] struct{}
 
-func wyllieOf(s *pram.Sim) *wyllieState {
+func wyllieOf[I Ix](s *pram.Sim) *wyllieState[I] {
 	sc := s.Scratch()
-	if v := sc.Aux(wyllieKey{}); v != nil {
-		return v.(*wyllieState)
+	if v := sc.Aux(wyllieKey[I]{}); v != nil {
+		return v.(*wyllieState[I])
 	}
-	st := &wyllieState{}
+	st := &wyllieState[I]{}
 	st.body = st.run
-	sc.SetAux(wyllieKey{}, st)
+	sc.SetAux(wyllieKey[I]{}, st)
 	return st
 }
 
-func (st *wyllieState) run(lo, hi int) {
+func (st *wyllieState[I]) run(lo, hi int) {
 	switch st.phase {
 	case wylPhaseInit:
 		for i := lo; i < hi; i++ {
 			st.nxt[i] = st.next[i]
-			st.last[i] = i
+			st.last[i] = I(i)
 			if st.next[i] >= 0 {
 				if st.weight == nil {
 					st.dist[i] = 1
@@ -82,25 +89,50 @@ func (st *wyllieState) run(lo, hi int) {
 // weights along the path from i to its terminal. A nil weight slice means
 // unit weights.
 func RankWeighted(s *pram.Sim, next []int, weight []int) (dist, last []int) {
-	n := len(next)
-	st := wyllieOf(s)
-	st.next, st.weight = next, weight
-	st.dist = pram.GrabNoClear[int](s, n)
-	st.last = pram.GrabNoClear[int](s, n)
-	st.nxt = pram.GrabNoClear[int](s, n)
-	st.phase = wylPhaseInit
-	s.ParallelForRange(n, st.body)
-	// Double buffers keep each jumping round exclusive-access: reads go to
-	// the "cur" generation, writes to "new".
-	st.nd = pram.GrabNoClear[int](s, n)
-	st.nn = pram.GrabNoClear[int](s, n)
-	st.nl = pram.GrabNoClear[int](s, n)
+	return RankWeightedIx(s, next, weight)
+}
+
+// wyllieRounds is the number of jumping rounds Wyllie performs on n
+// elements.
+func wyllieRounds(n int) int {
 	rounds := 0
 	for v := 1; v < n; v <<= 1 {
 		rounds++
 	}
+	return rounds
+}
+
+// RankWeightedIx is the width-generic RankWeighted (see Ix).
+func RankWeightedIx[I Ix](s *pram.Sim, next []I, weight []I) (dist, last []I) {
+	n := len(next)
+	if n > 0 && s.PreferSequential(n) {
+		// Fused sequential route: chase each chain once (two passes over
+		// the structure in total) instead of log n pointer-jumping rounds
+		// over six arrays, replaying the identical charge sequence.
+		dist = pram.GrabNoClear[I](s, n)
+		last = pram.GrabNoClear[I](s, n)
+		chaseRank(s, next, weight, dist, last)
+		p := s.Procs()
+		s.Charge(int64(ceilDivInt(n, p)), int64(n)) // init phase
+		for r := wyllieRounds(n); r > 0; r-- {      // jump rounds, cost 2
+			s.Charge(int64(2*ceilDivInt(n, p)), int64(2*n))
+		}
+		return dist, last
+	}
+	st := wyllieOf[I](s)
+	st.next, st.weight = next, weight
+	st.dist = pram.GrabNoClear[I](s, n)
+	st.last = pram.GrabNoClear[I](s, n)
+	st.nxt = pram.GrabNoClear[I](s, n)
+	st.phase = wylPhaseInit
+	s.ParallelForRange(n, st.body)
+	// Double buffers keep each jumping round exclusive-access: reads go to
+	// the "cur" generation, writes to "new".
+	st.nd = pram.GrabNoClear[I](s, n)
+	st.nn = pram.GrabNoClear[I](s, n)
+	st.nl = pram.GrabNoClear[I](s, n)
 	st.phase = wylPhaseJump
-	for r := 0; r < rounds; r++ {
+	for r := wyllieRounds(n); r > 0; r-- {
 		s.ForCostRange(n, 2, st.body)
 		st.dist, st.nd = st.nd, st.dist
 		st.last, st.nl = st.nl, st.last
@@ -124,33 +156,37 @@ func RankWeighted(s *pram.Sim, next []int, weight []int) (dist, last []int) {
 //
 // seed makes the coin flips deterministic for a given input.
 func RankOpt(s *pram.Sim, next []int, seed uint64) (dist, last []int) {
-	return RankOptWeighted(s, next, nil, seed)
+	return RankOptWeightedIx[int](s, next, nil, seed)
 }
 
-type splice struct {
-	elem int // the spliced-out element
-	succ int // its successor at splice time
-	w    int // weight of the link elem->succ at splice time
+// RankOptIx is the width-generic RankOpt (see Ix).
+func RankOptIx[I Ix](s *pram.Sim, next []I, seed uint64) (dist, last []I) {
+	return RankOptWeightedIx(s, next, nil, seed)
+}
+
+type splice[I Ix] struct {
+	elem I // the spliced-out element
+	succ I // its successor at splice time
+	w    I // weight of the link elem->succ at splice time
 }
 
 // rankOptState keeps the random-mate contraction's phase bodies and
-// per-round bookkeeping reusable per Sim.
-type rankOptState struct {
-	next, weight             []int
-	w, nxt, prv              []int
-	alive, newAlive          []int
-	pos, flags, cpos         []int
-	cnext, cw                []int
-	cdist, clast, dist, last []int
+// per-round bookkeeping reusable per (Sim, width).
+type rankOptState[I Ix] struct {
+	next, weight             []I
+	w, nxt, prv              []I
+	alive, newAlive          []I
+	pos, flags, cpos         []I
+	cnext, cw                []I
+	cdist, clast, dist, last []I
 	coin                     []bool
-	rec                      []splice
-	rounds                   [][]splice
+	rec                      []splice[I]
+	rounds                   [][]splice[I]
 	base                     uint64
 	phase                    int
 	body                     func(lo, hi int)
 	// serial reference scratch
-	stack []int
-	done  []bool
+	stack []I
 }
 
 const (
@@ -166,20 +202,20 @@ const (
 	optPhaseReinstate
 )
 
-type rankOptKey struct{}
+type rankOptKey[I Ix] struct{}
 
-func rankOptOf(s *pram.Sim) *rankOptState {
+func rankOptOf[I Ix](s *pram.Sim) *rankOptState[I] {
 	sc := s.Scratch()
-	if v := sc.Aux(rankOptKey{}); v != nil {
-		return v.(*rankOptState)
+	if v := sc.Aux(rankOptKey[I]{}); v != nil {
+		return v.(*rankOptState[I])
 	}
-	st := &rankOptState{}
+	st := &rankOptState[I]{}
 	st.body = st.run
-	sc.SetAux(rankOptKey{}, st)
+	sc.SetAux(rankOptKey[I]{}, st)
 	return st
 }
 
-func (st *rankOptState) run(lo, hi int) {
+func (st *rankOptState[I]) run(lo, hi int) {
 	switch st.phase {
 	case optPhaseInit:
 		for k := lo; k < hi; k++ {
@@ -198,12 +234,12 @@ func (st *rankOptState) run(lo, hi int) {
 	case optPhasePrv:
 		for k := lo; k < hi; k++ {
 			if st.nxt[k] >= 0 {
-				st.prv[st.nxt[k]] = k
+				st.prv[st.nxt[k]] = I(k)
 			}
 		}
 	case optPhaseAlive:
 		for k := lo; k < hi; k++ {
-			st.alive[k] = k
+			st.alive[k] = I(k)
 		}
 	case optPhaseCoin:
 		alive, coin, base := st.alive, st.coin, st.base
@@ -227,17 +263,17 @@ func (st *rankOptState) run(lo, hi int) {
 			e := st.alive[k]
 			if st.flags[k] == 1 {
 				p, q := st.prv[e], st.nxt[e]
-				st.rec[st.pos[k]] = splice{elem: e, succ: q, w: st.w[e]}
+				st.rec[st.pos[k]] = splice[I]{elem: e, succ: q, w: st.w[e]}
 				st.nxt[p] = q
 				st.w[p] += st.w[e]
 				st.prv[q] = p
 			} else {
-				st.newAlive[k-st.pos[k]] = e
+				st.newAlive[I(k)-st.pos[k]] = e
 			}
 		}
 	case optPhasePos:
 		for k := lo; k < hi; k++ {
-			st.cpos[st.alive[k]] = k
+			st.cpos[st.alive[k]] = I(k)
 		}
 	case optPhaseCompact:
 		for k := lo; k < hi; k++ {
@@ -267,6 +303,11 @@ func (st *rankOptState) run(lo, hi int) {
 
 // RankOptWeighted is RankOpt with link weights (nil means unit weights).
 func RankOptWeighted(s *pram.Sim, next []int, weight []int, seed uint64) (dist, last []int) {
+	return RankOptWeightedIx(s, next, weight, seed)
+}
+
+// RankOptWeightedIx is the width-generic RankOptWeighted (see Ix).
+func RankOptWeightedIx[I Ix](s *pram.Sim, next []I, weight []I, seed uint64) (dist, last []I) {
 	n := len(next)
 	if n == 0 {
 		return nil, nil
@@ -278,11 +319,11 @@ func RankOptWeighted(s *pram.Sim, next []int, weight []int, seed uint64) (dist, 
 		return rankSerial(s, next, weight)
 	}
 
-	st := rankOptOf(s)
+	st := rankOptOf[I](s)
 	st.next, st.weight = next, weight
-	st.w = pram.GrabNoClear[int](s, n)
-	st.nxt = pram.GrabNoClear[int](s, n)
-	st.prv = pram.GrabNoClear[int](s, n)
+	st.w = pram.GrabNoClear[I](s, n)
+	st.nxt = pram.GrabNoClear[I](s, n)
+	st.prv = pram.GrabNoClear[I](s, n)
 	st.phase = optPhaseInit
 	s.ParallelForRange(n, st.body)
 	// prv[j] = some predecessor of j. For lists it is unique; RankOpt
@@ -291,13 +332,13 @@ func RankOptWeighted(s *pram.Sim, next []int, weight []int, seed uint64) (dist, 
 	st.phase = optPhasePrv
 	s.ParallelForRange(n, st.body)
 
-	st.alive = pram.GrabNoClear[int](s, n)
+	st.alive = pram.GrabNoClear[I](s, n)
 	st.phase = optPhaseAlive
 	s.ParallelForRange(n, st.body)
 	st.rounds = st.rounds[:0]
 	rng := seed | 1
 	st.coin = pram.GrabNoClear[bool](s, n)
-	outFlag := pram.GrabNoClear[int](s, n)
+	outFlag := pram.GrabNoClear[I](s, n)
 	// Each round splices out the elements whose coin is tails while the
 	// predecessor's coin is heads — an independent set of expected size
 	// m/4 among interior elements — and rebuilds the alive set with a
@@ -313,14 +354,14 @@ func RankOptWeighted(s *pram.Sim, next []int, weight []int, seed uint64) (dist, 
 		st.flags = outFlag[:m]
 		st.phase = optPhaseFlags
 		s.ParallelForRange(m, st.body)
-		pos, cnt := ScanInt(s, st.flags)
+		pos, cnt := ScanIx(s, st.flags)
 		if cnt == 0 {
 			pram.Release(s, pos)
 			break
 		}
 		st.pos = pos
-		st.rec = pram.GrabNoClear[splice](s, cnt)
-		st.newAlive = pram.GrabNoClear[int](s, m-cnt)
+		st.rec = pram.GrabNoClear[splice[I]](s, int(cnt))
+		st.newAlive = pram.GrabNoClear[I](s, m-int(cnt))
 		st.phase = optPhaseSplice
 		s.ForCostRange(m, 3, st.body)
 		st.rounds = append(st.rounds, st.rec)
@@ -332,17 +373,17 @@ func RankOptWeighted(s *pram.Sim, next []int, weight []int, seed uint64) (dist, 
 
 	// Wyllie on the survivors, in compacted index space.
 	m := len(st.alive)
-	st.cpos = pram.GrabNoClear[int](s, n) // original -> compact
+	st.cpos = pram.GrabNoClear[I](s, n) // original -> compact
 	st.phase = optPhasePos
 	s.ParallelForRange(m, st.body)
-	st.cnext = pram.GrabNoClear[int](s, m)
-	st.cw = pram.GrabNoClear[int](s, m)
+	st.cnext = pram.GrabNoClear[I](s, m)
+	st.cw = pram.GrabNoClear[I](s, m)
 	st.phase = optPhaseCompact
 	s.ParallelForRange(m, st.body)
-	st.cdist, st.clast = RankWeighted(s, st.cnext, st.cw)
+	st.cdist, st.clast = RankWeightedIx(s, st.cnext, st.cw)
 
-	st.dist = pram.GrabNoClear[int](s, n)
-	st.last = pram.GrabNoClear[int](s, n)
+	st.dist = pram.GrabNoClear[I](s, n)
+	st.last = pram.GrabNoClear[I](s, n)
 	st.phase = optPhaseExpand
 	s.ParallelForRange(m, st.body)
 
@@ -375,43 +416,49 @@ func RankOptWeighted(s *pram.Sim, next []int, weight []int, seed uint64) (dist, 
 	return dist, last
 }
 
-// rankSerial is the single-processor reference: O(n) by chasing each
-// chain once.
-func rankSerial(s *pram.Sim, next []int, weight []int) (dist, last []int) {
+// chaseRank fills dist/last by chasing each chain once — the shared
+// engine of the serial reference and the fused Wyllie route. It charges
+// nothing; callers account for it.
+func chaseRank[I Ix](s *pram.Sim, next, weight, dist, last []I) {
 	n := len(next)
-	st := rankOptOf(s)
-	dist = pram.GrabNoClear[int](s, n)
-	last = pram.GrabNoClear[int](s, n)
+	st := rankOptOf[I](s)
 	done := pram.Grab[bool](s, n)
 	stack := st.stack[:0]
-	s.Sequential(n, func() {
-		for i := 0; i < n; i++ {
-			if done[i] {
-				continue
-			}
-			j := i
-			for !done[j] && next[j] >= 0 {
-				stack = append(stack, j)
-				j = next[j]
-			}
-			if next[j] < 0 && !done[j] {
-				dist[j], last[j], done[j] = 0, j, true
-			}
-			for k := len(stack) - 1; k >= 0; k-- {
-				e := stack[k]
-				wv := 1
-				if weight != nil {
-					wv = weight[e]
-				}
-				dist[e] = wv + dist[next[e]]
-				last[e] = last[next[e]]
-				done[e] = true
-			}
-			stack = stack[:0]
+	for i := 0; i < n; i++ {
+		if done[i] {
+			continue
 		}
-	})
+		j := i
+		for !done[j] && next[j] >= 0 {
+			stack = append(stack, I(j))
+			j = int(next[j])
+		}
+		if next[j] < 0 && !done[j] {
+			dist[j], last[j], done[j] = 0, I(j), true
+		}
+		for k := len(stack) - 1; k >= 0; k-- {
+			e := stack[k]
+			wv := I(1)
+			if weight != nil {
+				wv = weight[e]
+			}
+			dist[e] = wv + dist[next[e]]
+			last[e] = last[next[e]]
+			done[e] = true
+		}
+		stack = stack[:0]
+	}
 	st.stack = stack[:0]
 	pram.Release(s, done)
+}
+
+// rankSerial is the single-processor reference: O(n) by chasing each
+// chain once.
+func rankSerial[I Ix](s *pram.Sim, next []I, weight []I) (dist, last []I) {
+	n := len(next)
+	dist = pram.GrabNoClear[I](s, n)
+	last = pram.GrabNoClear[I](s, n)
+	s.Sequential(n, func() { chaseRank(s, next, weight, dist, last) })
 	return dist, last
 }
 
@@ -419,10 +466,16 @@ func rankSerial(s *pram.Sim, next []int, weight []int) (dist, last []int) {
 // the 0-based position of element i from head, and the list length.
 // Elements not on the list get position -1.
 func ListPositions(s *pram.Sim, next []int, head int, seed uint64) (pos []int, length int) {
-	dist, last := RankOpt(s, next, seed)
+	p, l := ListPositionsIx(s, next, head, seed)
+	return p, int(l)
+}
+
+// ListPositionsIx is the width-generic ListPositions (see Ix).
+func ListPositionsIx[I Ix](s *pram.Sim, next []I, head I, seed uint64) (pos []I, length I) {
+	dist, last := RankOptIx(s, next, seed)
 	n := len(next)
 	length = dist[head] + 1
-	pos = pram.GrabNoClear[int](s, n)
+	pos = pram.GrabNoClear[I](s, n)
 	tail := last[head]
 	s.ParallelForRange(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {

@@ -1,0 +1,217 @@
+package par
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"pathcover/internal/pram"
+)
+
+// The routing-parity suite: the fused sequential bodies and the narrow
+// (int32) kernels are pure execution-route choices — for any input and
+// any simulated processor count they must produce the same values AND
+// the same simulated time/work/phase counters as the phase-structured
+// int route. These tests pin that down exactly; the pipeline-level
+// bit-parity of the pcbench tables rests on it.
+
+// fusedSim always prefers the fused sequential bodies; refSim never
+// does (cutover disabled). Both carry real workers so the pool route is
+// what the reference exercises.
+func fusedSim(procs int) *pram.Sim {
+	return pram.New(procs, pram.WithWorkers(2), pram.WithSeqCutover(1<<30))
+}
+
+func refSim(procs int) *pram.Sim {
+	return pram.New(procs, pram.WithWorkers(2), pram.WithSeqCutover(-1), pram.WithGrain(64))
+}
+
+func statsEq(t *testing.T, what string, n, procs int, a, b pram.Stats) {
+	t.Helper()
+	if a.Time != b.Time || a.Work != b.Work || a.Phases != b.Phases {
+		t.Fatalf("%s n=%d procs=%d: fused stats %+v != reference stats %+v", what, n, procs, a, b)
+	}
+}
+
+func intsEq(t *testing.T, what string, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: [%d] = %d want %d", what, i, got[i], want[i])
+		}
+	}
+}
+
+// TestFusedChargeParity drives every fused primitive against the
+// phase-structured reference across a grid of sizes and processor
+// counts, asserting identical outputs and identical counters.
+func TestFusedChargeParity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 7))
+	for _, n := range []int{1, 2, 3, 7, 64, 65, 1000, 4096, 5000} {
+		for _, procs := range []int{2, 7, pram.ProcsFor(max(n, 2)), n + 3} {
+			in := make([]int, n)
+			keep := make([]bool, n)
+			next := make([]int, n)
+			lens := make([]int, n/7+1)
+			perm := rng.Perm(n)
+			for i := range in {
+				in[i] = rng.IntN(50)
+				keep[i] = rng.IntN(3) == 0
+				if i < n-1 {
+					next[perm[i]] = perm[i+1]
+				}
+			}
+			if n > 0 {
+				next[perm[n-1]] = -1
+			}
+			for i := range lens {
+				lens[i] = rng.IntN(5)
+			}
+
+			fu, re := fusedSim(procs), refSim(procs)
+			defer fu.Close()
+			defer re.Close()
+
+			fo, ft := ScanInt(fu, in)
+			ro, rt := ScanInt(re, in)
+			if ft != rt {
+				t.Fatalf("ScanInt total: %d != %d", ft, rt)
+			}
+			intsEq(t, "ScanInt", fo, ro)
+			statsEq(t, "ScanInt", n, procs, fu.Stats(), re.Stats())
+
+			intsEq(t, "MaxScanInt", MaxScanInt(fu, in), MaxScanInt(re, in))
+			statsEq(t, "MaxScanInt", n, procs, fu.Stats(), re.Stats())
+
+			intsEq(t, "InclusiveScanInt", InclusiveScanInt(fu, in), InclusiveScanInt(re, in))
+			statsEq(t, "InclusiveScanInt", n, procs, fu.Stats(), re.Stats())
+
+			intsEq(t, "IndexPack", IndexPack(fu, keep), IndexPack(re, keep))
+			statsEq(t, "IndexPack", n, procs, fu.Stats(), re.Stats())
+
+			fow, fof, _ := Distribute(fu, lens)
+			row, rof, _ := Distribute(re, lens)
+			intsEq(t, "Distribute owner", fow, row)
+			intsEq(t, "Distribute offset", fof, rof)
+			statsEq(t, "Distribute", n, procs, fu.Stats(), re.Stats())
+
+			fd, fl := Rank(fu, next)
+			rd, rl := Rank(re, next)
+			intsEq(t, "Rank dist", fd, rd)
+			intsEq(t, "Rank last", fl, rl)
+			statsEq(t, "Rank", n, procs, fu.Stats(), re.Stats())
+		}
+	}
+}
+
+// TestNarrowWideParity runs the int32 kernels against the int kernels:
+// identical values (after widening) and identical simulated counters.
+func TestNarrowWideParity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	for _, n := range []int{0, 1, 5, 513, 4096, 9000} {
+		in32 := make([]int32, n)
+		in := make([]int, n)
+		open := make([]bool, n)
+		next32 := make([]int32, n)
+		next := make([]int, n)
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			v := rng.IntN(100)
+			in32[i], in[i] = int32(v), v
+			open[i] = rng.IntN(2) == 0
+			if i < n-1 {
+				next[perm[i]] = perm[i+1]
+				next32[perm[i]] = int32(perm[i+1])
+			}
+		}
+		if n > 0 {
+			next[perm[n-1]], next32[perm[n-1]] = -1, -1
+		}
+		procs := pram.ProcsFor(max(n, 2))
+		sw := pram.New(procs, pram.WithWorkers(2), pram.WithGrain(128))
+		sn := pram.New(procs, pram.WithWorkers(2), pram.WithGrain(128))
+		defer sw.Close()
+		defer sn.Close()
+
+		check := func(what string, wide []int, narrow []int32) {
+			t.Helper()
+			if len(wide) != len(narrow) {
+				t.Fatalf("%s n=%d: %d vs %d elements", what, n, len(wide), len(narrow))
+			}
+			for i := range wide {
+				if wide[i] != int(narrow[i]) {
+					t.Fatalf("%s n=%d: [%d] = %d (wide) vs %d (narrow)", what, n, i, wide[i], narrow[i])
+				}
+			}
+			ws, ns := sw.Stats(), sn.Stats()
+			if ws.Time != ns.Time || ws.Work != ns.Work || ws.Phases != ns.Phases {
+				t.Fatalf("%s n=%d: wide stats %+v != narrow stats %+v", what, n, ws, ns)
+			}
+		}
+
+		wo, wt := ScanIx(sw, in)
+		no, nt := ScanIx(sn, in32)
+		if int(nt) != wt {
+			t.Fatalf("ScanIx total: %d vs %d", wt, nt)
+		}
+		check("ScanIx", wo, no)
+		check("MaxScanIx", MaxScanIx(sw, in), MaxScanIx(sn, in32))
+		check("IndexPackIx", IndexPackIx[int](sw, open), IndexPackIx[int32](sn, open))
+		check("MatchBracketsIx", MatchBracketsIx[int](sw, open), MatchBracketsIx[int32](sn, open))
+		wd, wl := RankOptIx(sw, next, 42)
+		nd, nl := RankOptIx(sn, next32, 42)
+		check("RankOptIx dist", wd, nd)
+		ws, ns := sw.Stats(), sn.Stats()
+		_ = ws
+		_ = ns
+		for i := range wl {
+			if wl[i] != int(nl[i]) {
+				t.Fatalf("RankOptIx last: [%d] = %d vs %d", i, wl[i], nl[i])
+			}
+		}
+	}
+}
+
+// TestTourNarrowWideParity compares the full Euler-tour numberings of a
+// random forest across widths.
+func TestTourNarrowWideParity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.IntN(600)
+		// Random binary forest: attach each node to an earlier node with a
+		// free child slot (or leave it a root).
+		wide := NewBinTree(n)
+		narrow := NewBinTreeIx[int32](n)
+		for v := 1; v < n; v++ {
+			p := rng.IntN(v)
+			if wide.Left[p] < 0 {
+				wide.Left[p], narrow.Left[p] = v, int32(v)
+			} else if wide.Right[p] < 0 {
+				wide.Right[p], narrow.Right[p] = v, int32(v)
+			} else {
+				continue // stays a root
+			}
+			wide.Parent[v], narrow.Parent[v] = p, int32(p)
+		}
+		sw := pram.New(pram.ProcsFor(n), pram.WithWorkers(2), pram.WithGrain(64))
+		sn := pram.New(pram.ProcsFor(n), pram.WithWorkers(2), pram.WithGrain(64))
+		tw := TourBinary(sw, wide, 99)
+		tn := TourBinaryIx(sn, narrow, 99)
+		for v := 0; v < n; v++ {
+			if tw.Pre[v] != int(tn.Pre[v]) || tw.In[v] != int(tn.In[v]) ||
+				tw.Post[v] != int(tn.Post[v]) || tw.Root[v] != int(tn.Root[v]) {
+				t.Fatalf("trial %d node %d: wide (%d,%d,%d,%d) narrow (%d,%d,%d,%d)",
+					trial, v, tw.Pre[v], tw.In[v], tw.Post[v], tw.Root[v],
+					tn.Pre[v], tn.In[v], tn.Post[v], tn.Root[v])
+			}
+		}
+		ws, ns := sw.Stats(), sn.Stats()
+		if ws.Time != ns.Time || ws.Work != ns.Work || ws.Phases != ns.Phases {
+			t.Fatalf("trial %d: wide stats %+v != narrow stats %+v", trial, ws, ns)
+		}
+		sw.Close()
+		sn.Close()
+	}
+}

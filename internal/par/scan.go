@@ -11,12 +11,25 @@
 // work-optimal variant), and the counters of the Sim make those bounds
 // measurable.
 //
+// The index-carrying primitives are generic over the element width (the
+// Ix constraint): the *Ix forms run on int32 for inputs whose derived
+// values fit, halving the bytes moved per phase, and on int otherwise.
+// The un-suffixed names (ScanInt, IndexPack, Rank, MatchBrackets, ...)
+// are the int instantiations and keep their original signatures. See Ix
+// for the width-fallback rule; the simulated cost accounting is
+// identical in both widths.
+//
 // Buffers come from the Sim's scratch arena (pram.Grab): a primitive
 // releases its internal temporaries before returning and hands its
 // results to the caller, who may pass them back to pram.Release once
-// consumed. The hot-path primitives (ScanInt, MaxScanInt, the list
+// consumed. The hot-path primitives (the scans, compaction, the list
 // rankers, MatchBrackets) additionally keep their phase bodies in
 // reusable per-Sim state, so in steady state they allocate nothing.
+// Below the Sim's sequential cutover (pram.Sim.PreferSequential) the
+// data-independent primitives run a fused single-pass body on the
+// calling goroutine — no wake/dispatch/join, one stream over the data —
+// while replaying the exact charge sequence of the phase-structured
+// route, so the simulated counters cannot tell the routes apart.
 package par
 
 import "pathcover/internal/pram"
@@ -47,6 +60,18 @@ func Scan[T any](s *pram.Sim, in []T, id T, op func(a, b T) T) (out []T, total T
 			}
 			total = acc
 		})
+		return out, total
+	}
+	if s.PreferSequential(n) {
+		// Fused sequential route: one pass instead of two block sweeps
+		// plus the scan tree; identical output, identical charges.
+		acc := id
+		for i := 0; i < n; i++ {
+			out[i] = acc
+			acc = op(acc, in[i])
+		}
+		total = acc
+		chargeScan(s, n, false)
 		return out, total
 	}
 
@@ -138,14 +163,14 @@ func Reduce[T any](s *pram.Sim, in []T, id T, op func(a, b T) T) T {
 // allocates nothing: the phase bodies live in per-Sim state and every
 // buffer but the returned one is recycled through the arena.
 func ScanInt(s *pram.Sim, in []int) (out []int, total int) {
-	return intScanRun(s, in, intOpSum, false)
+	return ixScanRun(s, in, intOpSum, false)
 }
 
 // InclusiveScanInt computes the inclusive prefix sum of in. Like
 // ScanInt it is allocation-free in steady state; the simulated cost is
 // identical to InclusiveScan over ints.
 func InclusiveScanInt(s *pram.Sim, in []int) []int {
-	out, _ := intScanRun(s, in, intOpSum, true)
+	out, _ := ixScanRun(s, in, intOpSum, true)
 	return out
 }
 
@@ -154,11 +179,27 @@ func InclusiveScanInt(s *pram.Sim, in []int) []int {
 // segment heads, then a prefix max carries each head's value across its
 // segment.
 func MaxScanInt(s *pram.Sim, in []int) []int {
-	out, _ := intScanRun(s, in, intOpMax, true)
+	out, _ := ixScanRun(s, in, intOpMax, true)
 	return out
 }
 
-const minInt = -int(^uint(0)>>1) - 1
+// ScanIx, InclusiveScanIx and MaxScanIx are the width-generic forms of
+// the specialised integer scans (see Ix).
+func ScanIx[I Ix](s *pram.Sim, in []I) (out []I, total I) {
+	return ixScanRun(s, in, intOpSum, false)
+}
+
+// InclusiveScanIx computes the inclusive prefix sum of in.
+func InclusiveScanIx[I Ix](s *pram.Sim, in []I) []I {
+	out, _ := ixScanRun(s, in, intOpSum, true)
+	return out
+}
+
+// MaxScanIx computes the inclusive prefix maximum of in.
+func MaxScanIx[I Ix](s *pram.Sim, in []I) []I {
+	out, _ := ixScanRun(s, in, intOpMax, true)
+	return out
+}
 
 // intScanOp selects the combining operator of the specialised integer
 // scans.
@@ -169,19 +210,18 @@ const (
 	intOpMax
 )
 
-// intScan is the reusable state of the specialised integer scans: one
-// instance per Sim, cached in the scratch registry, whose two phase
-// bodies (created once) dispatch on the phase field. This keeps the
-// steady-state scan free of the per-phase closure allocations the
+// ixScan is the reusable state of the specialised integer scans: one
+// instance per (Sim, width), cached in the scratch registry, whose two
+// phase bodies (created once) dispatch on the phase field. This keeps
+// the steady-state scan free of the per-phase closure allocations the
 // generic Scan pays.
-type intScan struct {
-	s                *pram.Sim
-	in, out          []int
-	sums, tree, pref []int
+type ixScan[I Ix] struct {
+	in, out          []I
+	sums, tree, pref []I
 	nb, m, lvl       int
 	op               intScanOp
 	incl             bool
-	id               int
+	id               I
 	phase            int
 	body             func(lo, hi int)
 	blockBody        func(b, lo, hi int)
@@ -195,21 +235,21 @@ const (
 	scanBlockApply
 )
 
-type intScanKey struct{}
+type ixScanKey[I Ix] struct{}
 
-func intScanOf(s *pram.Sim) *intScan {
+func ixScanOf[I Ix](s *pram.Sim) *ixScan[I] {
 	sc := s.Scratch()
-	if v := sc.Aux(intScanKey{}); v != nil {
-		return v.(*intScan)
+	if v := sc.Aux(ixScanKey[I]{}); v != nil {
+		return v.(*ixScan[I])
 	}
-	st := &intScan{s: s}
+	st := &ixScan[I]{}
 	st.body = st.run
 	st.blockBody = st.runBlock
-	sc.SetAux(intScanKey{}, st)
+	sc.SetAux(ixScanKey[I]{}, st)
 	return st
 }
 
-func (st *intScan) comb(a, b int) int {
+func (st *ixScan[I]) comb(a, b I) I {
 	if st.op == intOpSum {
 		return a + b
 	}
@@ -219,7 +259,7 @@ func (st *intScan) comb(a, b int) int {
 	return b
 }
 
-func (st *intScan) run(lo, hi int) {
+func (st *ixScan[I]) run(lo, hi int) {
 	switch st.phase {
 	case scanPhaseLeaves:
 		for i := lo; i < hi; i++ {
@@ -245,7 +285,7 @@ func (st *intScan) run(lo, hi int) {
 	}
 }
 
-func (st *intScan) runBlock(b, lo, hi int) {
+func (st *ixScan[I]) runBlock(b, lo, hi int) {
 	switch st.phase {
 	case scanBlockReduce:
 		acc := st.id
@@ -278,16 +318,79 @@ func (st *intScan) runBlock(b, lo, hi int) {
 	}
 }
 
-// intScanRun is the shared engine of ScanInt and MaxScanInt. The
+// scanSeq is the fused single-pass body shared by the nb==1 and
+// cutover routes.
+func scanSeq[I Ix](in, out []I, op intScanOp, incl bool, id I) (total I) {
+	acc := id
+	if op == intOpSum {
+		if incl {
+			for i, v := range in {
+				acc += v
+				out[i] = acc
+			}
+		} else {
+			for i, v := range in {
+				out[i] = acc
+				acc += v
+			}
+		}
+	} else {
+		for i, v := range in {
+			if v > acc {
+				acc = v
+			}
+			out[i] = acc // max scans are always inclusive here
+		}
+	}
+	return acc
+}
+
+// chargeScan replays the exact charge sequence of ixScanRun for an
+// n-element scan on s — the same phases, time and work whichever route
+// executes — so fused callers stay bit-identical on the simulated
+// counters. It must mirror ixScanRun (and the un-specialised Scan)
+// charge for charge.
+func chargeScan(s *pram.Sim, n int, incl bool) {
+	if n <= 0 {
+		return
+	}
+	p := s.Procs()
+	nb := s.NumBlocks(n)
+	if nb == 1 {
+		s.Charge(int64(n), int64(n)) // the Sequential(n, ...) route
+		if incl {
+			s.Charge(int64(ceilDivInt(n, p)), int64(n))
+		}
+		return
+	}
+	m := 1
+	for m < nb {
+		m <<= 1
+	}
+	s.Charge(int64(ceilDivInt(n, p)), int64(n)) // block reduce
+	s.Charge(int64(ceilDivInt(m, p)), int64(m)) // tree leaves
+	for w := m / 2; w >= 1; w /= 2 {            // up-sweep
+		s.Charge(int64(ceilDivInt(w, p)), int64(w))
+	}
+	for w := 1; w < m; w *= 2 { // down-sweep
+		s.Charge(int64(ceilDivInt(w, p)), int64(w))
+	}
+	s.Charge(int64(ceilDivInt(n, p)), int64(n)) // block apply
+	if incl {
+		s.Charge(int64(ceilDivInt(n, p)), int64(n)) // fused inclusive pass
+	}
+}
+
+// ixScanRun is the shared engine of the specialised scans. The
 // inclusive variant fuses the op(ex[i], in[i]) pass of InclusiveScan
 // into the final block sweep and charges that phase explicitly, keeping
 // the simulated cost identical to the unfused composition.
-func intScanRun(s *pram.Sim, in []int, op intScanOp, incl bool) (out []int, total int) {
+func ixScanRun[I Ix](s *pram.Sim, in []I, op intScanOp, incl bool) (out []I, total I) {
 	n := len(in)
-	out = pram.GrabNoClear[int](s, n)
-	id := 0
+	out = pram.GrabNoClear[I](s, n)
+	var id I
 	if op == intOpMax {
-		id = minInt
+		id = MinIx[I]()
 	}
 	total = id
 	if n == 0 {
@@ -295,37 +398,19 @@ func intScanRun(s *pram.Sim, in []int, op intScanOp, incl bool) (out []int, tota
 	}
 	nb := s.NumBlocks(n)
 	if nb == 1 {
-		s.Sequential(n, func() {
-			acc := id
-			if op == intOpSum {
-				if incl {
-					for i := 0; i < n; i++ {
-						acc += in[i]
-						out[i] = acc
-					}
-				} else {
-					for i := 0; i < n; i++ {
-						out[i] = acc
-						acc += in[i]
-					}
-				}
-			} else {
-				for i := 0; i < n; i++ {
-					if in[i] > acc {
-						acc = in[i]
-					}
-					out[i] = acc // max scans are always inclusive here
-				}
-			}
-			total = acc
-		})
+		s.Sequential(n, func() { total = scanSeq(in, out, op, incl, id) })
 		if incl {
 			s.Charge(int64(ceilDivInt(n, s.Procs())), int64(n))
 		}
 		return out, total
 	}
+	if s.PreferSequential(n) {
+		total = scanSeq(in, out, op, incl, id)
+		chargeScan(s, n, incl)
+		return out, total
+	}
 
-	st := intScanOf(s)
+	st := ixScanOf[I](s)
 	st.in, st.out, st.op, st.incl, st.id = in, out, op, incl, id
 	st.nb = nb
 	m := 1
@@ -333,9 +418,9 @@ func intScanRun(s *pram.Sim, in []int, op intScanOp, incl bool) (out []int, tota
 		m <<= 1
 	}
 	st.m = m
-	st.sums = pram.GrabNoClear[int](s, nb)
-	st.tree = pram.GrabNoClear[int](s, 2*m)
-	st.pref = pram.GrabNoClear[int](s, 2*m)
+	st.sums = pram.GrabNoClear[I](s, nb)
+	st.tree = pram.GrabNoClear[I](s, 2*m)
+	st.pref = pram.GrabNoClear[I](s, 2*m)
 
 	st.phase = scanBlockReduce
 	s.Blocks(n, st.blockBody)

@@ -76,6 +76,7 @@ type Sim struct {
 	procs   int // simulated PRAM processors (p in the paper)
 	workers int // real goroutines used to execute phases
 	grain   int // minimum iterations per goroutine before splitting
+	cutover int // sequential-cutover threshold (0 = resolve measured default)
 	time    int64
 	work    int64
 	phases  int64
@@ -108,11 +109,16 @@ func WithWorkers(w int) Option {
 
 // WithGrain sets the minimum number of iterations a phase must have before
 // it is split across goroutines. Smaller phases run inline. The default is
-// 4096.
+// 4096. Setting an explicit grain also pins the sequential cutover to the
+// same value (dispatch anything at least this large), unless WithSeqCutover
+// overrides it.
 func WithGrain(g int) Option {
 	return func(s *Sim) {
 		if g > 0 {
 			s.grain = g
+			if s.cutover == 0 {
+				s.cutover = g
+			}
 		}
 	}
 }
@@ -297,7 +303,7 @@ func (s *Sim) ForCostRange(n, cost int, f func(lo, hi int)) {
 		return
 	}
 	s.charge(n, cost)
-	if s.workers <= 1 || s.closed || n < s.grain {
+	if !s.dispatchable(n) {
 		f(0, n)
 		return
 	}
@@ -315,7 +321,9 @@ func (s *Sim) Blocks(n int, f func(block, lo, hi int)) {
 	bs := ceilDiv(n, s.procs)
 	nb := ceilDiv(n, bs)
 	s.charge(n, 1)
-	if s.workers <= 1 || s.closed || nb < 2 {
+	// The dispatch decision weighs the total element count n, not the
+	// block count: nb blocks of bs elements move n elements of memory.
+	if nb < 2 || !s.dispatchable(n) {
 		for b := 0; b < nb; b++ {
 			lo := b * bs
 			hi := min(lo+bs, n)
@@ -327,7 +335,7 @@ func (s *Sim) Blocks(n int, f func(block, lo, hi int)) {
 	}
 	s.ensurePool()
 	s.blockFn, s.blockBS, s.blockN = f, bs, n
-	s.run(nb, s.blockBody)
+	s.runPool(nb, s.blockBody)
 	s.blockFn = nil
 }
 
@@ -361,7 +369,21 @@ func (s *Sim) Sequential(cost int, f func()) {
 // run executes f(i) for i in [0,n), small phases inline and large ones
 // across the persistent worker pool.
 func (s *Sim) run(n int, f func(i int)) {
-	if s.workers <= 1 || s.closed || n < s.grain {
+	if !s.dispatchable(n) {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	s.ensurePool().dispatch(n, f, s.grain)
+}
+
+// runPool is run for callers that already made the dispatch decision on
+// a different quantity than the iteration count (Blocks weighs total
+// elements, not blocks). It still falls back to inline execution when
+// the pool cannot help at all.
+func (s *Sim) runPool(n int, f func(i int)) {
+	if s.workers <= 1 || s.closed {
 		for i := 0; i < n; i++ {
 			f(i)
 		}

@@ -1,0 +1,42 @@
+package pathcover
+
+import (
+	"errors"
+	"testing"
+)
+
+// The overflow guard: sizes no representation can hold are rejected with
+// a typed error (FromEdges) or a typed panic (the generators), never
+// silently truncated in the 32-bit index paths.
+
+func TestFromEdgesSizeGuard(t *testing.T) {
+	over := MaxVertices // runtime increment: wraps (negative) on 32-bit hosts,
+	over++              // exceeds MaxVertices on 64-bit ones; invalid either way
+	for _, n := range []int{-1, over} {
+		_, err := FromEdges(n, nil, nil)
+		var se *SizeError
+		if !errors.As(err, &se) {
+			t.Fatalf("FromEdges(%d) error = %v, want *SizeError", n, err)
+		}
+		if se.N != n || se.Max != MaxVertices {
+			t.Fatalf("FromEdges(%d) SizeError = %+v", n, se)
+		}
+	}
+	if _, err := FromEdges(3, [][2]int{{0, 1}}, nil); err != nil {
+		t.Fatalf("FromEdges(3) unexpectedly failed: %v", err)
+	}
+}
+
+func TestGeneratorSizeGuard(t *testing.T) {
+	defer func() {
+		r := recover()
+		se, ok := r.(*SizeError)
+		if !ok {
+			t.Fatalf("Empty(-3) panicked with %v, want *SizeError", r)
+		}
+		if se.N != -3 {
+			t.Fatalf("Empty(-3) SizeError = %+v", se)
+		}
+	}()
+	Empty(-3)
+}

@@ -28,6 +28,7 @@ package pathcover
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -38,6 +39,46 @@ import (
 	"pathcover/internal/render"
 	"pathcover/internal/verify"
 )
+
+// MaxVertices is the largest vertex count FromEdges and the generators
+// accept. Beyond it the adjacency machinery of recognition could no
+// longer index safely (and on 32-bit hosts int itself could not hold
+// derived ids). The cover pipeline needs no such guard: past the
+// narrow-index bound it falls back to wide kernels automatically instead
+// of truncating.
+const MaxVertices = math.MaxInt32
+
+// SizeError is the typed error returned (or carried by the panic of a
+// generator) when a requested graph size is negative or exceeds
+// MaxVertices.
+type SizeError struct {
+	N   int // the requested vertex count
+	Max int // the supported maximum
+}
+
+func (e *SizeError) Error() string {
+	if e.N < 0 {
+		return fmt.Sprintf("pathcover: negative vertex count %d", e.N)
+	}
+	return fmt.Sprintf("pathcover: %d vertices exceed the supported maximum %d", e.N, e.Max)
+}
+
+// checkN validates a requested vertex count, returning a typed error for
+// sizes no representation in this package can hold.
+func checkN(n int) error {
+	if n < 0 || n > MaxVertices {
+		return &SizeError{N: n, Max: MaxVertices}
+	}
+	return nil
+}
+
+// mustValidN is checkN for the generators, whose signatures predate the
+// guard; they panic with the *SizeError instead of silently truncating.
+func mustValidN(n int) {
+	if err := checkN(n); err != nil {
+		panic(err)
+	}
+}
 
 // Graph is a cograph, stored as its cotree.
 type Graph struct {
@@ -67,6 +108,9 @@ func ParseCotree(src string) (*Graph, error) {
 // Note: recognition renumbers vertices; use Name to map back (vertex i
 // of the result is named after its original index, "v<k>" by default).
 func FromEdges(n int, edges [][2]int, names []string) (*Graph, error) {
+	if err := checkN(n); err != nil {
+		return nil, err
+	}
 	g := cograph.NewGraph(n)
 	for _, e := range edges {
 		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n {
@@ -367,6 +411,7 @@ type config struct {
 	procs     int
 	workers   int
 	seed      uint64
+	wideIdx   bool
 }
 
 func defaultConfig(n int) config {
@@ -389,3 +434,11 @@ func WithWorkers(w int) Option { return func(c *config) { c.workers = w } }
 // WithSeed fixes the randomization seed of the work-optimal list
 // ranking (results are deterministic for a fixed seed).
 func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithWideIndices forces the parallel pipeline onto full-width (int)
+// index arrays. The default picks 32-bit index kernels whenever the
+// input fits, which halves the memory traffic of the bandwidth-bound
+// phases; the results and the simulated cost counters are identical
+// either way, so this switch exists for diagnostics and differential
+// testing only.
+func WithWideIndices() Option { return func(c *config) { c.wideIdx = true } }

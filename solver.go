@@ -118,13 +118,21 @@ func (sv *Solver) coverCfg(g *Graph, cfg config) (*Cover, error) {
 		return &Cover{Paths: paths, NumPaths: len(paths), Stats: statsOf(s)}, nil
 	default:
 		s := sv.prepare(g.N(), cfg)
-		cov, err := core.ParallelCover(s, g.t, core.Options{Seed: cfg.seed})
+		cov, err := core.ParallelCover(s, g.t, core.Options{Seed: cfg.seed, Width: cfg.width()})
 		if err != nil {
 			return nil, err
 		}
 		sv.prevCover = cov
 		return &Cover{Paths: cov.Paths, NumPaths: cov.NumPaths, Stats: statsOf(s)}, nil
 	}
+}
+
+// width maps the public index-width switch onto the core option.
+func (c config) width() core.IndexWidth {
+	if c.wideIdx {
+		return core.WidthWide
+	}
+	return core.WidthAuto
 }
 
 // HamiltonianPath returns a Hamiltonian path of g computed by the
@@ -138,7 +146,7 @@ func (sv *Solver) HamiltonianPath(g *Graph) ([]int, bool, error) {
 
 func (sv *Solver) hamiltonianPathCfg(g *Graph, cfg config) ([]int, bool, error) {
 	s := sv.prepare(g.N(), cfg)
-	p, ok, err := core.ParallelHamiltonianPath(s, g.t, core.Options{Seed: cfg.seed})
+	p, ok, err := core.ParallelHamiltonianPath(s, g.t, core.Options{Seed: cfg.seed, Width: cfg.width()})
 	if err != nil {
 		return nil, false, fmt.Errorf("pathcover: parallel Hamiltonian path: %w", err)
 	}
@@ -156,7 +164,7 @@ func (sv *Solver) HamiltonianCycle(g *Graph) ([]int, bool, error) {
 
 func (sv *Solver) hamiltonianCycleCfg(g *Graph, cfg config) ([]int, bool, error) {
 	s := sv.prepare(g.N(), cfg)
-	c, ok, err := core.ParallelHamiltonianCycle(s, g.t, core.Options{Seed: cfg.seed})
+	c, ok, err := core.ParallelHamiltonianCycle(s, g.t, core.Options{Seed: cfg.seed, Width: cfg.width()})
 	if err != nil {
 		return nil, false, fmt.Errorf("pathcover: parallel Hamiltonian cycle: %w", err)
 	}
