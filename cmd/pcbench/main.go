@@ -37,11 +37,12 @@ import (
 )
 
 var (
-	exp      = flag.String("exp", "all", "experiment to run: e1..e9 | all")
-	maxLog   = flag.Int("max", 18, "largest input size as a power of two")
-	seed     = flag.Uint64("seed", 1, "random seed")
-	jsonPath = flag.String("json", "", "write machine-readable results to this file")
-	compare  = flag.Bool("compare", false, "compare two -json reports (pcbench -compare old.json new.json) instead of running experiments")
+	exp       = flag.String("exp", "all", "experiment to run: e1..e9 | all")
+	maxLog    = flag.Int("max", 18, "largest input size as a power of two")
+	seed      = flag.Uint64("seed", 1, "random seed")
+	jsonPath  = flag.String("json", "", "write machine-readable results to this file")
+	compare   = flag.Bool("compare", false, "compare two -json reports (pcbench -compare old.json new.json) instead of running experiments")
+	walltrace = flag.Bool("walltrace", false, "also emit the per-step wall-clock trace table (and include it in -json, so -compare diffs per-step deltas)")
 )
 
 // jsonExperiment mirrors one rendered table; the -json dump gives future
@@ -129,7 +130,10 @@ func main() {
 	run("e7", e7)
 	run("e8", e8)
 	run("e9", e9)
-	if !strings.HasPrefix(*exp, "e") && *exp != "all" {
+	if *walltrace || *exp == "wt" {
+		wt()
+	}
+	if !strings.HasPrefix(*exp, "e") && *exp != "all" && *exp != "wt" {
 		fmt.Fprintf(os.Stderr, "pcbench: unknown experiment %q\n", *exp)
 		os.Exit(1)
 	}
@@ -437,6 +441,29 @@ func e9() {
 	row("this paper / this repo", "EREW", "O(log n)", "n/log n", fmt.Sprint(s.Time()))
 	fmt.Printf("\nheight of this caterpillar cotree: %d; log2 n = %.0f\n",
 		baseline.Height(bin), lg2(n))
+}
+
+// wt emits the per-step trace of the full pipeline on both axes: the
+// simulated StepTrace counters and the wall clock of each step, so hot
+// steps are attributable in BENCH snapshots. The rows key on (shape, n,
+// step), which lets -compare show per-step deltas between two reports.
+func wt() {
+	n := 1 << *maxLog
+	header(fmt.Sprintf("WT — per-step trace, n=%d (simulated + wall clock)", n),
+		"shape", "n", "step", "simtime", "simwork", "wall ms")
+	for _, shape := range []workload.Shape{workload.Balanced, workload.Caterpillar} {
+		t := workload.Random(*seed, n, shape)
+		trace := &core.StepTrace{}
+		s := pram.New(pram.ProcsFor(n))
+		if _, err := core.ParallelCover(s, t, core.Options{Seed: *seed, Trace: trace}); err != nil {
+			panic(err)
+		}
+		for i := range trace.Names {
+			row(shape.String(), fmt.Sprint(n), trace.Names[i],
+				fmt.Sprint(trace.Time[i]), fmt.Sprint(trace.Work[i]),
+				fmt.Sprintf("%.3f", float64(trace.Wall[i].Nanoseconds())/1e6))
+		}
+	}
 }
 
 // runCompare renders the speedup table between two -json reports: for

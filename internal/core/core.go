@@ -22,6 +22,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"pathcover/internal/cotree"
 	"pathcover/internal/par"
@@ -67,11 +68,19 @@ type Cover struct {
 	NumPaths int        // == p(root), the provable minimum
 	Stats    pram.Stats // simulated PRAM cost of the run
 
-	seq []int // shared backing of Paths (nil for trivial covers)
+	seq      []int // shared backing of Paths (nil for trivial covers)
+	released bool  // set by Release; makes double-release a no-op
 }
 
-// Release returns the cover's path storage to the Sim's arena.
+// Release returns the cover's path storage to the Sim's arena. It is
+// idempotent and nil-receiver-safe: releasing the same Cover twice (or
+// releasing a nil Cover) is a no-op rather than handing the same buffer
+// to the arena a second time.
 func (c *Cover) Release(s *pram.Sim) {
+	if c == nil || c.released {
+		return
+	}
+	c.released = true
 	pram.Release(s, c.seq)
 	pram.Release(s, c.Paths)
 	c.seq, c.Paths = nil, nil
@@ -113,29 +122,50 @@ type Options struct {
 	Trace        *StepTrace // when non-nil, per-step simulated costs are recorded
 }
 
-// StepTrace records the simulated cost of each pipeline step — the
-// phase breakdown behind the E4 totals.
+// StepTrace records the cost of each pipeline step — the phase
+// breakdown behind the E4 totals — on both axes: the simulated PRAM
+// time/work counters and the host wall clock, so hot steps are
+// attributable in benchmark snapshots.
 type StepTrace struct {
 	Names []string
 	Time  []int64
 	Work  []int64
+	Wall  []time.Duration
+
+	prev time.Time // wall-clock start of the step being accumulated
+}
+
+// start anchors the wall clock of the first step; later adds re-anchor
+// themselves. Idempotent so nested pipeline entry points can both call
+// it.
+func (tr *StepTrace) start() {
+	if tr != nil && tr.prev.IsZero() {
+		tr.prev = time.Now()
+	}
 }
 
 func (tr *StepTrace) add(s *pram.Sim, name string, t0, w0 int64) (int64, int64) {
 	t1, w1 := s.Time(), s.Work()
 	if tr != nil {
+		now := time.Now()
+		if tr.prev.IsZero() {
+			tr.prev = now
+		}
 		tr.Names = append(tr.Names, name)
 		tr.Time = append(tr.Time, t1-t0)
 		tr.Work = append(tr.Work, w1-w0)
+		tr.Wall = append(tr.Wall, now.Sub(tr.prev))
+		tr.prev = now
 	}
 	return t1, w1
 }
 
 // String renders the trace as an aligned table.
 func (tr *StepTrace) String() string {
-	out := fmt.Sprintf("%-28s %12s %14s\n", "step", "simtime", "simwork")
+	out := fmt.Sprintf("%-28s %12s %14s %12s\n", "step", "simtime", "simwork", "wall ms")
 	for i := range tr.Names {
-		out += fmt.Sprintf("%-28s %12d %14d\n", tr.Names[i], tr.Time[i], tr.Work[i])
+		out += fmt.Sprintf("%-28s %12d %14d %12.3f\n",
+			tr.Names[i], tr.Time[i], tr.Work[i], float64(tr.Wall[i].Nanoseconds())/1e6)
 	}
 	return out
 }
@@ -177,6 +207,7 @@ func resolveWidth(n int, w IndexWidth) (narrow bool, err error) {
 }
 
 func parallelCoverIx[I par.Ix](s *pram.Sim, t *cotree.Tree, opt Options) (*Cover, error) {
+	opt.Trace.start()
 	t0, w0 := s.Time(), s.Work()
 	b := cotree.BinarizeIx[I](s, t) // Step 1
 	t0, w0 = opt.Trace.add(s, "1 binarize", t0, w0)
@@ -194,18 +225,21 @@ func ParallelCoverBin(s *pram.Sim, b *cotree.Bin, L []int, opt Options) (*Cover,
 }
 
 func coverBinIx[I par.Ix](s *pram.Sim, b *cotree.BinIx[I], L []I, opt Options) (*Cover, error) {
+	opt.Trace.start()
 	n := b.NumVertices()
 	if n == 1 {
 		return &Cover{Paths: [][]int{{0}}, NumPaths: 1, Stats: s.Stats()}, nil
 	}
 	t0, w0 := s.Time(), s.Work()
-	tour := par.TourBinaryIx(s, b.BinTree, opt.Seed^0x9e37)
+	tour, tourOwned := par.AcquireTourIx(s, b.BinTree, opt.Seed^0x9e37)
 	t0, w0 = opt.Trace.add(s, "3a euler tour", t0, w0)
 	p := computePIx(s, b, L, tour) // Step 3 (Lemma 2.4)
 	t0, w0 = opt.Trace.add(s, "3b p(u) contraction", t0, w0)
 	red := reduceIx(s, b, L, p, tour)
 	t0, w0 = opt.Trace.add(s, "3c reduction", t0, w0)
-	tour.Release(s)
+	if tourOwned {
+		tour.Release(s)
+	}
 	seq := genBracketsIx(s, b, red, !opt.WithoutDummy) // Step 4
 	t0, w0 = opt.Trace.add(s, "4 bracket generation", t0, w0)
 	ps, err := buildPseudoIx(s, n, red, seq) // Step 5

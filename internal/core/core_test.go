@@ -505,6 +505,33 @@ func TestParallelCoverLarge(t *testing.T) {
 	}
 }
 
+// TestCoverReleaseIdempotent pins the Release contract: double release
+// must not hand the same buffer to the arena twice (the debug arena
+// panics on that), nil receivers are no-ops, and the Sim stays usable.
+func TestCoverReleaseIdempotent(t *testing.T) {
+	tr := randomTree(rand.New(rand.NewPCG(11, 4)), 300)
+	s := pram.New(pram.ProcsFor(300), pram.WithGrain(32))
+	defer s.Close()
+	s.Scratch().SetDebug(true)
+	cov, err := ParallelCover(s, tr, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov.Release(s)
+	cov.Release(s) // second release: must be a no-op
+	var nilCover *Cover
+	nilCover.Release(s) // nil receiver: must be a no-op
+
+	// The arena must still be coherent: another full run works.
+	cov2, err := ParallelCover(s, tr, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCover(t, tr, cov2.Paths)
+	cov2.Release(s)
+	cov2.Release(s)
+}
+
 func TestStepTrace(t *testing.T) {
 	tr := cotree.MustParse("(1 (0 (1 a b) c) (0 d e f))")
 	s := pram.New(4, pram.WithGrain(8))

@@ -66,14 +66,27 @@ func hamCycleIx[I par.Ix](s *pram.Sim, t *cotree.Tree, opt Options) ([]int, bool
 		release()
 		return nil, false, nil
 	}
-	tour := par.TourBinaryIx(s, b.BinTree, opt.Seed^0x5ca1e)
+	// The tour is borrowed across the nested coverBinIx run below, so pin
+	// the cache entry: inner acquisitions then build private tours instead
+	// of evicting this one.
+	tour, tourOwned := par.AcquireTourIx(s, b.BinTree, opt.Seed^0x5ca1e)
+	if !tourOwned {
+		par.PinTourCacheIx[I](s)
+	}
+	doneTour := func() {
+		if tourOwned {
+			tour.Release(s)
+		} else {
+			par.UnpinTourCacheIx[I](s)
+		}
+	}
 	p := computePIx(s, b, L, tour)
 	v, w := b.Left[root], b.Right[root]
 	k := int(L[w])
 	pv := p[v]
 	pram.Release(s, p)
 	if int(pv) > k {
-		tour.Release(s)
+		doneTour()
 		release()
 		return nil, false, nil
 	}
@@ -94,7 +107,7 @@ func hamCycleIx[I par.Ix](s *pram.Sim, t *cotree.Tree, opt Options) ([]int, bool
 	sub.Release(s)
 	if err != nil {
 		pram.Release(s, fromSub)
-		tour.Release(s)
+		doneTour()
 		release()
 		return nil, false, err
 	}
@@ -143,7 +156,7 @@ func hamCycleIx[I par.Ix](s *pram.Sim, t *cotree.Tree, opt Options) ([]int, bool
 		pram.Release(s, pathEnd)
 		pram.Release(s, segEnd)
 		pram.Release(s, endsBefore)
-		tour.Release(s)
+		doneTour()
 		release()
 		return nil, false, fmt.Errorf("core: cycle split produced %d segments, want %d", int(totalEnds), k)
 	}
@@ -163,7 +176,7 @@ func hamCycleIx[I par.Ix](s *pram.Sim, t *cotree.Tree, opt Options) ([]int, bool
 	pram.Release(s, segEnd)
 	pram.Release(s, endsBefore)
 	pram.Release(s, ws)
-	tour.Release(s)
+	doneTour()
 	release()
 	return toIntSlice(s, cycle), true, nil
 }

@@ -179,7 +179,10 @@ func fixIllegalIx[I par.Ix](s *pram.Sim, ps *PseudoIx[I], red *ReductionIx[I], s
 		if round >= maxRounds {
 			return totalSwaps, fmt.Errorf("core: illegal-insert exchange did not converge in %d rounds", maxRounds)
 		}
-		tour := par.TourBinaryIx(s, ps.BinTree, seed+uint64(round))
+		// Round 0 builds (and caches) the tour; later rounds refresh the
+		// cached one in place from the swap patches recorded below,
+		// replaying the charges a from-scratch rebuild would issue.
+		tour, tourOwned := par.AcquireTourIx(s, ps.BinTree, seed+uint64(round))
 
 		// Effective neighbours: nearest non-dummy left/right in inorder.
 		lastReal := pram.GrabNoClear[I](s, N)
@@ -255,7 +258,9 @@ func fixIllegalIx[I par.Ix](s *pram.Sim, ps *PseudoIx[I], red *ReductionIx[I], s
 					sameLevelW(x, effNeighbor(x, false))
 			}
 		})
-		tour.Release(s)
+		if tourOwned {
+			tour.Release(s)
+		}
 		pram.Release(s, lastReal)
 		pram.Release(s, prevReal)
 		pram.Release(s, rev)
@@ -330,8 +335,10 @@ func fixIllegalIx[I par.Ix](s *pram.Sim, ps *PseudoIx[I], red *ReductionIx[I], s
 		// (k+round)-mod-legalCount legal dummy of u (the rotation breaks
 		// potential ping-pong cycles across rounds).
 		missing := pram.Grab[I](s, ni)
+		partner := pram.GrabNoClear[I](s, ni) // dummy swapped with insert k, or -1
 		s.ForCostRange(ni, 4, func(lo, hi int) {
 			for k := lo; k < hi; k++ {
+				partner[k] = -1
 				x := red.VertAt[insRanks[k]]
 				if !illegal[x] {
 					continue
@@ -350,9 +357,21 @@ func fixIllegalIx[I par.Ix](s *pram.Sim, ps *PseudoIx[I], red *ReductionIx[I], s
 					continue
 				}
 				swapPositions(ps, x, d)
+				partner[k] = d
 			}
 		})
 		nm := par.Reduce(s, missing, 0, func(a, b I) I { return a + b })
+		if !tourOwned {
+			// Patch the cached tour's successor links for every swap the
+			// phase performed, so the next round refreshes it with a single
+			// walk instead of a from-scratch rebuild (host-level, uncharged).
+			for k := 0; k < ni; k++ {
+				if d := partner[k]; d >= 0 {
+					par.PatchTourSwapIx(s, ps.BinTree, red.VertAt[insRanks[k]], d)
+				}
+			}
+		}
+		pram.Release(s, partner)
 		pram.Release(s, illegal)
 		pram.Release(s, insScan)
 		pram.Release(s, dumItems)
@@ -470,7 +489,7 @@ func extractPathsIx[I par.Ix](s *pram.Sim, final par.BinTreeIx[I], seed uint64) 
 	if n == 0 {
 		return nil, nil
 	}
-	tour := par.TourBinaryIx(s, final, seed)
+	tour, tourOwned := par.AcquireTourIx(s, final, seed)
 	size, leaves := tour.SubtreeCounts(s, final)
 	pram.Release(s, leaves)
 	// Global inorder sequence; trees occupy consecutive blocks in root
@@ -492,6 +511,8 @@ func extractPathsIx[I par.Ix](s *pram.Sim, final par.BinTreeIx[I], seed uint64) 
 	pram.Release(s, size)
 	pram.Release(s, sizes)
 	pram.Release(s, offs)
-	tour.Release(s)
+	if tourOwned {
+		tour.Release(s)
+	}
 	return paths, seq
 }

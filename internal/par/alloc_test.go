@@ -194,6 +194,142 @@ func TestFusedPrimitivesAllocFree(t *testing.T) {
 	}
 }
 
+// The fused data-dependent bodies (the charge-replay engines for
+// RankOpt, the Euler tour and its numberings, bracket matching and tree
+// contraction) are held to the same steady-state zero-allocation bar as
+// the data-independent ones, in both index widths. fusedDataSim forces
+// the fused routes everywhere.
+func fusedDataSim() *pram.Sim {
+	return pram.New(pram.ProcsFor(1<<14), pram.WithWorkers(2), pram.WithSeqCutover(1<<30))
+}
+
+func fusedRankOptAlloc[I Ix](t *testing.T) {
+	t.Helper()
+	s := fusedDataSim()
+	defer s.Close()
+	n := 1 << 14
+	next := make([]I, n)
+	rng := rand.New(rand.NewPCG(2, 4))
+	perm := rng.Perm(n)
+	for i := 0; i < n-1; i++ {
+		next[perm[i]] = I(perm[i+1])
+	}
+	next[perm[n-1]] = -1
+	run := func() {
+		dist, last := RankOptIx(s, next, 77)
+		pram.Release(s, dist)
+		pram.Release(s, last)
+	}
+	run()
+	if allocs := testing.AllocsPerRun(10, run); allocs > 2 {
+		t.Errorf("fused RankOptIx allocates %.1f objects/op in steady state, want <= 2", allocs)
+	}
+}
+
+func TestFusedRankOptAllocFree(t *testing.T)       { fusedRankOptAlloc[int](t) }
+func TestFusedRankOptNarrowAllocFree(t *testing.T) { fusedRankOptAlloc[int32](t) }
+
+func fusedTourAlloc[I Ix](t *testing.T) {
+	t.Helper()
+	s := fusedDataSim()
+	defer s.Close()
+	n := 1 << 13
+	rng := rand.New(rand.NewPCG(3, 5))
+	tree := NewBinTreeIx[I](n)
+	for v := 1; v < n; v++ {
+		p := rng.IntN(v)
+		if tree.Left[p] < 0 {
+			tree.Left[p] = I(v)
+		} else if tree.Right[p] < 0 {
+			tree.Right[p] = I(v)
+		} else {
+			continue
+		}
+		tree.Parent[v] = I(p)
+	}
+	run := func() {
+		tour := TourBinaryIx(s, tree, 5)
+		ranks, _ := tour.LeafRanks(s, tree)
+		pram.Release(s, ranks)
+		size, leaves := tour.SubtreeCounts(s, tree)
+		pram.Release(s, size)
+		pram.Release(s, leaves)
+		tour.Release(s)
+	}
+	run()
+	// One *TourIx header escapes per build; everything else must recycle.
+	if allocs := testing.AllocsPerRun(10, run); allocs > 3 {
+		t.Errorf("fused TourBinaryIx+numberings allocate %.1f objects/op in steady state, want <= 3", allocs)
+	}
+}
+
+func TestFusedTourAllocFree(t *testing.T)       { fusedTourAlloc[int](t) }
+func TestFusedTourNarrowAllocFree(t *testing.T) { fusedTourAlloc[int32](t) }
+
+func fusedBracketsAlloc[I Ix](t *testing.T) {
+	t.Helper()
+	s := fusedDataSim()
+	defer s.Close()
+	n := 1 << 14
+	rng := rand.New(rand.NewPCG(6, 6))
+	open := make([]bool, n)
+	for i := range open {
+		open[i] = rng.IntN(2) == 0
+	}
+	run := func() {
+		pram.Release(s, MatchBracketsIx[I](s, open))
+	}
+	run()
+	if allocs := testing.AllocsPerRun(10, run); allocs > 2 {
+		t.Errorf("fused MatchBracketsIx allocates %.1f objects/op in steady state, want <= 2", allocs)
+	}
+}
+
+func TestFusedMatchBracketsAllocFree(t *testing.T)       { fusedBracketsAlloc[int](t) }
+func TestFusedMatchBracketsNarrowAllocFree(t *testing.T) { fusedBracketsAlloc[int32](t) }
+
+func fusedEvalTreeAlloc[I Ix](t *testing.T) {
+	t.Helper()
+	s := fusedDataSim()
+	defer s.Close()
+	m := 1 << 12
+	n := 2*m - 1
+	tree := NewBinTreeIx[I](n)
+	op := make([]NodeOp, n)
+	leafVal := make([]int64, n)
+	// A left-leaning chain of OpSum nodes over m unit leaves.
+	inner := m - 1
+	for v := 0; v < inner; v++ {
+		var l I
+		if v+1 < inner {
+			l = I(v + 1)
+		} else {
+			l = I(inner)
+		}
+		r := I(inner + 1 + v)
+		tree.Left[v], tree.Right[v] = l, r
+		tree.Parent[l], tree.Parent[r] = I(v), I(v)
+		op[v] = NodeOp{Kind: OpSum}
+	}
+	for v := inner; v < n; v++ {
+		leafVal[v] = 1
+	}
+	s2 := fusedDataSim()
+	defer s2.Close()
+	tour := TourBinaryIx(s2, tree, 1)
+	ranks, _ := tour.LeafRanks(s2, tree)
+	run := func() {
+		pram.Release(s, EvalTreeIx(s, tree, op, leafVal, ranks))
+	}
+	run()
+	if allocs := testing.AllocsPerRun(10, run); allocs > 2 {
+		t.Errorf("fused EvalTreeIx allocates %.1f objects/op in steady state, want <= 2", allocs)
+	}
+}
+
+func TestFusedEvalTreeAllocFree(t *testing.T)       { fusedEvalTreeAlloc[int](t) }
+func TestFusedEvalTreeNarrowAllocFree(t *testing.T) { fusedEvalTreeAlloc[int32](t) }
+
 // TestPrimitivesMatchSerialAfterReuse drives the pooled primitives
 // through many iterations on one Sim — the buffer-recycling regime — and
 // cross-checks every iteration against the serial reference, guarding

@@ -51,6 +51,16 @@ func MatchBracketsIx[I Ix](s *pram.Sim, open []bool) []I {
 		s.Sequential(n, func() { st.stack = matchSerialStack(open, match, st.stack[:0]) })
 		return match
 	}
+	if s.PreferSequential(n) {
+		// Fused sequential route: the global stack matcher computes the
+		// matching in one pass (matching is unique, so it coincides with
+		// the block-decomposed result), and the merge-tree bookkeeping —
+		// whose charge sequence depends on the per-block survivor runs —
+		// is replayed on counters only.
+		st.stack = matchSerialStack(open, match, st.stack[:0])
+		chargeMatchBrackets[I](s, open)
+		return match
+	}
 	st.open, st.match, st.n = open, match, n
 	st.phase = brkPhaseInit
 	s.ParallelForRange(n, st.body)
@@ -438,6 +448,216 @@ func (st *bracketState[I]) run(lo, hi int) {
 			st.match[oi], st.match[ci] = ci, oi
 		}
 	}
+}
+
+// chargeMatchBrackets replays the exact simulated charge sequence of
+// the block-decomposed MatchBracketsIx without producing the matching:
+// the per-block survivor runs, the merge tree and the run walk-up are
+// re-derived on O(p)-sized counters (the canonical block form makes the
+// survivor runs computable from running depths alone — cTop is the
+// depth at block start, oLo the depth at block end minus the surviving
+// opens), because the emitted chunk counts per level and the total pair
+// count steer the charges. It must mirror MatchBracketsIx charge for
+// charge.
+func chargeMatchBrackets[I Ix](s *pram.Sim, open []bool) {
+	n := len(open)
+	p := s.Procs()
+	charge := func(m, cost int) {
+		if m > 0 {
+			s.Charge(int64(ceilDivInt(m, p)*cost), int64(m*cost))
+		}
+	}
+	nb := s.NumBlocks(n)
+	bs := s.BlockSize(n)
+	charge(n, 1)           // match init
+	charge(n, 1)           // depth weights
+	chargeScan(s, n, true) // depth scan
+	charge(n, 1)           // block-local matching
+
+	// Per-block canonical runs from one streaming pass.
+	nO := pram.GrabNoClear[I](s, nb)
+	nC := pram.GrabNoClear[I](s, nb)
+	cTop := pram.GrabNoClear[I](s, nb)
+	oLo := pram.GrabNoClear[I](s, nb)
+	endD := pram.GrabNoClear[I](s, nb)
+	depth := I(0)
+	for b := 0; b < nb; b++ {
+		hi := min((b+1)*bs, n)
+		d0 := depth
+		locO, closes := I(0), I(0)
+		for i := b * bs; i < hi; i++ {
+			if open[i] {
+				locO++
+				depth++
+			} else {
+				if locO > 0 {
+					locO--
+				} else {
+					closes++
+				}
+				depth--
+			}
+		}
+		nO[b], nC[b] = locO, closes
+		endD[b] = depth
+		if closes > 0 {
+			cTop[b] = d0
+		} else {
+			cTop[b] = 0
+		}
+		if locO > 0 {
+			oLo[b] = depth - locO + 1
+		} else {
+			oLo[b] = 0
+		}
+	}
+	charge(nb, 1) // run descriptors (tops)
+
+	// Merge tree.
+	p2 := 1
+	for p2 < nb {
+		p2 <<= 1
+	}
+	size := 2 * p2
+	oCnt := pram.GrabNoClear[I](s, size)
+	cCnt := pram.GrabNoClear[I](s, size)
+	mCnt := pram.GrabNoClear[I](s, size)
+	splitD := pram.GrabNoClear[I](s, size)
+	for i := 0; i < p2; i++ {
+		if i < nb {
+			oCnt[p2+i], cCnt[p2+i] = nO[i], nC[i]
+		} else {
+			oCnt[p2+i], cCnt[p2+i] = 0, 0
+		}
+		mCnt[p2+i] = 0
+	}
+	charge(p2, 1) // leaves
+	mCnt[0], splitD[0] = 0, 0
+	totalPairs := 0
+	for lvl := p2 / 2; lvl >= 1; lvl /= 2 {
+		span := p2 / lvl
+		for i := 0; i < lvl; i++ {
+			v := lvl + i
+			l, r := 2*v, 2*v+1
+			m := min(oCnt[l], cCnt[r])
+			mCnt[v] = m
+			totalPairs += int(m)
+			oCnt[v] = oCnt[r] + oCnt[l] - m
+			cCnt[v] = cCnt[l] + cCnt[r] - m
+			boundary := (i*span + span/2) * bs
+			if boundary > n {
+				boundary = n
+			}
+			switch {
+			case boundary == 0:
+				splitD[v] = 0
+			case boundary == n:
+				splitD[v] = endD[nb-1]
+			default:
+				splitD[v] = endD[boundary/bs-1]
+			}
+		}
+		charge(lvl, 2) // up-sweep
+	}
+	chargeScan(s, size, false) // pair slot offsets
+	release := func() {
+		pram.Release(s, nO)
+		pram.Release(s, nC)
+		pram.Release(s, cTop)
+		pram.Release(s, oLo)
+		pram.Release(s, endD)
+		pram.Release(s, oCnt)
+		pram.Release(s, cCnt)
+		pram.Release(s, mCnt)
+		pram.Release(s, splitD)
+	}
+	if totalPairs == 0 {
+		release()
+		return
+	}
+
+	// Run walk-up: count the chunks each level emits and their lengths.
+	nRuns := 2 * nb
+	runNode := pram.GrabNoClear[I](s, nRuns)
+	runHi := pram.GrabNoClear[I](s, nRuns)
+	runLo := pram.GrabNoClear[I](s, nRuns)
+	runAlive := pram.GrabNoClear[bool](s, nRuns)
+	for b := 0; b < nb; b++ {
+		if c := nC[b]; c > 0 {
+			runNode[2*b] = I(p2 + b)
+			runHi[2*b] = cTop[b]
+			runLo[2*b] = cTop[b] - c + 1
+			runAlive[2*b] = true
+		} else {
+			runAlive[2*b] = false
+		}
+		if o := nO[b]; o > 0 {
+			runNode[2*b+1] = I(p2 + b)
+			runHi[2*b+1] = oLo[b] + o - 1
+			runLo[2*b+1] = oLo[b]
+			runAlive[2*b+1] = true
+		} else {
+			runAlive[2*b+1] = false
+		}
+	}
+	charge(nb, 2) // runs init
+	nChunks, items := 0, 0
+	for lvl := p2; lvl > 1; lvl /= 2 {
+		charge(nRuns, 3) // emit
+		emitted := 0
+		for ri := 0; ri < nRuns; ri++ {
+			if !runAlive[ri] {
+				continue
+			}
+			v := runNode[ri]
+			pv := v / 2
+			runNode[ri] = pv
+			isOpen := ri%2 == 1
+			isLeftChild := v%2 == 0
+			if mCnt[pv] == 0 || isOpen != isLeftChild {
+				continue
+			}
+			t := splitD[pv] - mCnt[pv]
+			if runHi[ri] <= t {
+				continue
+			}
+			l := t + 1
+			if l < runLo[ri] {
+				l = runLo[ri]
+			}
+			emitted++
+			items += int(runHi[ri] - l + 1)
+			runHi[ri] = l - 1
+			if runHi[ri] < runLo[ri] {
+				runAlive[ri] = false
+			}
+		}
+		charge(nRuns, 1)            // emitted IndexPack flags
+		chargeScan(s, nRuns, false) // emitted IndexPack scan
+		charge(nRuns, 1)            // emitted IndexPack scatter
+		charge(emitted, 1)          // chunk gather (skipped when empty)
+		nChunks += emitted
+	}
+	pram.Release(s, runNode)
+	pram.Release(s, runHi)
+	pram.Release(s, runLo)
+	pram.Release(s, runAlive)
+
+	// Chunk scatter into pair slots, then per-pair resolution.
+	charge(nChunks, 1)            // chunk lengths
+	chargeScan(s, nChunks, false) // Distribute(lens): starts scan
+	charge(items, 1)              // heads fill
+	charge(nChunks, 1)            // head scatter
+	chargeScan(s, items, true)    // owner max-scan
+	charge(items, 1)              // offsets
+	charge(items, 2)              // pair scatter
+	chargeScan(s, size, false)    // Distribute(mCnt): starts scan
+	charge(totalPairs, 1)         // heads fill
+	charge(size, 1)               // head scatter
+	chargeScan(s, totalPairs, true)
+	charge(totalPairs, 1) // offsets
+	charge(totalPairs, 3) // resolve
+	release()
 }
 
 // matchSerial is the sequential stack matcher, used for single-block

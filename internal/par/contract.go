@@ -133,6 +133,17 @@ func EvalTreeIx[I Ix](s *pram.Sim, t BinTreeIx[I], op []NodeOp, leafVal []int64,
 	if n == 0 {
 		return val
 	}
+	if s.PreferSequential(n) {
+		// Fused sequential route: one post-order sweep evaluates every
+		// node exactly (the contraction algebra is exact integer
+		// arithmetic, so the values agree bit for bit), and a link-only
+		// replay of the rake schedule — whose round structure depends on
+		// the tree shape and leaf numbering — re-issues the identical
+		// charges.
+		evalTreeSeq(s, t, op, leafVal, val)
+		chargeEvalTree(s, t, leafRank)
+		return val
+	}
 	// Working copies of the mutable link structure.
 	left := pram.GrabNoClear[I](s, n)
 	right := pram.GrabNoClear[I](s, n)
@@ -250,4 +261,185 @@ func EvalTreeIx[I Ix](s *pram.Sim, t BinTreeIx[I], op []NodeOp, leafVal []int64,
 	pram.Release(s, isLeaf)
 	pram.Release(s, leaves)
 	return val
+}
+
+// evalTreeSeq evaluates the expression forest bottom-up in one
+// post-order sweep: the value semantics of the contraction without its
+// machinery.
+func evalTreeSeq[I Ix](s *pram.Sim, t BinTreeIx[I], op []NodeOp, leafVal []int64, val []int64) {
+	n := t.Len()
+	order := pram.GrabNoClear[I](s, n)
+	stack := pram.GrabNoClear[I](s, n)
+	k := n
+	for r := 0; r < n; r++ {
+		if t.Parent[r] >= 0 {
+			continue
+		}
+		top := 0
+		stack[top] = I(r)
+		top++
+		for top > 0 {
+			top--
+			v := stack[top]
+			k--
+			order[k] = v
+			if l := t.Left[v]; l >= 0 {
+				stack[top] = l
+				top++
+			}
+			if rc := t.Right[v]; rc >= 0 {
+				stack[top] = rc
+				top++
+			}
+		}
+	}
+	// order[k:] is a reverse preorder: children precede parents.
+	for _, v := range order[k:] {
+		if t.IsLeaf(int(v)) {
+			val[v] = leafVal[v]
+		} else {
+			val[v] = applyOp(op[v], val[t.Left[v]], val[t.Right[v]])
+		}
+	}
+	pram.Release(s, order)
+	pram.Release(s, stack)
+}
+
+// contractChargeState keeps the rake-schedule replay's per-round counts
+// reusable per (Sim, width).
+type contractChargeState[I Ix] struct {
+	roundCnts []int
+}
+
+type contractChargeKey[I Ix] struct{}
+
+func contractChargeOf[I Ix](s *pram.Sim) *contractChargeState[I] {
+	sc := s.Scratch()
+	if v := sc.Aux(contractChargeKey[I]{}); v != nil {
+		return v.(*contractChargeState[I])
+	}
+	st := &contractChargeState[I]{}
+	sc.SetAux(contractChargeKey[I]{}, st)
+	return st
+}
+
+// chargeEvalTree replays the exact simulated charge sequence of the
+// phase-structured EvalTreeIx: it re-runs the rake schedule on a
+// link-only skeleton (no functions, no values, no rake records), since
+// the number of rounds and the rake counts per round are data-dependent.
+// It must mirror EvalTreeIx charge for charge.
+func chargeEvalTree[I Ix](s *pram.Sim, t BinTreeIx[I], leafRank []I) {
+	n := t.Len()
+	p := s.Procs()
+	charge := func(m, cost int) {
+		if m > 0 {
+			s.Charge(int64(ceilDivInt(m, p)*cost), int64(m*cost))
+		}
+	}
+	charge(n, 2)            // init
+	charge(n, 1)            // leaf IndexPack flags
+	chargeScan(s, n, false) // leaf IndexPack position scan
+	charge(n, 1)            // leaf IndexPack scatter
+
+	left := pram.GrabNoClear[I](s, n)
+	right := pram.GrabNoClear[I](s, n)
+	parent := pram.GrabNoClear[I](s, n)
+	num := pram.GrabNoClear[I](s, n)
+	copy(left, t.Left)
+	copy(right, t.Right)
+	copy(parent, t.Parent)
+	nl := 0
+	for v := 0; v < n; v++ {
+		if t.IsLeaf(v) {
+			nl++
+		}
+	}
+	leaves := pram.GrabNoClear[I](s, nl)
+	nextLv := pram.GrabNoClear[I](s, nl)
+	sel := pram.GrabNoClear[I](s, nl)
+	j := 0
+	for v := 0; v < n; v++ {
+		if t.IsLeaf(v) {
+			leaves[j] = I(v)
+			num[v] = leafRank[v] + 1
+			j++
+		}
+	}
+
+	st := contractChargeOf[I](s)
+	cnts := st.roundCnts[:0]
+	guard := 2
+	for v := 1; v < n; v <<= 1 {
+		guard += 2
+	}
+	for len(leaves) > 1 && guard > 0 {
+		guard--
+		for _, wantLeft := range [2]bool{true, false} {
+			lv := len(leaves)
+			charge(lv, 1)            // candidate flags
+			charge(lv, 1)            // pack flags
+			chargeScan(s, lv, false) // pack position scan
+			charge(lv, 1)            // pack scatter
+			selN := 0
+			for _, x := range leaves {
+				px := parent[x]
+				if num[x]%2 == 1 && px >= 0 &&
+					((wantLeft && left[px] == x) || (!wantLeft && right[px] == x)) {
+					sel[selN] = x
+					selN++
+				}
+			}
+			charge(selN, 1) // pack gather (skipped when empty)
+			if selN == 0 {
+				continue
+			}
+			charge(selN, 4) // rake phase
+			for i := 0; i < selN; i++ {
+				x := sel[i]
+				px := parent[x]
+				var sib I
+				if left[px] == x {
+					sib = right[px]
+				} else {
+					sib = left[px]
+				}
+				g := parent[px]
+				if g >= 0 {
+					if left[g] == px {
+						left[g] = sib
+					} else {
+						right[g] = sib
+					}
+				}
+				parent[sib] = g
+			}
+			cnts = append(cnts, selN)
+		}
+		lv := len(leaves)
+		charge(lv, 1)            // live flags (renumber)
+		charge(lv, 1)            // pack flags
+		chargeScan(s, lv, false) // pack position scan
+		charge(lv, 1)            // pack scatter
+		out := 0
+		for _, x := range leaves {
+			if num[x]%2 == 0 {
+				num[x] /= 2
+				nextLv[out] = x
+				out++
+			}
+		}
+		charge(out, 1) // pack gather (skipped when empty)
+		leaves, nextLv = nextLv[:out], leaves[:cap(leaves)]
+	}
+	for r := len(cnts) - 1; r >= 0; r-- {
+		charge(cnts[r], 3) // backward value replay
+	}
+	st.roundCnts = cnts[:0]
+	pram.Release(s, left)
+	pram.Release(s, right)
+	pram.Release(s, parent)
+	pram.Release(s, num)
+	pram.Release(s, leaves)
+	pram.Release(s, nextLv)
+	pram.Release(s, sel)
 }

@@ -56,8 +56,11 @@ func GrabBinTreeIx[I Ix](s *pram.Sim, n int) BinTreeIx[I] {
 // ReleaseBinTree returns a forest's link slices to the arena.
 func ReleaseBinTree(s *pram.Sim, t BinTree) { ReleaseBinTreeIx(s, t) }
 
-// ReleaseBinTreeIx is the width-generic ReleaseBinTree.
+// ReleaseBinTreeIx is the width-generic ReleaseBinTree. It also drops
+// the tree's cached Euler tour, if any, so a cached tour can never
+// outlive its tree.
 func ReleaseBinTreeIx[I Ix](s *pram.Sim, t BinTreeIx[I]) {
+	DropCachedTourIx(s, t)
 	pram.Release(s, t.Left)
 	pram.Release(s, t.Right)
 	pram.Release(s, t.Parent)
@@ -118,6 +121,15 @@ func TourBinaryIx[I Ix](s *pram.Sim, t BinTreeIx[I], seed uint64) *TourIx[I] {
 	n := t.Len()
 	tr := &TourIx[I]{N: n}
 	if n == 0 {
+		return tr
+	}
+	if s.PreferSequential(3 * n) {
+		// Fused sequential route: build the successor links and walk them
+		// once, threading every numbering off the single traversal, then
+		// replay the exact charge sequence of the phase-structured build
+		// (which is data-dependent only through the list-ranking rounds —
+		// see chargeRankOpt).
+		tourBuildSeq(s, t, seed, tr)
 		return tr
 	}
 
@@ -242,10 +254,171 @@ func TourBinaryIx[I Ix](s *pram.Sim, t BinTreeIx[I], seed uint64) *TourIx[I] {
 	return tr
 }
 
+// tourBuildSeq is the fused sequential Euler-tour construction: one
+// pass over the links to emit the 3n successor pointers, one walk along
+// them filling every numbering, and a charge replay that keeps the
+// simulated counters bit-identical to the phase-structured build.
+func tourBuildSeq[I Ix](s *pram.Sim, t BinTreeIx[I], seed uint64, tr *TourIx[I]) {
+	next := tourBuildSeqKeep(s, t, seed, tr, true)
+	pram.Release(s, next)
+}
+
+// tourBuildSeqKeep is the fused build with the successor links handed
+// back to the caller (the tour cache retains them for patch-based
+// refreshes). With consumeNext set the charge replay scrambles the
+// links in place — one pass cheaper — so pass false when keeping them.
+func tourBuildSeqKeep[I Ix](s *pram.Sim, t BinTreeIx[I], seed uint64, tr *TourIx[I], consumeNext bool) []I {
+	n := t.Len()
+	nr := 0
+	for v := 0; v < n; v++ {
+		if t.Parent[v] < 0 {
+			nr++
+		}
+	}
+	roots := pram.GrabNoClear[I](s, nr)
+	j := 0
+	for v := 0; v < n; v++ {
+		if t.Parent[v] < 0 {
+			roots[j] = I(v)
+			j++
+		}
+	}
+	tr.Roots = roots
+	next := pram.GrabNoClear[I](s, 3*n)
+	fillTourLinks(t, roots, next)
+	tr.Pos = pram.GrabNoClear[I](s, 3*n)
+	tr.Seq = pram.GrabNoClear[I](s, 3*n)
+	tr.Pre = pram.GrabNoClear[I](s, n)
+	tr.In = pram.GrabNoClear[I](s, n)
+	tr.Post = pram.GrabNoClear[I](s, n)
+	tr.InSeq = pram.GrabNoClear[I](s, n)
+	tr.Root = pram.GrabNoClear[I](s, n)
+	tourWalk(t, next, tr)
+	replayTourCharges(s, n, nr, next, seed, consumeNext)
+	return next
+}
+
+// fillTourLinks emits the successor pointers of the 3n tour items — the
+// sequential mirror of the charged link phase of TourBinaryIx.
+func fillTourLinks[I Ix](t BinTreeIx[I], roots []I, next []I) {
+	n := t.Len()
+	for vi := 0; vi < n; vi++ {
+		v := I(vi)
+		if l := t.Left[vi]; l >= 0 {
+			next[preItem(v)] = preItem(l)
+		} else {
+			next[preItem(v)] = inItem(v)
+		}
+		if r := t.Right[vi]; r >= 0 {
+			next[inItem(v)] = preItem(r)
+		} else {
+			next[inItem(v)] = postItem(v)
+		}
+		p := t.Parent[vi]
+		switch {
+		case p < 0:
+			next[postItem(v)] = -1
+		case t.Left[p] == v:
+			next[postItem(v)] = inItem(p)
+		default:
+			next[postItem(v)] = postItem(p)
+		}
+	}
+	for k := 0; k+1 < len(roots); k++ {
+		next[postItem(roots[k])] = preItem(roots[k+1])
+	}
+}
+
+// tourWalk chases the item list once, filling Pos, Seq and all five
+// node numberings of tr (whose slices must be pre-sized; tr.Roots must
+// be set).
+func tourWalk[I Ix](t BinTreeIx[I], next []I, tr *TourIx[I]) {
+	var preCnt, inCnt, postCnt, pos I
+	curRoot := I(-1)
+	total := len(next)
+	it := preItem(tr.Roots[0])
+	for step := 0; step < total; step++ {
+		tr.Pos[it] = pos
+		tr.Seq[pos] = it
+		v := itemNode(it)
+		switch it % 3 {
+		case 0:
+			if t.Parent[v] < 0 {
+				curRoot = v
+			}
+			tr.Pre[v] = preCnt
+			preCnt++
+			tr.Root[v] = curRoot
+		case 1:
+			tr.In[v] = inCnt
+			tr.InSeq[inCnt] = v
+			inCnt++
+		default:
+			tr.Post[v] = postCnt
+			postCnt++
+		}
+		pos++
+		it = next[it]
+	}
+}
+
+// replayTourCharges issues the exact simulated charges of a
+// phase-structured TourBinaryIx build of an n-node forest with nRoots
+// roots and the given item-successor list (scrambled in place when
+// consumeNext is set — see chargeRankOpt). It must mirror TourBinaryIx
+// (and the ListPositionsIx it calls) charge for charge.
+func replayTourCharges[I Ix](s *pram.Sim, n, nRoots int, next []I, seed uint64, consumeNext bool) {
+	p := s.Procs()
+	charge := func(m, cost int) {
+		if m > 0 {
+			s.Charge(int64(ceilDivInt(m, p)*cost), int64(m*cost))
+		}
+	}
+	L := 3 * n
+	charge(n, 1)            // isRoot flags
+	charge(n, 1)            // IndexPack flags
+	chargeScan(s, n, false) // IndexPack position scan
+	charge(n, 1)            // IndexPack scatter
+	charge(n, 3)            // successor links
+	charge(nRoots, 1)       // root chaining
+	chargeRankOpt(s, next, seed, consumeNext)
+	charge(L, 1)             // ListPositions position fill
+	charge(L, 1)             // seq scatter
+	for k := 0; k < 3; k++ { // pre/in/post rank flags + scans
+		charge(L, 1)
+		chargeScan(s, L, false)
+	}
+	charge(n, 3)           // numbering gather
+	charge(n, 1)           // InSeq scatter
+	charge(L, 1)           // root marks fill
+	charge(nRoots, 1)      // root marks scatter
+	chargeScan(s, L, true) // owner max-scan
+	charge(n, 1)           // root gather
+}
+
 // Depths returns the depth of every node (roots have depth 0), via a
 // prefix sum of +1 at pre items and -1 at post items. The caller owns
 // (and may Release) the result.
 func (tr *TourIx[I]) Depths(s *pram.Sim) []I {
+	if L := len(tr.Seq); L > 0 && s.PreferSequential(L) {
+		// Fused: one walk along the tour with a running depth counter.
+		d := pram.GrabNoClear[I](s, tr.N)
+		run := I(0)
+		for _, it := range tr.Seq {
+			switch it % 3 {
+			case 0:
+				run++
+				d[itemNode(it)] = run - 1
+			case 2:
+				run--
+			}
+		}
+		p := s.Procs()
+		s.Charge(int64(ceilDivInt(L, p)), int64(L))       // weight fill
+		chargeScan(s, L, true)                            // depth scan
+		s.Charge(int64(ceilDivInt(tr.N, p)), int64(tr.N)) // gather
+		return d
+	}
 	w := pram.GrabNoClear[I](s, len(tr.Seq))
 	s.ParallelForRange(len(tr.Seq), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -275,6 +448,38 @@ func (tr *TourIx[I]) Depths(s *pram.Sim) []I {
 // number of leaves in its subtree (inclusive). The caller owns both
 // results.
 func (tr *TourIx[I]) SubtreeCounts(s *pram.Sim, t BinTreeIx[I]) (size, leaves []I) {
+	if L := len(tr.Seq); L > 0 && s.PreferSequential(L) {
+		// Fused: running node/leaf counters; each node stashes the counts
+		// at its pre item and completes the difference at its post item.
+		size = pram.GrabNoClear[I](s, tr.N)
+		leaves = pram.GrabNoClear[I](s, tr.N)
+		var nodeCnt, leafCnt I
+		for _, it := range tr.Seq {
+			v := itemNode(it)
+			switch it % 3 {
+			case 0:
+				nodeCnt++
+				if t.IsLeaf(int(v)) {
+					leafCnt++
+				}
+				size[v] = 1 - nodeCnt
+				leaves[v] = -leafCnt
+			case 2:
+				size[v] += nodeCnt
+				if t.IsLeaf(int(v)) {
+					leaves[v] = 1
+				} else {
+					leaves[v] += leafCnt
+				}
+			}
+		}
+		p := s.Procs()
+		s.Charge(int64(ceilDivInt(L, p)), int64(L))           // weight fill
+		chargeScan(s, L, true)                                // node-count scan
+		chargeScan(s, L, true)                                // leaf-count scan
+		s.Charge(int64(2*ceilDivInt(tr.N, p)), int64(2*tr.N)) // gather
+		return size, leaves
+	}
 	length := len(tr.Seq)
 	nodeW := pram.Grab[I](s, length)
 	leafW := pram.Grab[I](s, length)
@@ -315,6 +520,30 @@ func (tr *TourIx[I]) SubtreeCounts(s *pram.Sim, t BinTreeIx[I]) (size, leaves []
 // AncestorFlagCounts returns for every node the number of flagged nodes
 // on the path from its tree root to the node, inclusive.
 func (tr *TourIx[I]) AncestorFlagCounts(s *pram.Sim, flag []bool) []I {
+	if L := len(tr.Seq); L > 0 && s.PreferSequential(L) {
+		// Fused: running count of open flagged ancestors.
+		out := pram.GrabNoClear[I](s, tr.N)
+		run := I(0)
+		for _, it := range tr.Seq {
+			v := itemNode(it)
+			switch it % 3 {
+			case 0:
+				if flag[v] {
+					run++
+				}
+				out[v] = run
+			case 2:
+				if flag[v] {
+					run--
+				}
+			}
+		}
+		p := s.Procs()
+		s.Charge(int64(ceilDivInt(L, p)), int64(L))       // weight fill
+		chargeScan(s, L, true)                            // flag scan
+		s.Charge(int64(ceilDivInt(tr.N, p)), int64(tr.N)) // gather
+		return out
+	}
 	length := len(tr.Seq)
 	w := pram.Grab[I](s, length)
 	s.ParallelForRange(length, func(lo, hi int) {
@@ -347,6 +576,28 @@ func (tr *TourIx[I]) AncestorFlagCounts(s *pram.Sim, flag []bool) []I {
 // the left of its subtree in inorder — i.e. the leaf rank of the node's
 // leftmost leaf descendant.
 func (tr *TourIx[I]) LeafStarts(s *pram.Sim, t BinTreeIx[I]) []I {
+	if L := len(tr.Seq); L > 0 && s.PreferSequential(L) {
+		// Fused: every node reads the running leaf count at its pre item;
+		// leaves bump it at their in item.
+		out := pram.GrabNoClear[I](s, tr.N)
+		cnt := I(0)
+		for _, it := range tr.Seq {
+			v := itemNode(it)
+			switch it % 3 {
+			case 0:
+				out[v] = cnt
+			case 1:
+				if t.IsLeaf(int(v)) {
+					cnt++
+				}
+			}
+		}
+		p := s.Procs()
+		s.Charge(int64(ceilDivInt(L, p)), int64(L))       // flag fill
+		chargeScan(s, L, false)                           // leaf-rank scan
+		s.Charge(int64(ceilDivInt(tr.N, p)), int64(tr.N)) // gather
+		return out
+	}
 	length := len(tr.Seq)
 	w := pram.Grab[I](s, length)
 	s.ParallelForRange(length, func(lo, hi int) {
@@ -372,6 +623,28 @@ func (tr *TourIx[I]) LeafStarts(s *pram.Sim, t BinTreeIx[I]) []I {
 // LeafRanks numbers the leaves of the forest 0..m-1 in left-to-right
 // (inorder) order; non-leaves get -1. Also returns m.
 func (tr *TourIx[I]) LeafRanks(s *pram.Sim, t BinTreeIx[I]) ([]I, int) {
+	if L := len(tr.Seq); L > 0 && s.PreferSequential(L) {
+		// Fused: number the leaves as their in items stream past.
+		out := pram.GrabNoClear[I](s, tr.N)
+		m := I(0)
+		for _, it := range tr.Seq {
+			if it%3 != 1 {
+				continue
+			}
+			v := itemNode(it)
+			if t.IsLeaf(int(v)) {
+				out[v] = m
+				m++
+			} else {
+				out[v] = -1
+			}
+		}
+		p := s.Procs()
+		s.Charge(int64(ceilDivInt(L, p)), int64(L))       // flag fill
+		chargeScan(s, L, false)                           // leaf-rank scan
+		s.Charge(int64(ceilDivInt(tr.N, p)), int64(tr.N)) // gather
+		return out, int(m)
+	}
 	length := len(tr.Seq)
 	w := pram.Grab[I](s, length)
 	s.ParallelForRange(length, func(lo, hi int) {

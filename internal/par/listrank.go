@@ -102,6 +102,20 @@ func wyllieRounds(n int) int {
 	return rounds
 }
 
+// chargeWyllie replays the exact charge sequence of RankWeightedIx on n
+// elements (one init phase plus wyllieRounds cost-2 jump phases), the
+// shared accounting of the fused and charge-replay routes.
+func chargeWyllie(s *pram.Sim, n int) {
+	if n <= 0 {
+		return
+	}
+	p := s.Procs()
+	s.Charge(int64(ceilDivInt(n, p)), int64(n)) // init phase
+	for r := wyllieRounds(n); r > 0; r-- {      // jump rounds, cost 2
+		s.Charge(int64(2*ceilDivInt(n, p)), int64(2*n))
+	}
+}
+
 // RankWeightedIx is the width-generic RankWeighted (see Ix).
 func RankWeightedIx[I Ix](s *pram.Sim, next []I, weight []I) (dist, last []I) {
 	n := len(next)
@@ -112,11 +126,7 @@ func RankWeightedIx[I Ix](s *pram.Sim, next []I, weight []I) (dist, last []I) {
 		dist = pram.GrabNoClear[I](s, n)
 		last = pram.GrabNoClear[I](s, n)
 		chaseRank(s, next, weight, dist, last)
-		p := s.Procs()
-		s.Charge(int64(ceilDivInt(n, p)), int64(n)) // init phase
-		for r := wyllieRounds(n); r > 0; r-- {      // jump rounds, cost 2
-			s.Charge(int64(2*ceilDivInt(n, p)), int64(2*n))
-		}
+		chargeWyllie(s, n)
 		return dist, last
 	}
 	st := wyllieOf[I](s)
@@ -187,6 +197,8 @@ type rankOptState[I Ix] struct {
 	body                     func(lo, hi int)
 	// serial reference scratch
 	stack []I
+	// charge-replay scratch: splice counts per contraction round
+	roundCnts []int
 }
 
 const (
@@ -317,6 +329,20 @@ func RankOptWeightedIx[I Ix](s *pram.Sim, next []I, weight []I, seed uint64) (di
 		// Serial reference: follow chains with memoization via reverse
 		// topological order (process in order of a stack-free two-pass).
 		return rankSerial(s, next, weight)
+	}
+	if s.PreferSequential(n) {
+		// Fused sequential route: one pointer-chase sweep for the values
+		// plus a link-only replay of the random-mate contraction for the
+		// charges, instead of the full multi-phase route over a dozen
+		// arrays. The outputs are algorithm-independent (distance to and
+		// identity of each terminal), so only the charge sequence — which
+		// depends on the coin flips and the evolving alive set — needs the
+		// structural replay.
+		dist = pram.GrabNoClear[I](s, n)
+		last = pram.GrabNoClear[I](s, n)
+		chaseRank(s, next, weight, dist, last)
+		chargeRankOpt(s, next, seed, false)
+		return dist, last
 	}
 
 	st := rankOptOf[I](s)
@@ -450,6 +476,114 @@ func chaseRank[I Ix](s *pram.Sim, next, weight, dist, last []I) {
 	}
 	st.stack = stack[:0]
 	pram.Release(s, done)
+}
+
+// chargeRankOpt replays the exact simulated charge sequence of
+// RankOptWeightedIx for the list next under the given seed, without
+// computing any ranks: it re-runs the random-mate contraction on a
+// link-only skeleton (successor, predecessor and the alive set — no
+// weights, no rank arrays, no Wyllie buffers) because the number of
+// contraction rounds and the number of elements spliced per round are
+// data- and seed-dependent, and the charges follow them. The charges do
+// not depend on the link weights. With consume set, next is scrambled
+// in place as the round skeleton (saving one pass over it); otherwise it
+// is read-only. It must mirror RankOptWeightedIx charge for charge.
+func chargeRankOpt[I Ix](s *pram.Sim, next []I, seed uint64, consume bool) {
+	n := len(next)
+	if n == 0 {
+		return
+	}
+	if n <= 64 || s.Procs() == 1 {
+		s.Charge(int64(n), int64(n)) // the rankSerial Sequential(n) route
+		return
+	}
+	target := pram.ProcsFor(n)
+	p := s.Procs()
+	charge := func(m, cost int) { // one Brent-scheduled phase of m cost-`cost` ops
+		if m > 0 {
+			s.Charge(int64(ceilDivInt(m, p)*cost), int64(m*cost))
+		}
+	}
+
+	st := rankOptOf[I](s)
+	nxt := next
+	if !consume {
+		nxt = pram.GrabNoClear[I](s, n)
+		copy(nxt, next)
+	}
+	prv := pram.GrabNoClear[I](s, n)
+	for i := range prv {
+		prv[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		if next[i] >= 0 {
+			prv[next[i]] = I(i)
+		}
+	}
+	charge(n, 1) // init
+	charge(n, 1) // prv scatter
+	alive := pram.GrabNoClear[I](s, n)
+	newAlive := pram.GrabNoClear[I](s, n)
+	for i := range alive {
+		alive[i] = I(i)
+	}
+	charge(n, 1) // alive init
+	flags := pram.GrabNoClear[bool](s, n)
+	cnts := st.roundCnts[:0]
+	rng := seed | 1
+	for round := 0; len(alive) > target && round < 64; round++ {
+		rng = splitmix(rng)
+		base := rng
+		m := len(alive)
+		charge(m, 1) // coin phase
+		// Selection against the round-start links, exactly like the flags
+		// phase: tails for e, heads for its predecessor.
+		cnt := 0
+		for k, e := range alive {
+			pe := prv[e]
+			f := splitmix(base^uint64(e))&1 != 0 && pe >= 0 &&
+				splitmix(base^uint64(pe))&1 == 0 && nxt[e] >= 0
+			flags[k] = f
+			if f {
+				cnt++
+			}
+		}
+		charge(m, 1) // flags phase
+		chargeScan(s, m, false)
+		if cnt == 0 {
+			break
+		}
+		out := 0
+		for k, e := range alive {
+			if flags[k] {
+				pe, q := prv[e], nxt[e]
+				nxt[pe] = q
+				prv[q] = pe
+			} else {
+				newAlive[out] = e
+				out++
+			}
+		}
+		charge(m, 3) // splice phase
+		cnts = append(cnts, cnt)
+		alive, newAlive = newAlive[:out], alive[:cap(alive)]
+	}
+	m := len(alive)
+	charge(m, 1) // compact position scatter
+	charge(m, 1) // compact links
+	chargeWyllie(s, m)
+	charge(m, 1) // expand
+	for r := len(cnts) - 1; r >= 0; r-- {
+		charge(cnts[r], 2) // reinstate round
+	}
+	st.roundCnts = cnts[:0]
+	if !consume {
+		pram.Release(s, nxt)
+	}
+	pram.Release(s, prv)
+	pram.Release(s, flags)
+	pram.Release(s, alive)
+	pram.Release(s, newAlive)
 }
 
 // rankSerial is the single-processor reference: O(n) by chasing each

@@ -106,6 +106,170 @@ func TestFusedChargeParity(t *testing.T) {
 	}
 }
 
+// TestFusedChargeParityDataDependent drives the data-dependent fused
+// primitives — work-optimal list ranking, Euler tours and their derived
+// numberings, bracket matching and tree contraction — against the
+// phase-structured reference: identical outputs AND identical simulated
+// counters for every input, processor count and width.
+func TestFusedChargeParityDataDependent(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 12))
+	for _, n := range []int{65, 66, 100, 257, 1000, 4097} {
+		for _, procs := range []int{2, 7, pram.ProcsFor(n), n + 3} {
+			next := make([]int, n)
+			open := make([]bool, n)
+			perm := rng.Perm(n)
+			// A handful of disjoint lists.
+			for i := 0; i < n-1; i++ {
+				if rng.IntN(50) == 0 {
+					next[perm[i]] = -1
+				} else {
+					next[perm[i]] = perm[i+1]
+				}
+			}
+			next[perm[n-1]] = -1
+			for i := range open {
+				open[i] = rng.IntN(2) == 0
+			}
+			forest := randomForest(rng, n)
+
+			fu, re := fusedSim(procs), refSim(procs)
+			defer fu.Close()
+			defer re.Close()
+
+			fd, fl := RankOpt(fu, next, 99)
+			rd, rl := RankOpt(re, next, 99)
+			intsEq(t, "RankOpt dist", fd, rd)
+			intsEq(t, "RankOpt last", fl, rl)
+			statsEq(t, "RankOpt", n, procs, fu.Stats(), re.Stats())
+
+			intsEq(t, "MatchBrackets", MatchBrackets(fu, open), MatchBrackets(re, open))
+			statsEq(t, "MatchBrackets", n, procs, fu.Stats(), re.Stats())
+
+			ft := TourBinary(fu, forest, 7)
+			rt := TourBinary(re, forest, 7)
+			intsEq(t, "Tour Pos", ft.Pos, rt.Pos)
+			intsEq(t, "Tour Seq", ft.Seq, rt.Seq)
+			intsEq(t, "Tour Pre", ft.Pre, rt.Pre)
+			intsEq(t, "Tour In", ft.In, rt.In)
+			intsEq(t, "Tour Post", ft.Post, rt.Post)
+			intsEq(t, "Tour InSeq", ft.InSeq, rt.InSeq)
+			intsEq(t, "Tour Root", ft.Root, rt.Root)
+			intsEq(t, "Tour Roots", ft.Roots, rt.Roots)
+			statsEq(t, "TourBinary", n, procs, fu.Stats(), re.Stats())
+
+			fr, fm := ft.LeafRanks(fu, forest)
+			rr, rm := rt.LeafRanks(re, forest)
+			if fm != rm {
+				t.Fatalf("LeafRanks m: %d != %d", fm, rm)
+			}
+			intsEq(t, "LeafRanks", fr, rr)
+			statsEq(t, "LeafRanks", n, procs, fu.Stats(), re.Stats())
+
+			intsEq(t, "LeafStarts", ft.LeafStarts(fu, forest), rt.LeafStarts(re, forest))
+			statsEq(t, "LeafStarts", n, procs, fu.Stats(), re.Stats())
+
+			fsz, flv := ft.SubtreeCounts(fu, forest)
+			rsz, rlv := rt.SubtreeCounts(re, forest)
+			intsEq(t, "SubtreeCounts size", fsz, rsz)
+			intsEq(t, "SubtreeCounts leaves", flv, rlv)
+			statsEq(t, "SubtreeCounts", n, procs, fu.Stats(), re.Stats())
+
+			intsEq(t, "Depths", ft.Depths(fu), rt.Depths(re))
+			statsEq(t, "Depths", n, procs, fu.Stats(), re.Stats())
+
+			flag := make([]bool, n)
+			for i := range flag {
+				flag[i] = rng.IntN(3) == 0
+			}
+			intsEq(t, "AncestorFlagCounts", ft.AncestorFlagCounts(fu, flag), rt.AncestorFlagCounts(re, flag))
+			statsEq(t, "AncestorFlagCounts", n, procs, fu.Stats(), re.Stats())
+		}
+	}
+}
+
+// TestFusedChargeParityEvalTree pins the fused tree-contraction route
+// against the phase-structured one on random full binary expression
+// trees.
+func TestFusedChargeParityEvalTree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 31))
+	for _, leavesN := range []int{2, 3, 33, 400, 2048} {
+		for _, procs := range []int{2, pram.ProcsFor(2*leavesN - 1)} {
+			tree, op, leafVal := randomExprTree(rng, leavesN)
+			fu, re := fusedSim(procs), refSim(procs)
+			run := func(s *pram.Sim) ([]int64, pram.Stats) {
+				tour := TourBinary(s, tree, 3)
+				ranks, _ := tour.LeafRanks(s, tree)
+				s.Reset() // isolate the contraction's own charges
+				vals := EvalTree(s, tree, op, leafVal, ranks)
+				st := s.Stats()
+				tour.Release(s)
+				return vals, st
+			}
+			fv, fs := run(fu)
+			rv, rs := run(re)
+			for i := range fv {
+				if fv[i] != rv[i] {
+					t.Fatalf("leaves=%d procs=%d: val[%d] = %d want %d", leavesN, procs, i, fv[i], rv[i])
+				}
+			}
+			statsEq(t, "EvalTree", leavesN, procs, fs, rs)
+			fu.Close()
+			re.Close()
+		}
+	}
+}
+
+// randomForest attaches each node to a random earlier node with a free
+// child slot, or leaves it a root.
+func randomForest(rng *rand.Rand, n int) BinTree {
+	t := NewBinTree(n)
+	for v := 1; v < n; v++ {
+		p := rng.IntN(v)
+		if t.Left[p] < 0 {
+			t.Left[p] = v
+		} else if t.Right[p] < 0 {
+			t.Right[p] = v
+		} else {
+			continue
+		}
+		t.Parent[v] = p
+	}
+	return t
+}
+
+// randomExprTree builds a random full binary tree with m leaves plus
+// random sum / join-clamp operators and unit-ish leaf values.
+func randomExprTree(rng *rand.Rand, m int) (BinTree, []NodeOp, []int64) {
+	n := 2*m - 1
+	t := NewBinTree(n)
+	op := make([]NodeOp, n)
+	leafVal := make([]int64, n)
+	// Grow by splitting a random current leaf into an internal node with
+	// two children until m leaves exist.
+	leaves := []int{0}
+	next := 1
+	for len(leaves) < m {
+		k := rng.IntN(len(leaves))
+		v := leaves[k]
+		l, r := next, next+1
+		next += 2
+		t.Left[v], t.Right[v] = l, r
+		t.Parent[l], t.Parent[r] = v, v
+		leaves[k] = l
+		leaves = append(leaves, r)
+	}
+	for v := 0; v < n; v++ {
+		if t.IsLeaf(v) {
+			leafVal[v] = int64(1 + rng.IntN(5))
+		} else if rng.IntN(2) == 0 {
+			op[v] = NodeOp{Kind: OpSum}
+		} else {
+			op[v] = NodeOp{Kind: OpJoinClamp, C: int64(rng.IntN(7))}
+		}
+	}
+	return t, op, leafVal
+}
+
 // TestNarrowWideParity runs the int32 kernels against the int kernels:
 // identical values (after widening) and identical simulated counters.
 func TestNarrowWideParity(t *testing.T) {

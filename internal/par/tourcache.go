@@ -1,0 +1,278 @@
+package par
+
+import (
+	"os"
+	"unsafe"
+
+	"pathcover/internal/pram"
+)
+
+// tourCacheDisabled is a benchmarking escape hatch: with
+// PATHCOVER_DISABLE_TOUR_CACHE set, every acquisition builds a private
+// from-scratch tour, which is the rebuild baseline the cache is
+// measured against (counters are unaffected either way).
+var tourCacheDisabled = os.Getenv("PATHCOVER_DISABLE_TOUR_CACHE") != ""
+
+// The per-Sim Euler-tour cache.
+//
+// The §5 pipeline derives an Euler tour from a binary forest at several
+// points — leaf counting, the Step 3 numberings, every illegal-insert
+// exchange round, path extraction, the Hamiltonian constructions — and
+// between some of those points the forest either does not change at all
+// or changes by a handful of recorded subtree swaps. The cache keeps the
+// most recent tour (plus the item-successor list it was walked from) per
+// (Sim, width) and serves repeat acquisitions without reconstructing it:
+//
+//   - same tree, same seed:      replay the recorded cost delta, O(1);
+//   - same tree, different seed: recompute only the charges (the tour's
+//     values are seed-independent; the charges are not, because the
+//     work-optimal list ranking's contraction rounds follow the seed);
+//   - tree mutated by recorded swaps (PatchTourSwapIx): the successor
+//     links were patched in O(1) per swap, so one walk refreshes every
+//     numbering in place — no link rebuild, no allocation;
+//   - tree mutated arbitrarily (TouchCachedTourIx): links are rebuilt in
+//     place first, then walked.
+//
+// Whatever the route, the simulated time/work/phase counters advance
+// exactly as a from-scratch TourBinaryIx build of the current tree with
+// the requested seed would advance them: reuse is invisible to the cost
+// model, like every other charge-replay engine in this package.
+//
+// Ownership: a cached tour belongs to the cache. AcquireTourIx returns
+// owned=false for cache-served tours — the caller must NOT Release them,
+// and the borrow stays valid only until the next cache operation on the
+// same Sim. ReleaseBinTreeIx drops a tree's cache entry automatically,
+// so a cached tour can never outlive (or get re-keyed onto a recycled
+// buffer of) its tree.
+type tourCache[I Ix] struct {
+	valid            bool
+	state            tourEntryState
+	keyL, keyR, keyP unsafe.Pointer // identity of the tree's link slices
+	n                int
+	nRoots           int
+	procs            int
+	seed             uint64
+	cost             [3]int64 // time/work/phases delta of a build at (seed, procs)
+	tour             TourIx[I]
+	next             []I // cached item-successor list (3n)
+	pins             int
+}
+
+type tourEntryState uint8
+
+const (
+	tourFresh   tourEntryState = iota
+	tourPatched                // next[] tracks the tree; numberings stale
+	tourStale                  // links and numberings both stale
+)
+
+type tourCacheKey[I Ix] struct{}
+
+func tourCacheOf[I Ix](s *pram.Sim) *tourCache[I] {
+	sc := s.Scratch()
+	if v := sc.Aux(tourCacheKey[I]{}); v != nil {
+		return v.(*tourCache[I])
+	}
+	c := &tourCache[I]{}
+	sc.SetAux(tourCacheKey[I]{}, c)
+	return c
+}
+
+// peekTourCache returns the cache state without creating it.
+func peekTourCache[I Ix](s *pram.Sim) *tourCache[I] {
+	if v := s.Scratch().Aux(tourCacheKey[I]{}); v != nil {
+		return v.(*tourCache[I])
+	}
+	return nil
+}
+
+func treeKey[I Ix](t BinTreeIx[I]) (l, r, p unsafe.Pointer) {
+	return unsafe.Pointer(unsafe.SliceData(t.Left)),
+		unsafe.Pointer(unsafe.SliceData(t.Right)),
+		unsafe.Pointer(unsafe.SliceData(t.Parent))
+}
+
+func (c *tourCache[I]) matches(t BinTreeIx[I]) bool {
+	if !c.valid || c.n != t.Len() {
+		return false
+	}
+	l, r, p := treeKey(t)
+	return c.keyL == l && c.keyR == r && c.keyP == p
+}
+
+// drop releases the entry's buffers back to the arena.
+func (c *tourCache[I]) drop(s *pram.Sim) {
+	if !c.valid {
+		return
+	}
+	c.tour.Release(s)
+	pram.Release(s, c.next)
+	c.next = nil
+	c.tour = TourIx[I]{}
+	c.valid = false
+}
+
+// replayAndRecord issues the charges of a fresh build of the cached
+// tree under seed and records the delta for O(1) same-seed replays.
+func (c *tourCache[I]) replayAndRecord(s *pram.Sim, seed uint64) {
+	t0, w0, p0 := s.Time(), s.Work(), s.Phases()
+	replayTourCharges(s, c.n, c.nRoots, c.next, seed, false)
+	c.seed, c.procs = seed, s.Procs()
+	c.cost = [3]int64{s.Time() - t0, s.Work() - w0, s.Phases() - p0}
+}
+
+// refresh re-derives the numberings in place: a link rebuild first when
+// the entry is stale, then one walk, then the charge replay.
+func (c *tourCache[I]) refresh(s *pram.Sim, t BinTreeIx[I], seed uint64) {
+	if c.state == tourStale {
+		nr := 0
+		for v := 0; v < c.n; v++ {
+			if t.Parent[v] < 0 {
+				nr++
+			}
+		}
+		if nr != len(c.tour.Roots) {
+			pram.Release(s, c.tour.Roots)
+			c.tour.Roots = pram.GrabNoClear[I](s, nr)
+		}
+		j := 0
+		for v := 0; v < c.n; v++ {
+			if t.Parent[v] < 0 {
+				c.tour.Roots[j] = I(v)
+				j++
+			}
+		}
+		c.nRoots = nr
+		fillTourLinks(t, c.tour.Roots, c.next)
+	}
+	tourWalk(t, c.next, &c.tour)
+	c.state = tourFresh
+	c.replayAndRecord(s, seed)
+}
+
+// AcquireTourIx returns the Euler tour of t, serving it from the per-Sim
+// cache when t was toured before (see the package comment above for the
+// reuse ladder; the simulated charges always equal a fresh TourBinaryIx
+// of the current tree under seed). owned reports the ownership: true
+// means the caller got a private tour and must Release it; false means
+// the tour is the cache's — it must not be Released and stays valid only
+// until the next cache operation (acquire, patch, touch or drop) on s.
+func AcquireTourIx[I Ix](s *pram.Sim, t BinTreeIx[I], seed uint64) (tr *TourIx[I], owned bool) {
+	n := t.Len()
+	if n == 0 || tourCacheDisabled {
+		return TourBinaryIx(s, t, seed), true
+	}
+	c := tourCacheOf[I](s)
+	if c.matches(t) {
+		switch {
+		case c.state == tourFresh && c.seed == seed && c.procs == s.Procs():
+			s.AddCost(c.cost[0], c.cost[1], c.cost[2])
+		case c.state == tourFresh:
+			c.replayAndRecord(s, seed)
+		default:
+			c.refresh(s, t, seed)
+		}
+		return &c.tour, false
+	}
+	if c.pins > 0 {
+		return TourBinaryIx(s, t, seed), true
+	}
+	c.drop(s)
+	t0, w0, p0 := s.Time(), s.Work(), s.Phases()
+	if s.PreferSequential(3 * n) {
+		// The fused build hands its successor links straight to the cache.
+		c.tour = TourIx[I]{N: n}
+		c.next = tourBuildSeqKeep(s, t, seed, &c.tour, false)
+	} else {
+		built := TourBinaryIx(s, t, seed)
+		c.tour = *built
+		c.next = pram.GrabNoClear[I](s, 3*n)
+		fillTourLinks(t, c.tour.Roots, c.next) // host-level, uncharged
+	}
+	c.cost = [3]int64{s.Time() - t0, s.Work() - w0, s.Phases() - p0}
+	c.keyL, c.keyR, c.keyP = treeKey(t)
+	c.n, c.nRoots = n, len(c.tour.Roots)
+	c.procs, c.seed = s.Procs(), seed
+	c.valid, c.state = true, tourFresh
+	return &c.tour, false
+}
+
+// PatchTourSwapIx records in the cached tour of t (if any) that the
+// tree positions of x and y were exchanged, subtrees carried along, as
+// the illegal-insert exchange of Step 6 does: only the successor links
+// derived from the four nodes whose links changed (x, y and their new
+// parents) are recomputed — O(1) per swap — leaving the next
+// AcquireTourIx a walk-only refresh. A swap touching a root degrades the
+// entry to a full link rebuild instead.
+func PatchTourSwapIx[I Ix](s *pram.Sim, t BinTreeIx[I], x, y I) {
+	c := peekTourCache[I](s)
+	if c == nil || !c.matches(t) || c.state == tourStale {
+		return
+	}
+	px, py := t.Parent[x], t.Parent[y] // post-swap parents
+	if px < 0 || py < 0 {
+		c.state = tourStale
+		return
+	}
+	patchTourNode(t, c.next, x)
+	patchTourNode(t, c.next, y)
+	patchTourNode(t, c.next, px)
+	patchTourNode(t, c.next, py)
+	c.state = tourPatched
+}
+
+// patchTourNode recomputes v's outgoing successor links from the tree's
+// current link slots (the same formulas as fillTourLinks). The post link
+// of a root is left alone: it carries the root chaining, and a root's
+// parent cannot have changed here.
+func patchTourNode[I Ix](t BinTreeIx[I], next []I, v I) {
+	if l := t.Left[v]; l >= 0 {
+		next[preItem(v)] = preItem(l)
+	} else {
+		next[preItem(v)] = inItem(v)
+	}
+	if r := t.Right[v]; r >= 0 {
+		next[inItem(v)] = preItem(r)
+	} else {
+		next[inItem(v)] = postItem(v)
+	}
+	if p := t.Parent[v]; p >= 0 {
+		if t.Left[p] == v {
+			next[postItem(v)] = inItem(p)
+		} else {
+			next[postItem(v)] = postItem(p)
+		}
+	}
+}
+
+// TouchCachedTourIx marks the cached tour of t (if any) stale after an
+// arbitrary mutation of the tree's links. The entry's buffers are kept
+// and refreshed in place by the next AcquireTourIx.
+func TouchCachedTourIx[I Ix](s *pram.Sim, t BinTreeIx[I]) {
+	if c := peekTourCache[I](s); c != nil && c.matches(t) {
+		c.state = tourStale
+	}
+}
+
+// DropCachedTourIx invalidates and releases the cached tour of t, if
+// any. ReleaseBinTreeIx calls it automatically, so a cached tour can
+// never dangle past its tree (or get re-keyed onto a recycled buffer).
+func DropCachedTourIx[I Ix](s *pram.Sim, t BinTreeIx[I]) {
+	if c := peekTourCache[I](s); c != nil && c.matches(t) {
+		c.drop(s)
+	}
+}
+
+// PinTourCacheIx prevents the current cache entry from being evicted:
+// while at least one pin is held, acquisitions of other trees build
+// owned, uncached tours. Callers that keep a borrowed tour alive across
+// a nested pipeline run (the Hamiltonian cycle construction) pin around
+// it. Pair with UnpinTourCacheIx.
+func PinTourCacheIx[I Ix](s *pram.Sim) { tourCacheOf[I](s).pins++ }
+
+// UnpinTourCacheIx releases one pin taken by PinTourCacheIx.
+func UnpinTourCacheIx[I Ix](s *pram.Sim) {
+	if c := peekTourCache[I](s); c != nil && c.pins > 0 {
+		c.pins--
+	}
+}

@@ -1,7 +1,10 @@
 package pram
 
 import (
+	"fmt"
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -44,10 +47,47 @@ var (
 	measured      int
 )
 
-// autoCutover returns the process-wide measured threshold.
+// cutoverEnv overrides the measured default threshold process-wide. CI
+// uses it to force every default-configured Sim onto one route: 0 (or
+// any non-positive value) disables the cutover — the phase-structured
+// dispatch route everywhere — and a huge value forces the fused
+// sequential bodies everywhere. Sims configured with an explicit
+// WithSeqCutover or WithGrain are unaffected.
+const cutoverEnv = "PATHCOVER_SEQ_CUTOVER"
+
+// autoCutover returns the process-wide measured threshold (or the
+// cutoverEnv override).
 func autoCutover() int {
-	calibrateOnce.Do(func() { measured = calibrate() })
+	calibrateOnce.Do(func() {
+		if c, ok := cutoverFromEnv(); ok {
+			measured = c
+			return
+		}
+		measured = calibrate()
+	})
 	return measured
+}
+
+// cutoverFromEnv parses the cutoverEnv override: non-positive values
+// disable the cutover (forcing the phase-structured route everywhere),
+// positive values pin the threshold.
+func cutoverFromEnv() (int, bool) {
+	v, ok := os.LookupEnv(cutoverEnv)
+	if !ok {
+		return 0, false
+	}
+	c, err := strconv.Atoi(v)
+	if err != nil {
+		// Fail loudly: a CI job that believes it forced one route while
+		// calibration actually picked must not pass silently.
+		fmt.Fprintf(os.Stderr, "pram: ignoring malformed %s=%q (%v); using measured cutover\n",
+			cutoverEnv, v, err)
+		return 0, false
+	}
+	if c <= 0 {
+		c = cutoverDisabled
+	}
+	return c, true
 }
 
 // calibrate measures dispatch latency against memory throughput and

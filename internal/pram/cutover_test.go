@@ -52,6 +52,30 @@ func TestPreferSequential(t *testing.T) {
 	}
 }
 
+// TestCutoverFromEnv pins the PATHCOVER_SEQ_CUTOVER override parsing:
+// CI forces the default route both ways through it (0 disables the
+// cutover entirely; a huge value fuses everything). Explicit
+// WithSeqCutover/WithGrain Sims are unaffected by design — covered by
+// TestSeqCutoverResolution above.
+func TestCutoverFromEnv(t *testing.T) {
+	t.Setenv(cutoverEnv, "0")
+	if c, ok := cutoverFromEnv(); !ok || c != cutoverDisabled {
+		t.Errorf("env 0: got (%d, %v), want (%d, true)", c, ok, cutoverDisabled)
+	}
+	t.Setenv(cutoverEnv, "-3")
+	if c, ok := cutoverFromEnv(); !ok || c != cutoverDisabled {
+		t.Errorf("env -3: got (%d, %v), want (%d, true)", c, ok, cutoverDisabled)
+	}
+	t.Setenv(cutoverEnv, "1073741824")
+	if c, ok := cutoverFromEnv(); !ok || c != 1<<30 {
+		t.Errorf("env 2^30: got (%d, %v), want (%d, true)", c, ok, 1<<30)
+	}
+	t.Setenv(cutoverEnv, "not-a-number")
+	if _, ok := cutoverFromEnv(); ok {
+		t.Error("garbage env value must fall back to calibration")
+	}
+}
+
 // TestCutoverChargesUnchanged asserts the executor-level cutover is
 // accounting-neutral: the same phase sequence charges the same
 // time/work/phases whether it dispatches or runs inline.

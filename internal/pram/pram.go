@@ -268,6 +268,18 @@ func (s *Sim) Charge(time, work int64) {
 	s.phases++
 }
 
+// AddCost adds a previously recorded multi-phase cost (time, work and
+// phase count) to the counters without executing anything. It is the
+// replay primitive behind result caches that skip recomputation but must
+// keep the simulated cost model oblivious to the reuse: the cache owner
+// records the Stats delta of the original computation and replays it on
+// every hit.
+func (s *Sim) AddCost(time, work, phases int64) {
+	s.time += time
+	s.work += work
+	s.phases += phases
+}
+
 // ParallelFor executes f(i) for every i in [0, n) and charges one
 // Brent-scheduled phase: time ceil(n/p), work n. The iterations run
 // concurrently; f must only perform conflict-free accesses.
