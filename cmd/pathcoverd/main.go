@@ -1,0 +1,355 @@
+// Command pathcoverd serves minimum path covers of cographs over HTTP
+// from a sharded pathcover.Pool.
+//
+//	pathcoverd -addr :8080 -shards 4
+//
+// Endpoints (request/response bodies are JSON):
+//
+//	POST /cover        {"cotree": "(1 (0 a b) c)"}            -> cover
+//	                   {"n": 4, "edges": [[0,1],[1,2]]}       -> cover
+//	POST /hamiltonian  {"cotree": "...", "cycle": true}       -> {"ok": ..., "path": [...]}
+//	POST /batch        {"graphs": [spec, spec, ...]}          -> {"covers": [cover, ...]}
+//	GET  /healthz                                             -> {"ok": true, ...}
+//	GET  /stats                                               -> pool + process counters
+//
+// A graph spec is either a cotree string (the package's text format) or
+// an explicit edge list, which is recognized and rejected with 400 when
+// it is not a cograph. Covers carry the paths (unless "omit_paths" is
+// set), the simulated PRAM cost of the computation, and wall time.
+// Saturated admission maps to 503, client disconnects cancel queued
+// work via the request context.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"pathcover"
+)
+
+var (
+	addr    = flag.String("addr", ":8080", "listen address")
+	shards  = flag.Int("shards", 0, "solver shards (0 = GOMAXPROCS/2)")
+	queue   = flag.Int("queue", 0, "admission queue depth (0 = 8 per shard, negative = unbounded)")
+	maxBody = flag.Int64("max-body", 64<<20, "request body size limit in bytes")
+	verify  = flag.Bool("verify", false, "re-verify every cover before responding (debugging; O(n) extra per request)")
+)
+
+type server struct {
+	pool     *pathcover.Pool
+	started  time.Time
+	requests atomic.Int64
+}
+
+// graphSpec is the wire form of a graph: exactly one of the cotree text
+// format or an explicit edge list on vertices 0..n-1.
+type graphSpec struct {
+	Cotree string   `json:"cotree,omitempty"`
+	N      int      `json:"n,omitempty"`
+	Edges  [][2]int `json:"edges,omitempty"`
+	Names  []string `json:"names,omitempty"`
+}
+
+func (s *graphSpec) graph() (*pathcover.Graph, error) {
+	switch {
+	case s.Cotree != "" && (s.N != 0 || len(s.Edges) != 0):
+		return nil, errors.New("give either a cotree or an edge list, not both")
+	case s.Cotree != "":
+		return pathcover.ParseCotree(s.Cotree)
+	case s.N > 0:
+		return pathcover.FromEdges(s.N, s.Edges, s.Names)
+	default:
+		return nil, errors.New("empty graph spec: set \"cotree\" or \"n\"+\"edges\"")
+	}
+}
+
+type coverRequest struct {
+	graphSpec
+	OmitPaths bool `json:"omit_paths,omitempty"`
+}
+
+type statsJSON struct {
+	Procs int   `json:"procs"`
+	Time  int64 `json:"time"`
+	Work  int64 `json:"work"`
+}
+
+type coverResponse struct {
+	N        int       `json:"n"`
+	NumPaths int       `json:"num_paths"`
+	Paths    [][]int   `json:"paths,omitempty"`
+	Stats    statsJSON `json:"stats"`
+	// ElapsedMS is per-request wall time; batch responses report one
+	// batch-level elapsed_ms instead of faking a per-cover number.
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+}
+
+func coverJSON(g *pathcover.Graph, cov *pathcover.Cover, omitPaths bool, elapsed time.Duration) coverResponse {
+	resp := coverResponse{
+		N:        g.N(),
+		NumPaths: cov.NumPaths,
+		Stats: statsJSON{
+			Procs: cov.Stats.Procs,
+			Time:  cov.Stats.Time,
+			Work:  cov.Stats.Work,
+		},
+	}
+	if elapsed > 0 {
+		resp.ElapsedMS = float64(elapsed.Nanoseconds()) / 1e6
+	}
+	if !omitPaths {
+		resp.Paths = cov.Paths
+		if resp.Paths == nil {
+			resp.Paths = [][]int{}
+		}
+	}
+	return resp
+}
+
+type hamiltonianRequest struct {
+	graphSpec
+	Cycle bool `json:"cycle,omitempty"`
+}
+
+type batchRequest struct {
+	Graphs    []graphSpec `json:"graphs"`
+	OmitPaths bool        `json:"omit_paths,omitempty"`
+}
+
+func main() {
+	flag.Parse()
+	var popts []pathcover.PoolOption
+	if *shards > 0 {
+		popts = append(popts, pathcover.WithShards(*shards))
+	}
+	if *queue != 0 {
+		popts = append(popts, pathcover.WithQueueDepth(*queue))
+	}
+	s := &server{pool: pathcover.NewPool(popts...), started: time.Now()}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/cover", s.handleCover)
+	mux.HandleFunc("/hamiltonian", s.handleHamiltonian)
+	mux.HandleFunc("/batch", s.handleBatch)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("pathcoverd: serving on %s (%d shards, queue depth %d)",
+		*addr, s.pool.NumShards(), s.pool.Stats().QueueDepth)
+	select {
+	case err := <-errc:
+		log.Fatalf("pathcoverd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("pathcoverd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("pathcoverd: shutdown: %v", err)
+	}
+	s.pool.Close()
+}
+
+// decode reads one JSON request body within the size limit.
+func decode(w http.ResponseWriter, r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, *maxBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(dst)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		log.Printf("pathcoverd: encode: %v", err)
+	}
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// fail maps pool and parse errors onto HTTP statuses.
+func fail(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, pathcover.ErrPoolSaturated):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case errors.Is(err, pathcover.ErrPoolClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// Client went away; 499 in the nginx tradition.
+		writeJSON(w, 499, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
+func badRequest(w http.ResponseWriter, err error) {
+	writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+}
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return false
+	}
+	return true
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":       true,
+		"shards":   s.pool.NumShards(),
+		"uptime_s": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"pool":       s.pool.Stats(),
+		"requests":   s.requests.Load(),
+		"uptime_s":   time.Since(s.started).Seconds(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"num_cpu":    runtime.NumCPU(),
+	})
+}
+
+func (s *server) handleCover(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	s.requests.Add(1)
+	var req coverRequest
+	if err := decode(w, r, &req); err != nil {
+		badRequest(w, err)
+		return
+	}
+	g, err := req.graph()
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	start := time.Now()
+	cov, err := s.pool.MinimumPathCover(r.Context(), g)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	if *verify {
+		if err := g.Verify(cov.Paths); err != nil {
+			fail(w, fmt.Errorf("cover failed verification: %w", err))
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, coverJSON(g, cov, req.OmitPaths, time.Since(start)))
+}
+
+func (s *server) handleHamiltonian(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	s.requests.Add(1)
+	var req hamiltonianRequest
+	if err := decode(w, r, &req); err != nil {
+		badRequest(w, err)
+		return
+	}
+	g, err := req.graph()
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	start := time.Now()
+	var (
+		path []int
+		ok   bool
+	)
+	if req.Cycle {
+		path, ok, err = s.pool.HamiltonianCycle(r.Context(), g)
+	} else {
+		path, ok, err = s.pool.HamiltonianPath(r.Context(), g)
+	}
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	if path == nil {
+		path = []int{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":         ok,
+		"cycle":      req.Cycle,
+		"path":       path,
+		"n":          g.N(),
+		"elapsed_ms": float64(time.Since(start).Nanoseconds()) / 1e6,
+	})
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	s.requests.Add(1)
+	var req batchRequest
+	if err := decode(w, r, &req); err != nil {
+		badRequest(w, err)
+		return
+	}
+	if len(req.Graphs) == 0 {
+		badRequest(w, errors.New("empty batch"))
+		return
+	}
+	gs := make([]*pathcover.Graph, len(req.Graphs))
+	for i := range req.Graphs {
+		g, err := req.Graphs[i].graph()
+		if err != nil {
+			badRequest(w, fmt.Errorf("graph %d: %w", i, err))
+			return
+		}
+		gs[i] = g
+	}
+	start := time.Now()
+	covs, err := s.pool.CoverBatch(r.Context(), gs)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	elapsed := time.Since(start)
+	out := make([]coverResponse, len(covs))
+	for i, cov := range covs {
+		if *verify {
+			if err := gs[i].Verify(cov.Paths); err != nil {
+				fail(w, fmt.Errorf("cover %d failed verification: %w", i, err))
+				return
+			}
+		}
+		out[i] = coverJSON(gs[i], cov, req.OmitPaths, 0)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"covers":     out,
+		"elapsed_ms": float64(elapsed.Nanoseconds()) / 1e6,
+	})
+}

@@ -11,6 +11,14 @@
 //	pcbench -compare old.json new.json
 //	                               # diff two -json reports: every numeric
 //	                               # column becomes old -> new (ratio)
+//	pcbench -compare -gate 25 old.json new.json
+//	                               # CI regression gate: exit 1 when any
+//	                               # simtime/simwork cell drifts > 25%
+//	pcbench -serve -json BENCH.json
+//	                               # serving-layer benchmark: Pool vs a
+//	                               # single shared Solver (see serve.go)
+//	pcbench -attack http://host:8080
+//	                               # HTTP load against a pathcoverd
 package main
 
 import (
@@ -42,6 +50,7 @@ var (
 	seed      = flag.Uint64("seed", 1, "random seed")
 	jsonPath  = flag.String("json", "", "write machine-readable results to this file")
 	compare   = flag.Bool("compare", false, "compare two -json reports (pcbench -compare old.json new.json) instead of running experiments")
+	gate      = flag.Float64("gate", 0, "with -compare: fail (exit 1) when any simulated simtime/simwork cell drifts by more than this percentage")
 	walltrace = flag.Bool("walltrace", false, "also emit the per-step wall-clock trace table (and include it in -json, so -compare diffs per-step deltas)")
 )
 
@@ -116,26 +125,33 @@ func main() {
 	}
 	report.MaxLog = *maxLog
 	report.Seed = *seed
-	run := func(name string, f func()) {
-		if *exp == "all" || *exp == name {
-			f()
+	switch {
+	case *attackURL != "":
+		runAttack(strings.TrimSuffix(*attackURL, "/"))
+	case *serveMode:
+		runServe()
+	default:
+		run := func(name string, f func()) {
+			if *exp == "all" || *exp == name {
+				f()
+			}
 		}
-	}
-	run("e1", e1)
-	run("e2", e2)
-	run("e3", e3)
-	run("e4", e4)
-	run("e5", e5)
-	run("e6", e6)
-	run("e7", e7)
-	run("e8", e8)
-	run("e9", e9)
-	if *walltrace || *exp == "wt" {
-		wt()
-	}
-	if !strings.HasPrefix(*exp, "e") && *exp != "all" && *exp != "wt" {
-		fmt.Fprintf(os.Stderr, "pcbench: unknown experiment %q\n", *exp)
-		os.Exit(1)
+		run("e1", e1)
+		run("e2", e2)
+		run("e3", e3)
+		run("e4", e4)
+		run("e5", e5)
+		run("e6", e6)
+		run("e7", e7)
+		run("e8", e8)
+		run("e9", e9)
+		if *walltrace || *exp == "wt" {
+			wt()
+		}
+		if !strings.HasPrefix(*exp, "e") && *exp != "all" && *exp != "wt" {
+			fmt.Fprintf(os.Stderr, "pcbench: unknown experiment %q\n", *exp)
+			os.Exit(1)
+		}
 	}
 	if *jsonPath != "" {
 		report.Commit = commitHash() // resolved only when a report is written
@@ -500,6 +516,7 @@ func runCompare(oldPath, newPath string) error {
 			oldRep.NumCPU, newRep.NumCPU, oldRep.GOMAXPROCS, newRep.GOMAXPROCS)
 	}
 	matched := 0
+	g := gateState{threshold: *gate}
 	for _, ne := range newRep.Experiments {
 		oe := findExperiment(oldRep, ne.Title)
 		if oe == nil || !columnsEqual(oe.Columns, ne.Columns) {
@@ -527,6 +544,7 @@ func runCompare(oldPath, newPath string) error {
 			for i := range nr {
 				ov, oerr := parseCell(or[i])
 				nv, nerr := parseCell(nr[i])
+				g.check(ne.Title, rowKey(nr), ne.Columns[i], or[i], nr[i], ov, nv, oerr == nil && nerr == nil)
 				switch {
 				case oerr != nil || nerr != nil || or[i] == nr[i]:
 					cells[i] = nr[i]
@@ -542,8 +560,83 @@ func runCompare(oldPath, newPath string) error {
 	if matched == 0 {
 		return fmt.Errorf("no experiments in common between %s and %s", oldPath, newPath)
 	}
+	return g.verdict()
+}
+
+// gateState implements the CI bench-regression gate: over the matched
+// rows of a -compare run, every *simulated* cell — a column whose name
+// mentions simtime or simwork, which the cost simulator makes
+// deterministic and therefore flake-free — must stay within the drift
+// threshold. Wall-clock columns are never gated.
+type gateState struct {
+	threshold  float64 // percent; 0 disables the gate
+	checked    int
+	maxDrift   float64
+	violations []string
+}
+
+// gateable reports whether a column holds simulated counters.
+func gateable(col string) bool {
+	c := strings.ToLower(col)
+	return strings.Contains(c, "simtime") || strings.Contains(c, "simwork")
+}
+
+func (g *gateState) check(title, key, col, oldCell, newCell string, ov, nv float64, numeric bool) {
+	if g.threshold <= 0 || !gateable(col) {
+		return
+	}
+	if !numeric {
+		if oldCell != newCell {
+			g.violations = append(g.violations,
+				fmt.Sprintf("%s [%s] %s: %q -> %q (non-numeric change)", title, keyLabel(key), col, oldCell, newCell))
+		}
+		return
+	}
+	g.checked++
+	var drift float64
+	switch {
+	case ov == nv:
+		drift = 0
+	case ov == 0:
+		drift = 100 // appeared from zero: always a violation at any threshold
+	default:
+		drift = math.Abs(nv-ov) / math.Abs(ov) * 100
+	}
+	if drift > g.maxDrift {
+		g.maxDrift = drift
+	}
+	if drift > g.threshold {
+		g.violations = append(g.violations,
+			fmt.Sprintf("%s [%s] %s: %s -> %s (%+.1f%%)", title, keyLabel(key), col, oldCell, newCell, drift))
+	}
+}
+
+func (g *gateState) verdict() error {
+	if g.threshold <= 0 {
+		return nil
+	}
+	if g.checked == 0 && len(g.violations) == 0 {
+		// Fail closed: a gate that matched no simulated cells (renamed
+		// experiments, changed columns, re-keyed rows) is not a passing
+		// gate — it is a gate that has been disconnected.
+		return fmt.Errorf("bench-regression gate: no simulated cells matched between the reports; " +
+			"titles/columns/row keys changed — re-baseline deliberately instead of letting the gate pass empty")
+	}
+	if len(g.violations) > 0 {
+		fmt.Printf("\nGATE FAILED (> %.0f%% drift on simulated counters):\n", g.threshold)
+		for _, v := range g.violations {
+			fmt.Printf("  %s\n", v)
+		}
+		return fmt.Errorf("bench-regression gate: %d of %d simulated cells drifted beyond %.0f%%",
+			len(g.violations), g.checked, g.threshold)
+	}
+	fmt.Printf("\ngate OK: %d simulated cells within %.0f%% (max drift %.2f%%)\n",
+		g.checked, g.threshold, g.maxDrift)
 	return nil
 }
+
+// keyLabel renders a row key (NUL-joined identity cells) readably.
+func keyLabel(key string) string { return strings.ReplaceAll(key, "\x00", "/") }
 
 func loadReport(blob []byte, path string) (*jsonReport, error) {
 	var rep jsonReport

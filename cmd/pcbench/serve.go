@@ -1,0 +1,397 @@
+package main
+
+// The serving-layer load generator. Two modes, both emitting rows
+// through the same header/row plumbing as the e-experiments (so -json
+// reports them and -compare diffs them):
+//
+//	pcbench -serve               in-process: pathcover.Pool vs a single
+//	                             shared Solver on a mixed-size stream
+//	pcbench -attack URL          HTTP: drive a running pathcoverd
+//
+// Latency columns are wall clock (p50/p99 over per-request samples);
+// throughput is requests per second over the whole run. Every returned
+// cover is verified (Graph.Verify client-side) — verification runs
+// outside the latency window.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pathcover"
+	"pathcover/internal/workload"
+)
+
+var (
+	serveMode = flag.Bool("serve", false, "bench the serving layer in-process (Pool vs shared Solver) instead of the e-experiments")
+	attackURL = flag.String("attack", "", "base URL of a running pathcoverd to load-test (e.g. http://127.0.0.1:8080)")
+	clients   = flag.Int("clients", 4*runtime.GOMAXPROCS(0), "concurrent clients of the serving benchmark")
+	reqCount  = flag.Int("requests", 256, "requests per serving configuration")
+	serveMin  = flag.Int("servemin", 10, "smallest serving-graph bucket as a power of two (sizes are log-uniform in [2^servemin, 2^(max+1)))")
+	distinct  = flag.Int("distinct", 24, "distinct graphs in the serving catalog")
+	batchSize = flag.Int("batch", 32, "requests per batch in the batch-serving rows")
+)
+
+// svReq is one materialised request: the graph, its precomputed
+// optimum, and the graph to verify responses against (vg differs from g
+// only in attack mode, where the wire format renumbers vertices).
+type svReq struct {
+	g    *pathcover.Graph
+	vg   *pathcover.Graph
+	want int
+}
+
+// buildStream materialises the request stream: one *Graph per distinct
+// catalog entry (shared across its repetitions, as a serving layer's
+// graph registry would), optimum precomputed.
+func buildStream(maxLg int) []svReq {
+	reqs := workload.Requests(*seed, *reqCount, *serveMin, maxLg, *distinct)
+	cat := workload.Catalog(reqs)
+	built := make(map[workload.Request]svReq, len(cat))
+	for _, r := range cat {
+		g := pathcover.Random(r.Seed, r.N, r.Shape)
+		built[r] = svReq{g: g, vg: g, want: g.MinPathCoverSize()}
+	}
+	out := make([]svReq, len(reqs))
+	for i, r := range reqs {
+		out[i] = built[r]
+	}
+	return out
+}
+
+// drive runs the stream through call from C concurrent clients
+// (identified by cli, for per-client state) and returns the per-request
+// latencies plus the total wall time. The cover returned by call is
+// verified outside the latency window.
+func drive(stream []svReq, c int, call func(cli int, r svReq) (*pathcover.Cover, error)) ([]time.Duration, time.Duration) {
+	lat := make([]time.Duration, len(stream))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func(cli int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(stream) {
+					return
+				}
+				r := stream[i]
+				t0 := time.Now()
+				cov, err := call(cli, r)
+				lat[i] = time.Since(t0)
+				if err != nil {
+					panic(fmt.Sprintf("serving request %d: %v", i, err))
+				}
+				if cov.NumPaths != r.want {
+					panic(fmt.Sprintf("serving request %d: %d paths, want %d", i, cov.NumPaths, r.want))
+				}
+				if err := r.vg.Verify(cov.Paths); err != nil {
+					panic(fmt.Sprintf("serving request %d: invalid cover: %v", i, err))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return lat, time.Since(start)
+}
+
+func pctl(lat []time.Duration, p float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	i := int(p * float64(len(s)-1))
+	return s[i]
+}
+
+func ms(d time.Duration) string { return fmt.Sprintf("%.2f", float64(d.Nanoseconds())/1e6) }
+
+func serveRow(name string, count int, lat []time.Duration, wall time.Duration) {
+	row(name,
+		fmt.Sprint(*clients),
+		fmt.Sprint(count),
+		fmt.Sprintf("%.2f", wall.Seconds()),
+		fmt.Sprintf("%.1f", float64(count)/wall.Seconds()),
+		ms(pctl(lat, 0.50)),
+		ms(pctl(lat, 0.99)))
+}
+
+// runServe is the in-process serving benchmark: the same mixed-size
+// stream served by (a) one Solver per client — the pre-Pool idiom that
+// oversubscribes the host, (b) a single mutex-shared Solver — the
+// minimal-footprint baseline the acceptance criterion names, and (c)
+// Pools of 1/2/4/default shards; then the batch API against the
+// arrival-order single-Solver equivalent.
+func runServe() {
+	maxLg := min(*maxLog, 16)
+	stream := buildStream(maxLg)
+	header(fmt.Sprintf("S1 — serving throughput, mixed n in [2^%d, 2^%d), %d requests over %d graphs",
+		*serveMin, maxLg+1, len(stream), *distinct),
+		"configuration", "clients", "requests", "wall s", "req/s", "p50 ms", "p99 ms")
+
+	// (a) Solver per client: every client owns a full-width Solver, so C
+	// clients claim C*GOMAXPROCS workers between them — the pre-Pool
+	// idiom whose oversubscription motivates the sharded fleet.
+	func() {
+		solvers := make([]*pathcover.Solver, *clients)
+		for i := range solvers {
+			solvers[i] = pathcover.NewSolver(pathcover.WithSeed(*seed))
+			defer solvers[i].Close()
+		}
+		lat, wall := drive(stream, *clients, func(cli int, r svReq) (*pathcover.Cover, error) {
+			cov, err := solvers[cli].MinimumPathCover(r.g)
+			if err != nil {
+				return nil, err
+			}
+			return clonedCover(cov), nil
+		})
+		serveRow("solver per client (oversubscribed)", len(stream), lat, wall)
+	}()
+
+	// (b) Single shared Solver behind a mutex: the serialized baseline.
+	func() {
+		sv := pathcover.NewSolver(pathcover.WithSeed(*seed))
+		defer sv.Close()
+		var mu sync.Mutex
+		lat, wall := drive(stream, *clients, func(_ int, r svReq) (*pathcover.Cover, error) {
+			mu.Lock()
+			cov, err := sv.MinimumPathCover(r.g)
+			if err != nil {
+				mu.Unlock()
+				return nil, err
+			}
+			out := clonedCover(cov)
+			mu.Unlock()
+			return out, nil
+		})
+		serveRow("single shared Solver (mutex)", len(stream), lat, wall)
+	}()
+
+	// (c) Pools.
+	shardCounts := []int{1, 2, 4}
+	if d := pathcover.NewPool(); true {
+		if n := d.NumShards(); n != 1 && n != 2 && n != 4 {
+			shardCounts = append(shardCounts, n)
+		}
+		d.Close()
+	}
+	for _, k := range shardCounts {
+		p := pathcover.NewPool(pathcover.WithShards(k), pathcover.WithQueueDepth(-1),
+			pathcover.WithShardOptions(pathcover.WithSeed(*seed)))
+		lat, wall := drive(stream, *clients, func(_ int, r svReq) (*pathcover.Cover, error) {
+			return p.MinimumPathCover(context.Background(), r.g)
+		})
+		serveRow(fmt.Sprintf("pool, %d shards", k), len(stream), lat, wall)
+		p.Close()
+	}
+
+	runServeBatch(stream, maxLg)
+}
+
+// runServeBatch compares the batch API (grouped per shard) against the
+// same batches processed in arrival order on one Solver. The stream
+// contains repeated graphs, so grouping creates same-size adjacency for
+// the arena and fans segments out across the shards.
+func runServeBatch(stream []svReq, maxLg int) {
+	b := *batchSize
+	if b < 1 {
+		b = 1
+	}
+	numBatches := (len(stream) + b - 1) / b
+	header(fmt.Sprintf("S2 — batch serving, %d-request batches, mixed n in [2^%d, 2^%d)",
+		b, *serveMin, maxLg+1),
+		"configuration", "batch", "requests", "wall s", "req/s", "p50 ms", "p99 ms")
+
+	batches := make([][]svReq, 0, numBatches)
+	for off := 0; off < len(stream); off += b {
+		batches = append(batches, stream[off:min(off+b, len(stream))])
+	}
+	check := func(batch []svReq, covs []*pathcover.Cover) {
+		for i, cov := range covs {
+			if cov.NumPaths != batch[i].want {
+				panic(fmt.Sprintf("batch cover %d: %d paths, want %d", i, cov.NumPaths, batch[i].want))
+			}
+			if err := batch[i].g.Verify(cov.Paths); err != nil {
+				panic(fmt.Sprintf("batch cover %d: %v", i, err))
+			}
+		}
+	}
+
+	// Arrival order on one Solver.
+	func() {
+		sv := pathcover.NewSolver(pathcover.WithSeed(*seed))
+		defer sv.Close()
+		lat := make([]time.Duration, 0, len(batches))
+		start := time.Now()
+		for _, batch := range batches {
+			t0 := time.Now()
+			covs := make([]*pathcover.Cover, len(batch))
+			for i, r := range batch {
+				cov, err := sv.MinimumPathCover(r.g)
+				if err != nil {
+					panic(err)
+				}
+				covs[i] = clonedCover(cov)
+			}
+			lat = append(lat, time.Since(t0))
+			check(batch, covs)
+		}
+		wall := time.Since(start)
+		row("single Solver, arrival order", fmt.Sprint(b), fmt.Sprint(len(stream)),
+			fmt.Sprintf("%.2f", wall.Seconds()),
+			fmt.Sprintf("%.1f", float64(len(stream))/wall.Seconds()),
+			ms(pctl(lat, 0.50)), ms(pctl(lat, 0.99)))
+	}()
+
+	// Pool.CoverBatch, grouped by width/size/graph identity.
+	for _, k := range []int{1, 4} {
+		p := pathcover.NewPool(pathcover.WithShards(k), pathcover.WithQueueDepth(-1),
+			pathcover.WithShardOptions(pathcover.WithSeed(*seed)))
+		lat := make([]time.Duration, 0, len(batches))
+		start := time.Now()
+		for _, batch := range batches {
+			gs := make([]*pathcover.Graph, len(batch))
+			for i, r := range batch {
+				gs[i] = r.g
+			}
+			t0 := time.Now()
+			covs, err := p.CoverBatch(context.Background(), gs)
+			if err != nil {
+				panic(err)
+			}
+			lat = append(lat, time.Since(t0))
+			check(batch, covs)
+		}
+		wall := time.Since(start)
+		row(fmt.Sprintf("Pool.CoverBatch grouped, %d shards", k), fmt.Sprint(b), fmt.Sprint(len(stream)),
+			fmt.Sprintf("%.2f", wall.Seconds()),
+			fmt.Sprintf("%.1f", float64(len(stream))/wall.Seconds()),
+			ms(pctl(lat, 0.50)), ms(pctl(lat, 0.99)))
+		p.Close()
+	}
+}
+
+// clonedCover deep-copies a Solver-owned cover (arena-backed) into
+// caller-owned memory, mirroring what Pool methods do internally.
+func clonedCover(cov *pathcover.Cover) *pathcover.Cover {
+	paths := make([][]int, len(cov.Paths))
+	for i, p := range cov.Paths {
+		paths[i] = append([]int(nil), p...)
+	}
+	return &pathcover.Cover{Paths: paths, NumPaths: cov.NumPaths, Stats: cov.Stats}
+}
+
+// runAttack drives a running pathcoverd: /cover per request from C
+// clients, then the same stream in /batch chunks. Graphs travel as
+// cotree text; responses are fully verified client-side.
+func runAttack(base string) {
+	maxLg := min(*maxLog, 14) // HTTP transport: keep bodies sane by default
+	stream := buildStream(maxLg)
+	specs := make(map[*pathcover.Graph]string, *distinct)
+	// The server numbers vertices by cotree-text order, which differs
+	// from the generator's numbering, so responses are verified against
+	// a client-side re-parse of the same text.
+	parsed := make(map[*pathcover.Graph]*pathcover.Graph, *distinct)
+	for _, r := range stream {
+		if _, ok := specs[r.g]; !ok {
+			src := r.g.String()
+			specs[r.g] = src
+			pg, err := pathcover.ParseCotree(src)
+			if err != nil {
+				panic(fmt.Sprintf("round-trip parse: %v", err))
+			}
+			parsed[r.g] = pg
+		}
+	}
+	for i := range stream {
+		stream[i].vg = parsed[stream[i].g]
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *clients}}
+
+	header(fmt.Sprintf("A1 — pathcoverd attack %s, mixed n in [2^%d, 2^%d), %d requests",
+		base, *serveMin, maxLg+1, len(stream)),
+		"configuration", "clients", "requests", "wall s", "req/s", "p50 ms", "p99 ms")
+
+	type coverResp struct {
+		NumPaths int     `json:"num_paths"`
+		Paths    [][]int `json:"paths"`
+	}
+	post := func(path string, body any, dst any) error {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader(blob))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		payload, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: HTTP %d: %s", path, resp.StatusCode, payload)
+		}
+		return json.Unmarshal(payload, dst)
+	}
+
+	lat, wall := drive(stream, *clients, func(_ int, r svReq) (*pathcover.Cover, error) {
+		var out coverResp
+		if err := post("/cover", map[string]string{"cotree": specs[r.g]}, &out); err != nil {
+			return nil, err
+		}
+		return &pathcover.Cover{Paths: out.Paths, NumPaths: out.NumPaths}, nil
+	})
+	serveRow("attack /cover", len(stream), lat, wall)
+
+	// Batch rounds.
+	b := *batchSize
+	var blat []time.Duration
+	start := time.Now()
+	for off := 0; off < len(stream); off += b {
+		end := min(off+b, len(stream))
+		graphs := make([]map[string]string, 0, end-off)
+		for i := off; i < end; i++ {
+			graphs = append(graphs, map[string]string{"cotree": specs[stream[i].g]})
+		}
+		var out struct {
+			Covers []coverResp `json:"covers"`
+		}
+		t0 := time.Now()
+		err := post("/batch", map[string]any{"graphs": graphs}, &out)
+		blat = append(blat, time.Since(t0))
+		if err != nil {
+			panic(err)
+		}
+		if len(out.Covers) != end-off {
+			panic(fmt.Sprintf("batch returned %d covers for %d graphs", len(out.Covers), end-off))
+		}
+		for i, cov := range out.Covers {
+			r := stream[off+i]
+			if cov.NumPaths != r.want {
+				panic(fmt.Sprintf("batch cover %d: %d paths, want %d", off+i, cov.NumPaths, r.want))
+			}
+			if err := r.vg.Verify(cov.Paths); err != nil {
+				panic(fmt.Sprintf("batch cover %d: %v", off+i, err))
+			}
+		}
+	}
+	bwall := time.Since(start)
+	row("attack /batch", fmt.Sprint(*clients), fmt.Sprint(len(stream)),
+		fmt.Sprintf("%.2f", bwall.Seconds()),
+		fmt.Sprintf("%.1f", float64(len(stream))/bwall.Seconds()),
+		ms(pctl(blat, 0.50)), ms(pctl(blat, 0.99)))
+}

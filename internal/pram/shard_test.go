@@ -1,0 +1,47 @@
+package pram
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestShardBudget pins the host-budget invariant: for every shard count
+// the pool could pick, shards * workers-per-shard stays within
+// GOMAXPROCS (unless the shard count alone already exceeds it, where
+// each shard gets the minimum of one worker).
+func TestShardBudget(t *testing.T) {
+	for _, host := range []int{1, 2, 3, 4, 6, 8, 16, 64} {
+		prev := runtime.GOMAXPROCS(host)
+		for shards := 1; shards <= 2*host; shards++ {
+			w := WorkersForShards(shards)
+			if w < 1 {
+				t.Errorf("host=%d shards=%d: workers %d < 1", host, shards, w)
+			}
+			if shards <= host && shards*w > host {
+				t.Errorf("host=%d shards=%d: %d workers oversubscribe (%d > %d)",
+					host, shards, w, shards*w, host)
+			}
+			if shards > host && w != 1 {
+				t.Errorf("host=%d shards=%d: want degenerate 1 worker, got %d", host, shards, w)
+			}
+		}
+		d := DefaultShards()
+		if d < 1 || d > host {
+			t.Errorf("host=%d: DefaultShards %d out of [1,%d]", host, d, host)
+		}
+		if d*WorkersForShards(d) > host {
+			t.Errorf("host=%d: default pool oversubscribes: %d shards * %d workers",
+				host, d, WorkersForShards(d))
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+}
+
+func TestWorkersForShardsDegenerate(t *testing.T) {
+	if w := WorkersForShards(0); w < 1 {
+		t.Fatalf("WorkersForShards(0) = %d", w)
+	}
+	if w := WorkersForShards(-3); w < 1 {
+		t.Fatalf("WorkersForShards(-3) = %d", w)
+	}
+}

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"math/rand/v2"
+
+	"pathcover/internal/cotree"
+)
+
+// Request is one query of a serving workload: which graph of the
+// catalog it asks about. Serving traffic re-queries a bounded catalog
+// of graphs (the same families over and over) rather than presenting a
+// fresh graph per request, so the stream is expressed as draws from a
+// catalog; Catalog collapses the distinct entries.
+type Request struct {
+	Seed  uint64
+	N     int
+	Shape Shape
+}
+
+// Tree materialises the request's cotree.
+func (r Request) Tree() *cotree.Tree { return Random(r.Seed, r.N, r.Shape) }
+
+// Requests returns a deterministic serving workload of count queries.
+// The catalog holds `distinct` graphs whose sizes are log-uniform in
+// [2^minLg, 2^(maxLg+1)) — a bucket exponent is drawn uniformly from
+// [minLg, maxLg], then the size uniformly within that power-of-two
+// bucket — with shapes cycling through the three silhouettes; the
+// stream then draws count requests uniformly from the catalog.
+// Identical Request values denote the identical graph, so callers can
+// (and should) materialise each distinct request once and reuse it —
+// exactly what a serving layer's graph registry does.
+func Requests(seed uint64, count, minLg, maxLg, distinct int) []Request {
+	if minLg < 1 {
+		minLg = 1
+	}
+	if maxLg < minLg {
+		maxLg = minLg
+	}
+	if distinct < 1 {
+		distinct = 1
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x5eed5))
+	catalog := make([]Request, distinct)
+	for i := range catalog {
+		lg := minLg + rng.IntN(maxLg-minLg+1)
+		n := 1 << lg
+		if lg > 1 {
+			n += rng.IntN(n) // log-uniform bucket, uniform within it
+		}
+		catalog[i] = Request{
+			Seed:  seed + uint64(i)*0x9e3779b97f4a7c15,
+			N:     n,
+			Shape: Shape(i % 3),
+		}
+	}
+	out := make([]Request, count)
+	for i := range out {
+		out[i] = catalog[rng.IntN(distinct)]
+	}
+	return out
+}
+
+// Catalog returns the distinct requests of a stream in first-appearance
+// order. Materialise graphs from this, then serve the stream by lookup.
+func Catalog(reqs []Request) []Request {
+	seen := make(map[Request]bool, len(reqs))
+	var out []Request
+	for _, r := range reqs {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}

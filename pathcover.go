@@ -24,11 +24,18 @@
 // Complement), generated (Random and the family constructors), or
 // recognized from an adjacency structure (FromEdges), which rejects
 // non-cographs.
+//
+// For query serving, Solver amortises one worker pool and scratch arena
+// across sequential calls, and Pool shards many Solvers across the host
+// with least-loaded dispatch, batched covers (CoverBatch) and bounded
+// admission; cmd/pathcoverd serves the Pool over HTTP.
 package pathcover
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -215,33 +222,49 @@ func (g *Graph) MinPathCoverSize() int {
 	return baseline.PathCounts(b, L)[b.Root]
 }
 
-// solverPool recycles default-configured Solvers across the package-
-// level Graph methods, so even one-shot calls amortise the worker pool
-// and arena across the process.
-var solverPool = sync.Pool{New: func() any { return NewSolver() }}
+// sharedPool is the process-wide Pool behind the package-level Graph
+// methods. Routing one-shot calls through it (instead of the earlier
+// sync.Pool of transient Solvers) bounds the process to a fixed,
+// host-budgeted solver fleet: concurrent API callers queue onto shards
+// rather than spawning an unbounded set of worker pools, and one-shot
+// traffic shows up in the same per-shard accounting as explicit Pool
+// traffic. It is sized conservatively — a quarter of GOMAXPROCS as
+// shards, so each shard keeps most of the host's parallel budget and a
+// lone caller's latency stays close to a dedicated Solver's — and its
+// admission queue is unbounded, preserving the historical contract that
+// Graph methods never fail with a load-shedding error.
+var (
+	sharedOnce sync.Once
+	shared     *Pool
+)
 
-// borrowSolver returns a Solver compatible with cfg plus a function to
-// give it back. Only the worker count is baked into a Solver at
-// construction; any other per-call configuration rides in via cfg.
-func borrowSolver(cfg config) (*Solver, func()) {
-	if cfg.workers > 0 {
-		// Custom pool size: a transient Solver, torn down after the call.
-		sv := NewSolver(WithWorkers(cfg.workers))
-		return sv, sv.Close
-	}
-	sv := solverPool.Get().(*Solver)
-	return sv, func() {
-		sv.retireAll()
-		solverPool.Put(sv)
-	}
+func sharedPool() *Pool {
+	sharedOnce.Do(func() {
+		shards := max(1, runtime.GOMAXPROCS(0)/4)
+		shared = NewPool(WithShards(shards), WithQueueDepth(-1))
+	})
+	return shared
 }
 
-// retireAll recycles every outstanding output (used before a Solver goes
-// back to the pool, once results have been copied out).
-func (sv *Solver) retireAll() {
-	if sv.sim != nil {
-		sv.retire()
+// sharedDo runs f with exclusive ownership of a Solver compatible with
+// cfg: a shard of the process-wide pool normally, or a transient Solver
+// when cfg pins a custom worker count (only the worker count is baked
+// into a Solver at construction; all other per-call configuration rides
+// in via cfg). f must copy results out before returning — the shard's
+// arena serves the next caller immediately after.
+func sharedDo(cfg config, n int, f func(sv *Solver) error) error {
+	if cfg.workers > 0 {
+		sv := NewSolver(WithWorkers(cfg.workers))
+		defer sv.Close()
+		return f(sv)
 	}
+	return sharedPool().withShard(context.Background(), n, func(sh *poolShard) error {
+		err := f(sh.sv)
+		if err == nil {
+			sh.record(n, sh.sv.Stats())
+		}
+		return err
+	})
 }
 
 // MinimumPathCover computes a minimum path cover. The default runs the
@@ -261,17 +284,23 @@ func (g *Graph) MinimumPathCover(opts ...Option) (*Cover, error) {
 		paths := baseline.Run(g.t)
 		return &Cover{Paths: paths, NumPaths: len(paths)}, nil
 	}
-	sv, done := borrowSolver(cfg)
-	defer done()
-	cov, err := sv.coverCfg(g, cfg)
+	var cov *Cover
+	err := sharedDo(cfg, g.N(), func(sv *Solver) error {
+		c, err := sv.coverCfg(g, cfg)
+		if err != nil {
+			return err
+		}
+		if cfg.algorithm != Naive {
+			// Everything except the Sequential (returned above) and Naive
+			// baselines routes through the arena-backed parallel pipeline;
+			// copy before the shard (and its arena) serves the next call.
+			c.Paths = clonePaths(c.Paths)
+		}
+		cov = c
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	if cfg.algorithm != Naive {
-		// Everything except the Sequential (returned above) and Naive
-		// baselines routes through the arena-backed parallel pipeline;
-		// copy before the solver (and its arena) goes back to the pool.
-		cov.Paths = clonePaths(cov.Paths)
 	}
 	return cov, nil
 }
@@ -329,11 +358,19 @@ func (g *Graph) HamiltonianPath(opts ...Option) ([]int, bool) {
 		o(&cfg)
 	}
 	if cfg.algorithm == Parallel {
-		sv, done := borrowSolver(cfg)
-		defer done()
-		p, ok, err := sv.hamiltonianPathCfg(g, cfg)
+		var p []int
+		var ok bool
+		err := sharedDo(cfg, g.N(), func(sv *Solver) error {
+			q, k, err := sv.hamiltonianPathCfg(g, cfg)
+			if err != nil {
+				return err
+			}
+			p = append([]int(nil), q...)
+			ok = k
+			return nil
+		})
 		if err == nil {
-			return append([]int(nil), p...), ok
+			return p, ok
 		}
 		notifyFallback("HamiltonianPath", err)
 	}
@@ -356,11 +393,19 @@ func (g *Graph) HamiltonianCycle(opts ...Option) ([]int, bool) {
 		o(&cfg)
 	}
 	if cfg.algorithm == Parallel {
-		sv, done := borrowSolver(cfg)
-		defer done()
-		c, ok, err := sv.hamiltonianCycleCfg(g, cfg)
+		var c []int
+		var ok bool
+		err := sharedDo(cfg, g.N(), func(sv *Solver) error {
+			q, k, err := sv.hamiltonianCycleCfg(g, cfg)
+			if err != nil {
+				return err
+			}
+			c = append([]int(nil), q...)
+			ok = k
+			return nil
+		})
 		if err == nil {
-			return append([]int(nil), c...), ok
+			return c, ok
 		}
 		notifyFallback("HamiltonianCycle", err)
 	}

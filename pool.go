@@ -1,0 +1,514 @@
+package pathcover
+
+import (
+	"context"
+	"errors"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"pathcover/internal/core"
+	"pathcover/internal/pram"
+)
+
+// Pool errors.
+var (
+	// ErrPoolClosed is returned by every Pool method after Close.
+	ErrPoolClosed = errors.New("pathcover: pool is closed")
+	// ErrPoolSaturated is returned when the admission queue is full; the
+	// caller should shed load or retry later.
+	ErrPoolSaturated = errors.New("pathcover: pool admission queue is full")
+)
+
+// Pool is a sharded, load-aware solver fleet: N independent Solvers
+// (each with a pinned worker budget sized so the shards together never
+// oversubscribe the host), a least-loaded dispatcher, bounded
+// admission, and per-shard statistics. It is the serving layer of this
+// package — one Pool per process serves concurrent path-cover queries
+// from any number of goroutines, amortising every solver's worker pool,
+// scratch arena and Euler-tour cache across the query stream.
+//
+// Unlike Solver, every Pool method is safe for concurrent use and
+// returns results the caller owns (copied out of the shard's arena
+// before the shard is released). Covers are computed by the paper's
+// parallel algorithm under the simulated cost model, exactly as
+// Solver.MinimumPathCover would.
+type Pool struct {
+	shards []*poolShard
+	depth  int // admitted-call bound; 0 = unbounded
+
+	inflight atomic.Int64
+	closed   atomic.Bool
+	closeOne sync.Once
+
+	batches  atomic.Int64
+	rejected atomic.Int64
+	canceled atomic.Int64
+}
+
+// poolShard is one solver plus its exclusive execution slot. The slot
+// channel (capacity 1) is the shard's lock; a channel rather than a
+// mutex so that waiters can abandon the wait on context cancellation.
+type poolShard struct {
+	id   int
+	slot chan struct{}
+	sv   *Solver
+	load atomic.Int64 // outstanding vertices (queued + executing)
+
+	calls    atomic.Int64
+	vertices atomic.Int64
+	simTime  atomic.Int64
+	simWork  atomic.Int64
+}
+
+func (sh *poolShard) record(n int, st Stats) {
+	sh.calls.Add(1)
+	sh.vertices.Add(int64(n))
+	sh.simTime.Add(st.Time)
+	sh.simWork.Add(st.Work)
+}
+
+type poolConfig struct {
+	shards     int
+	queue      int // 0 = default, negative = unbounded
+	solverOpts []Option
+}
+
+// PoolOption configures NewPool.
+type PoolOption func(*poolConfig)
+
+// WithShards fixes the shard count. The default is half of GOMAXPROCS
+// (at least one): enough shards for concurrent queries while each shard
+// keeps a multi-worker Sim on larger hosts.
+func WithShards(n int) PoolOption {
+	return func(c *poolConfig) {
+		if n > 0 {
+			c.shards = n
+		}
+	}
+}
+
+// WithQueueDepth bounds how many calls may be inside the Pool at once
+// (waiting plus executing); calls beyond the bound fail fast with
+// ErrPoolSaturated. The default is 8 calls per shard. A negative depth
+// removes the bound.
+func WithQueueDepth(d int) PoolOption {
+	return func(c *poolConfig) { c.queue = d }
+}
+
+// WithShardOptions passes Solver options (WithSeed, WithProcessors,
+// WithWideIndices, ...) to every shard. A WithWorkers among them
+// overrides the pool's own shard-aware worker sizing — set it only when
+// deliberately over- or under-subscribing the host.
+func WithShardOptions(opts ...Option) PoolOption {
+	return func(c *poolConfig) { c.solverOpts = opts }
+}
+
+// NewPool builds the shard fleet. Each shard's Solver gets
+// pram-budgeted workers (GOMAXPROCS/shards, at least 1), so the whole
+// pool respects the host's parallelism budget no matter how many
+// queries are in flight. Call Close to stop every shard's worker pool.
+func NewPool(opts ...PoolOption) *Pool {
+	var cfg poolConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m := cfg.shards
+	if m <= 0 {
+		m = pram.DefaultShards()
+	}
+	depth := cfg.queue
+	switch {
+	case depth == 0:
+		depth = 8 * m
+	case depth < 0:
+		depth = 0
+	}
+	w := pram.WorkersForShards(m)
+	p := &Pool{depth: depth}
+	for i := 0; i < m; i++ {
+		sopts := append([]Option{WithWorkers(w)}, cfg.solverOpts...)
+		p.shards = append(p.shards, &poolShard{
+			id:   i,
+			slot: make(chan struct{}, 1),
+			sv:   NewSolver(sopts...),
+		})
+	}
+	return p
+}
+
+// NumShards returns the shard count.
+func (p *Pool) NumShards() int { return len(p.shards) }
+
+// leastLoaded picks the shard with the smallest outstanding vertex
+// load (ties broken by fewest completed calls, then lowest id). Load is
+// added before the slot wait, so concurrent dispatchers spread out.
+func (p *Pool) leastLoaded() *poolShard {
+	best := p.shards[0]
+	for _, sh := range p.shards[1:] {
+		bl, sl := best.load.Load(), sh.load.Load()
+		if sl < bl || (sl == bl && sh.calls.Load() < best.calls.Load()) {
+			best = sh
+		}
+	}
+	return best
+}
+
+// admit performs admission control for one logical call (a single
+// cover, or a whole batch). The returned release must be called exactly
+// once when the call leaves the pool.
+func (p *Pool) admit(ctx context.Context) (release func(), err error) {
+	if p.closed.Load() {
+		return nil, ErrPoolClosed
+	}
+	if err := ctx.Err(); err != nil {
+		p.canceled.Add(1)
+		return nil, err
+	}
+	if p.depth > 0 && p.inflight.Add(1) > int64(p.depth) {
+		p.inflight.Add(-1)
+		p.rejected.Add(1)
+		return nil, ErrPoolSaturated
+	}
+	if p.depth <= 0 {
+		p.inflight.Add(1)
+	}
+	return func() { p.inflight.Add(-1) }, nil
+}
+
+// runOn waits for exclusive ownership of sh's Solver (honoring ctx
+// while queued) and runs f. The caller must already hold an admission
+// ticket and have accounted its load on sh.
+func (p *Pool) runOn(ctx context.Context, sh *poolShard, f func(sh *poolShard) error) error {
+	select {
+	case sh.slot <- struct{}{}:
+	case <-ctx.Done():
+		p.canceled.Add(1)
+		return ctx.Err()
+	}
+	defer func() { <-sh.slot }()
+	// Close may have won the race for this slot's release cycle: it sets
+	// closed before draining the slots, so this check is sufficient to
+	// never touch a closed shard's Solver.
+	if p.closed.Load() {
+		return ErrPoolClosed
+	}
+	if err := ctx.Err(); err != nil {
+		p.canceled.Add(1)
+		return err
+	}
+	return f(sh)
+}
+
+// withShard admits one call, reserves the least-loaded shard and runs f
+// with exclusive ownership of that shard's Solver. cost is the load
+// metric (vertices) steering the dispatcher.
+func (p *Pool) withShard(ctx context.Context, cost int, f func(sh *poolShard) error) error {
+	release, err := p.admit(ctx)
+	if err != nil {
+		return err
+	}
+	defer release()
+	sh := p.leastLoaded()
+	load := int64(cost) + 1
+	sh.load.Add(load)
+	defer sh.load.Add(-load)
+	return p.runOn(ctx, sh, f)
+}
+
+// callCfg derives the per-call config: the shard Solver's base config
+// with the call options applied. The worker budget stays pinned — a
+// per-call WithWorkers cannot resize a shard's running pool.
+func (sh *poolShard) callCfg(opts []Option) config {
+	cfg := sh.sv.cfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.workers = sh.sv.cfg.workers
+	return cfg
+}
+
+// cover runs one cover on the shard's Solver and copies it out.
+func (sh *poolShard) cover(g *Graph, opts []Option) (*Cover, error) {
+	cfg := sh.callCfg(opts)
+	cov, err := sh.sv.coverCfg(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	switch cfg.algorithm {
+	case Sequential, Naive:
+		// Plain heap paths already.
+	default:
+		cov.Paths = clonePaths(cov.Paths)
+	}
+	sh.record(g.N(), cov.Stats)
+	return cov, nil
+}
+
+// MinimumPathCover computes a minimum path cover of g on the
+// least-loaded shard. The context covers the queue wait as well as
+// admission; the returned cover is the caller's to keep.
+func (p *Pool) MinimumPathCover(ctx context.Context, g *Graph, opts ...Option) (*Cover, error) {
+	var out *Cover
+	err := p.withShard(ctx, g.N(), func(sh *poolShard) error {
+		cov, err := sh.cover(g, opts)
+		if err != nil {
+			return err
+		}
+		out = cov
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// HamiltonianPath returns a Hamiltonian path of g (ok=false when none
+// exists), computed by the parallel pipeline on a shard. The slice is
+// the caller's to keep.
+func (p *Pool) HamiltonianPath(ctx context.Context, g *Graph, opts ...Option) ([]int, bool, error) {
+	return p.hamiltonian(ctx, g, opts, (*Solver).hamiltonianPathCfg)
+}
+
+// HamiltonianCycle returns a Hamiltonian cycle of g (ok=false when none
+// exists), computed by the parallel pipeline on a shard. The slice is
+// the caller's to keep.
+func (p *Pool) HamiltonianCycle(ctx context.Context, g *Graph, opts ...Option) ([]int, bool, error) {
+	return p.hamiltonian(ctx, g, opts, (*Solver).hamiltonianCycleCfg)
+}
+
+func (p *Pool) hamiltonian(ctx context.Context, g *Graph, opts []Option,
+	run func(sv *Solver, g *Graph, cfg config) ([]int, bool, error)) ([]int, bool, error) {
+	var path []int
+	var ok bool
+	err := p.withShard(ctx, g.N(), func(sh *poolShard) error {
+		q, k, err := run(sh.sv, g, sh.callCfg(opts))
+		if err != nil {
+			return err
+		}
+		path = append([]int(nil), q...)
+		ok = k
+		sh.record(g.N(), sh.sv.Stats())
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return path, ok, nil
+}
+
+// CoverBatch computes minimum path covers for every graph of the batch,
+// returned in input order. The batch is regrouped before execution:
+// requests of the same index width and similar size — and duplicate
+// graphs in particular — land adjacently on the same shard, keeping
+// each shard's request stream homogeneous for its scratch arena's size
+// classes, then the groups run on the shards concurrently. On error
+// (including context cancellation and a saturated or closed pool) the
+// whole batch fails and the partial results are discarded.
+func (p *Pool) CoverBatch(ctx context.Context, gs []*Graph, opts ...Option) ([]*Cover, error) {
+	if len(gs) == 0 {
+		return nil, nil
+	}
+	// The whole batch is one admission unit: it occupies one queue slot
+	// no matter how many shard segments it fans out to, so a bounded
+	// queue shorter than the shard count cannot starve batches.
+	release, err := p.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	p.batches.Add(1)
+	segs := p.batchSegments(gs)
+	out := make([]*Cover, len(gs))
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	for _, seg := range segs {
+		// Shards are assigned here, sequentially, so each segment's load
+		// lands on the dispatcher's books before the next segment picks:
+		// an idle pool spreads k segments over k distinct shards instead
+		// of racing all of them onto the same least-loaded one.
+		segCost := int64(0)
+		for _, idx := range seg {
+			segCost += int64(gs[idx].N()) + 1
+		}
+		sh := p.leastLoaded()
+		sh.load.Add(segCost)
+		wg.Add(1)
+		go func(sh *poolShard, seg []int, segCost int64) {
+			defer wg.Done()
+			defer sh.load.Add(-segCost)
+			err := p.runOn(ctx, sh, func(sh *poolShard) error {
+				for _, idx := range seg {
+					if err := ctx.Err(); err != nil {
+						p.canceled.Add(1)
+						return err
+					}
+					if p.closed.Load() {
+						return ErrPoolClosed
+					}
+					cov, err := sh.cover(gs[idx], opts)
+					if err != nil {
+						return err
+					}
+					out[idx] = cov
+				}
+				return nil
+			})
+			if err != nil {
+				fail(err)
+			}
+		}(sh, seg, segCost)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// batchSegments orders the batch for locality and splits it into at
+// most one contiguous segment per shard, balanced by total vertices.
+// The order key is (index width, size bucket, first appearance of the
+// graph value): same-width and similar-n requests group together, and
+// repeated queries of the identical graph become adjacent, so a shard
+// replays the same arena size classes call after call instead of
+// bouncing between widths and sizes.
+func (p *Pool) batchSegments(gs []*Graph) [][]int {
+	first := make(map[*Graph]int, len(gs))
+	for i, g := range gs {
+		if _, ok := first[g]; !ok {
+			first[g] = i
+		}
+	}
+	order := make([]int, len(gs))
+	for i := range order {
+		order[i] = i
+	}
+	key := func(i int) [3]int {
+		n := gs[i].N()
+		wide := 0
+		if n > core.MaxNarrowVertices {
+			wide = 1
+		}
+		return [3]int{wide, bits.Len(uint(n)), first[gs[i]]}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ka, kb := key(order[a]), key(order[b])
+		for i := range ka {
+			if ka[i] != kb[i] {
+				return ka[i] < kb[i]
+			}
+		}
+		return false
+	})
+	k := len(p.shards)
+	total := 0
+	for _, g := range gs {
+		total += g.N() + 1
+	}
+	target := (total + k - 1) / k
+	segs := make([][]int, 0, k)
+	var cur []int
+	acc := 0
+	for _, idx := range order {
+		cur = append(cur, idx)
+		acc += gs[idx].N() + 1
+		if acc >= target && len(segs) < k-1 {
+			segs = append(segs, cur)
+			cur, acc = nil, 0
+		}
+	}
+	if len(cur) > 0 {
+		segs = append(segs, cur)
+	}
+	return segs
+}
+
+// Close marks the pool closed, waits for in-flight calls to drain,
+// stops every shard's worker pool, and wakes queued waiters (which then
+// fail with ErrPoolClosed). Close is idempotent and safe to call
+// concurrently with in-flight work; batches observe the close between
+// items and abort.
+func (p *Pool) Close() {
+	p.closeOne.Do(func() {
+		p.closed.Store(true)
+		// Drain: taking every slot waits out the in-flight calls (and
+		// beats queued waiters, who re-check closed once they get a slot).
+		for _, sh := range p.shards {
+			sh.slot <- struct{}{}
+		}
+		for _, sh := range p.shards {
+			sh.sv.Close()
+		}
+		for _, sh := range p.shards {
+			<-sh.slot
+		}
+	})
+}
+
+// ShardStats is one shard's aggregate serving record.
+type ShardStats struct {
+	Shard    int   `json:"shard"`
+	Workers  int   `json:"workers"`
+	Calls    int64 `json:"calls"`
+	Vertices int64 `json:"vertices"`
+	SimTime  int64 `json:"sim_time"`
+	SimWork  int64 `json:"sim_work"`
+	Load     int64 `json:"load"`
+}
+
+// PoolStats aggregates the pool's serving counters: per-shard records
+// plus their totals and the admission-control counters.
+type PoolStats struct {
+	Shards     []ShardStats `json:"shards"`
+	Calls      int64        `json:"calls"`
+	Vertices   int64        `json:"vertices"`
+	SimTime    int64        `json:"sim_time"`
+	SimWork    int64        `json:"sim_work"`
+	Batches    int64        `json:"batches"`
+	Rejected   int64        `json:"rejected"`
+	Canceled   int64        `json:"canceled"`
+	InFlight   int64        `json:"in_flight"`
+	QueueDepth int          `json:"queue_depth"`
+}
+
+// Stats snapshots the pool's counters. Safe to call concurrently with
+// serving (shard rows are individually atomic, not a global snapshot).
+func (p *Pool) Stats() PoolStats {
+	st := PoolStats{
+		Batches:    p.batches.Load(),
+		Rejected:   p.rejected.Load(),
+		Canceled:   p.canceled.Load(),
+		InFlight:   p.inflight.Load(),
+		QueueDepth: p.depth,
+	}
+	for _, sh := range p.shards {
+		row := ShardStats{
+			Shard:    sh.id,
+			Workers:  sh.sv.Workers(),
+			Calls:    sh.calls.Load(),
+			Vertices: sh.vertices.Load(),
+			SimTime:  sh.simTime.Load(),
+			SimWork:  sh.simWork.Load(),
+			Load:     sh.load.Load(),
+		}
+		st.Shards = append(st.Shards, row)
+		st.Calls += row.Calls
+		st.Vertices += row.Vertices
+		st.SimTime += row.SimTime
+		st.SimWork += row.SimWork
+	}
+	return st
+}

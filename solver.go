@@ -15,8 +15,9 @@ import (
 // recycles every internal buffer of the pipeline, which is the fast path
 // for serving many cover queries.
 //
-// A Solver is not safe for concurrent use; create one per goroutine (the
-// package-level Graph methods do this internally via a pool). The slices
+// A Solver is not safe for concurrent use; create one per goroutine, or
+// use Pool, which owns a host-budgeted shard fleet and is what the
+// package-level Graph methods route through internally. The slices
 // returned by a Solver's methods live in its arena and stay valid only
 // until the next call on the same Solver — copy them (or use the Graph
 // methods, which copy) to retain results across calls. Call Close when
@@ -50,6 +51,16 @@ func (sv *Solver) Close() {
 		sv.retire()
 		sv.sim.Close()
 	}
+}
+
+// Workers reports the Solver's real worker budget: the WithWorkers
+// option when set, GOMAXPROCS otherwise. Pool shards are constructed
+// with a pinned budget of GOMAXPROCS divided across the shards.
+func (sv *Solver) Workers() int {
+	if sv.cfg.workers > 0 {
+		return sv.cfg.workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Stats reports the simulated PRAM cost of the last parallel run.
