@@ -1,0 +1,302 @@
+package pathcover_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"pathcover"
+)
+
+var (
+	p4Edges = [][2]int{{0, 1}, {1, 2}, {2, 3}}
+	c5Edges = [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
+	// The paper's running example as an edge list: a-c, b-c (the path
+	// a-c-b), which recognizes as a cograph.
+	pathCographEdges = [][2]int{{0, 2}, {1, 2}}
+)
+
+func TestRouteAutoSelection(t *testing.T) {
+	// P4: the canonical non-cograph, but a tree — exact via the tree DP.
+	tg, err := pathcover.FromEdgesAny(4, p4Edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.IsCograph() || !tg.IsForest() {
+		t.Fatalf("P4: IsCograph=%v IsForest=%v", tg.IsCograph(), tg.IsForest())
+	}
+	cov, err := tg.MinimumPathCover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cov.Exact || cov.Backend != pathcover.BackendTree {
+		t.Fatalf("P4 routed to %v (exact=%v), want exact tree", cov.Backend, cov.Exact)
+	}
+	if cov.NumPaths != 1 || cov.Gap != 0 || cov.LowerBound != 1 {
+		t.Fatalf("P4 cover: paths=%d lb=%d gap=%d", cov.NumPaths, cov.LowerBound, cov.Gap)
+	}
+	if err := tg.Verify(cov.Paths); err != nil {
+		t.Fatal(err)
+	}
+	if got := tg.MinPathCoverSize(); got != 1 {
+		t.Fatalf("P4 MinPathCoverSize = %d, want 1", got)
+	}
+
+	// C5: neither cograph nor forest — approximate, flagged inexact even
+	// though the greedy happens to find the Hamiltonian path.
+	cg, err := pathcover.FromEdgesAny(5, c5Edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov, err = cg.MinimumPathCover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.Exact || cov.Backend != pathcover.BackendApprox {
+		t.Fatalf("C5 routed to %v (exact=%v), want inexact approx", cov.Backend, cov.Exact)
+	}
+	if cov.Gap != cov.NumPaths-cov.LowerBound || cov.Gap < 0 {
+		t.Fatalf("C5 gap bookkeeping: paths=%d lb=%d gap=%d", cov.NumPaths, cov.LowerBound, cov.Gap)
+	}
+	if err := cg.Verify(cov.Paths); err != nil {
+		t.Fatal(err)
+	}
+	if got := cg.MinPathCoverSize(); got != -1 {
+		t.Fatalf("C5 MinPathCoverSize = %d, want -1 (not computable)", got)
+	}
+
+	// A cograph edge list still recognizes and runs the paper's pipeline.
+	gg, err := pathcover.FromEdgesAny(3, pathCographEdges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov, err = gg.MinimumPathCover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cov.Exact || cov.Backend != pathcover.BackendCograph {
+		t.Fatalf("cograph routed to %v (exact=%v)", cov.Backend, cov.Exact)
+	}
+	if cov.Stats.Work == 0 {
+		t.Fatal("cograph route reported no simulated work — did not run the pipeline")
+	}
+}
+
+func TestRoutePinnedBackends(t *testing.T) {
+	cg, err := pathcover.FromEdgesAny(5, c5Edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cg.MinimumPathCover(pathcover.WithBackend(pathcover.BackendCograph)); !errors.Is(err, pathcover.ErrNotCograph) {
+		t.Fatalf("pinned cograph on C5: err = %v, want ErrNotCograph", err)
+	}
+	if _, err := cg.MinimumPathCover(pathcover.WithBackend(pathcover.BackendTree)); !errors.Is(err, pathcover.ErrNotForest) {
+		t.Fatalf("pinned tree on C5: err = %v, want ErrNotForest", err)
+	}
+
+	// Pinning tree/approx on a cotree-built cograph materialises its
+	// edges; the tree backend must agree with the pipeline on a star.
+	star := pathcover.MustParseCotree("(1 c (0 a b d))") // K_{1,3}
+	exact, err := star.MinimumPathCover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaTree, err := star.MinimumPathCover(pathcover.WithBackend(pathcover.BackendTree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaTree.Backend != pathcover.BackendTree || !viaTree.Exact {
+		t.Fatalf("pinned tree on star: backend=%v exact=%v", viaTree.Backend, viaTree.Exact)
+	}
+	if viaTree.NumPaths != exact.NumPaths {
+		t.Fatalf("tree backend found %d paths, pipeline %d", viaTree.NumPaths, exact.NumPaths)
+	}
+
+	viaApprox, err := star.MinimumPathCover(pathcover.WithBackend(pathcover.BackendApprox))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaApprox.Exact {
+		t.Fatal("approx route claimed exactness")
+	}
+	if viaApprox.NumPaths < exact.NumPaths {
+		t.Fatalf("approx beat the optimum: %d < %d", viaApprox.NumPaths, exact.NumPaths)
+	}
+
+	// Pinning a clique onto the tree backend must refuse (cycles).
+	k3 := pathcover.MustParseCotree("(1 a b c)")
+	if _, err := k3.MinimumPathCover(pathcover.WithBackend(pathcover.BackendTree)); !errors.Is(err, pathcover.ErrNotForest) {
+		t.Fatalf("pinned tree on K3: err = %v, want ErrNotForest", err)
+	}
+}
+
+func TestRouteExactOnly(t *testing.T) {
+	cg, err := pathcover.FromEdgesAny(5, c5Edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cg.MinimumPathCover(pathcover.WithExactOnly()); !errors.Is(err, pathcover.ErrNotExact) {
+		t.Fatalf("exact-only on C5: err = %v, want ErrNotExact", err)
+	}
+	// Trees still serve under exact-only: the tree route IS exact.
+	tg, err := pathcover.FromEdgesAny(4, p4Edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov, err := tg.MinimumPathCover(pathcover.WithExactOnly())
+	if err != nil {
+		t.Fatalf("exact-only on P4: %v", err)
+	}
+	if !cov.Exact {
+		t.Fatal("exact-only returned an inexact cover")
+	}
+}
+
+func TestRouteThroughPool(t *testing.T) {
+	p := pathcover.NewPool(pathcover.WithShards(2))
+	defer p.Close()
+	ctx := context.Background()
+
+	cg, err := pathcover.FromEdgesAny(5, c5Edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := pathcover.FromEdgesAny(4, p4Edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cograph := pathcover.MustParseCotree("(1 (0 a b) c)")
+
+	cov, err := p.MinimumPathCover(ctx, cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.Exact || cov.Backend != pathcover.BackendApprox {
+		t.Fatalf("pool C5: backend=%v exact=%v", cov.Backend, cov.Exact)
+	}
+
+	// A mixed batch threads metadata per cover.
+	covs, err := p.CoverBatch(ctx, []*pathcover.Graph{cograph, tg, cg, cograph})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBackend := []pathcover.Backend{
+		pathcover.BackendCograph, pathcover.BackendTree,
+		pathcover.BackendApprox, pathcover.BackendCograph,
+	}
+	for i, cov := range covs {
+		if cov.Backend != wantBackend[i] {
+			t.Fatalf("batch cover %d: backend %v, want %v", i, cov.Backend, wantBackend[i])
+		}
+		if cov.Exact != (wantBackend[i] != pathcover.BackendApprox) {
+			t.Fatalf("batch cover %d: exact=%v under %v", i, cov.Exact, cov.Backend)
+		}
+	}
+
+	// Hamiltonian stays cograph-only.
+	if _, _, err := p.HamiltonianPath(ctx, cg); !errors.Is(err, pathcover.ErrNotCograph) {
+		t.Fatalf("pool Hamiltonian on C5: err = %v, want ErrNotCograph", err)
+	}
+	if path, ok := cg.HamiltonianPath(); ok || path != nil {
+		t.Fatalf("Graph.HamiltonianPath on raw graph returned %v, %v", path, ok)
+	}
+}
+
+func TestRouteCheckpointsKeepCountersIdentical(t *testing.T) {
+	// The fault/deadline hook runs on the host outside the PRAM cost
+	// model: a solve with an active (benign) injector must report
+	// bit-identical simulated counters to a bare solve.
+	g := pathcover.Random(42, 4096, pathcover.Mixed)
+	bare, err := g.MinimumPathCover(pathcover.WithFaultInjector(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	hooked, err := g.MinimumPathCover(pathcover.WithFaultInjector(func(string) { calls++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 8 {
+		t.Fatalf("injector saw %d steps, want 8", calls)
+	}
+	if bare.Stats != hooked.Stats {
+		t.Fatalf("checkpoints perturbed the cost model: %+v vs %+v", bare.Stats, hooked.Stats)
+	}
+	if bare.NumPaths != hooked.NumPaths {
+		t.Fatalf("checkpoints changed the answer: %d vs %d", bare.NumPaths, hooked.NumPaths)
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want pathcover.Backend
+	}{
+		{"", pathcover.BackendAuto},
+		{"auto", pathcover.BackendAuto},
+		{"Cograph", pathcover.BackendCograph},
+		{"tree", pathcover.BackendTree},
+		{" approx ", pathcover.BackendApprox},
+	} {
+		got, err := pathcover.ParseBackend(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseBackend(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if tc.in == "" {
+			continue
+		}
+	}
+	if _, err := pathcover.ParseBackend("quantum"); err == nil {
+		t.Fatal("ParseBackend accepted garbage")
+	}
+}
+
+func TestIsForestOnCotrees(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"a", true},                         // K1
+		{"(0 a b c)", true},                 // edgeless
+		{"(1 a b)", true},                   // K2
+		{"(1 a b c)", false},                // K3
+		{"(1 c (0 a b d))", true},           // star K_{1,3}
+		{"(0 (1 a b) (1 c d))", true},       // two disjoint edges
+		{"(1 (0 a b) (0 c d))", false},      // C4 = K_{2,2}
+		{"(1 (0 a b) c)", true},             // P3
+		{"(0 (1 x (0 a b)) (1 y z))", true}, // star + edge
+		{"(1 x (0 (1 a b) c))", false},      // x joined to an edge: triangle
+	}
+	for _, tc := range cases {
+		g := pathcover.MustParseCotree(tc.src)
+		if got := g.IsForest(); got != tc.want {
+			t.Errorf("IsForest(%s) = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestFromEdgesAnyKeepsNumbering(t *testing.T) {
+	// Raw graphs keep input numbering: vertex 0 of the P5 is the
+	// endpoint, so a Hamiltonian-path cover must start or end with it.
+	g, err := pathcover.FromEdgesAny(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}, []string{"p", "q", "r", "s", "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name(0) != "p" || g.Name(4) != "t" {
+		t.Fatalf("names: %q %q", g.Name(0), g.Name(4))
+	}
+	if !g.Adjacent(0, 1) || g.Adjacent(0, 4) {
+		t.Fatal("raw adjacency wrong")
+	}
+	cov, err := g.MinimumPathCover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.NumPaths != 1 {
+		t.Fatalf("P5 cover has %d paths", cov.NumPaths)
+	}
+	p := cov.Paths[0]
+	if !(p[0] == 0 && p[4] == 4) && !(p[0] == 4 && p[4] == 0) {
+		t.Fatalf("P5 path %v does not run endpoint to endpoint in input numbering", p)
+	}
+}

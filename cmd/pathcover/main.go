@@ -1,5 +1,8 @@
 // Command pathcover computes minimum path covers, Hamiltonian paths and
-// Hamiltonian cycles of cographs given as cotrees.
+// Hamiltonian cycles of cographs given as cotrees. Edge-list input
+// (-edges) additionally accepts arbitrary graphs: non-cographs degrade
+// to the exact tree backend (forests) or the greedy ½-approximation
+// (everything else) unless -strict is set.
 //
 // Usage:
 //
@@ -43,7 +46,9 @@ var (
 	quiet   = flag.Bool("q", false, "print only the path count")
 	gen     = flag.String("gen", "", "generate instead of reading: random | clique | empty | star | threshold")
 	genN    = flag.Int("n", 1000, "size for -gen")
-	edges   = flag.Bool("edges", false, "input is an edge list (first line: n; then one 'u v' pair per line); the graph must be a cograph")
+	edges   = flag.Bool("edges", false, "input is an edge list (first line: n; then one 'u v' pair per line); non-cographs degrade to the tree or approximation backend")
+	strict  = flag.Bool("strict", false, "with -edges: reject non-cographs instead of degrading")
+	backnd  = flag.String("backend", "", "pin a solve backend: cograph | tree | approx (default auto)")
 )
 
 func main() {
@@ -74,6 +79,13 @@ func main() {
 		opts = append(opts, pathcover.WithWorkers(*workers))
 	}
 	opts = append(opts, pathcover.WithSeed(*seed))
+	if *backnd != "" {
+		b, err := pathcover.ParseBackend(*backnd)
+		if err != nil {
+			fail(err)
+		}
+		opts = append(opts, pathcover.WithBackend(b))
+	}
 
 	cov, err := g.MinimumPathCover(opts...)
 	if err != nil {
@@ -87,13 +99,23 @@ func main() {
 	if *quiet {
 		fmt.Println(cov.NumPaths)
 	} else {
-		fmt.Printf("%d vertices, %d edges, minimum path cover: %d path(s)\n",
-			g.N(), g.NumEdges(), cov.NumPaths)
+		kind := "minimum path cover"
+		if !cov.Exact {
+			kind = fmt.Sprintf("approximate path cover (>= %d optimal, gap <= %d)",
+				cov.LowerBound, cov.Gap)
+		} else if cov.Backend != pathcover.BackendCograph {
+			kind = fmt.Sprintf("minimum path cover (%s backend)", cov.Backend)
+		}
+		fmt.Printf("%d vertices, %d edges, %s: %d path(s)\n",
+			g.N(), g.NumEdges(), kind, cov.NumPaths)
 		fmt.Print(g.RenderCover(cov.Paths))
 	}
 	if *stats && cov.Stats.Time > 0 {
 		fmt.Printf("simulated PRAM: %d processors, %d time steps, %d work\n",
 			cov.Stats.Procs, cov.Stats.Time, cov.Stats.Work)
+	}
+	if (*ham || *cycle) && !g.IsCograph() {
+		fail(fmt.Errorf("hamiltonian path/cycle queries require a cograph"))
 	}
 	if *ham {
 		if p, ok := g.HamiltonianPath(); ok {
@@ -144,8 +166,9 @@ func input() (*pathcover.Graph, error) {
 	return pathcover.ParseCotree(string(src))
 }
 
-// parseEdges reads "n" on the first line and "u v" pairs after it, then
-// recognizes the cograph (rejecting graphs with an induced P4).
+// parseEdges reads "n" on the first line and "u v" pairs after it. By
+// default any graph is accepted (non-cographs take a degraded backend);
+// -strict rejects graphs with an induced P4 like the pre-degradation CLI.
 func parseEdges(src string) (*pathcover.Graph, error) {
 	fields := strings.Fields(src)
 	if len(fields) == 0 {
@@ -168,7 +191,10 @@ func parseEdges(src string) (*pathcover.Graph, error) {
 		}
 		list = append(list, [2]int{u, v})
 	}
-	return pathcover.FromEdges(n, list, nil)
+	if *strict {
+		return pathcover.FromEdges(n, list, nil)
+	}
+	return pathcover.FromEdgesAny(n, list, nil)
 }
 
 func names(g *pathcover.Graph, vs []int) string {

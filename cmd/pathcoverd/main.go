@@ -13,11 +13,22 @@
 //	GET  /stats                                               -> pool + process counters
 //
 // A graph spec is either a cotree string (the package's text format) or
-// an explicit edge list, which is recognized and rejected with 400 when
-// it is not a cograph. Covers carry the paths (unless "omit_paths" is
-// set), the simulated PRAM cost of the computation, and wall time.
-// Saturated admission maps to 503, client disconnects cancel queued
-// work via the request context.
+// an explicit edge list. Edge lists are not restricted to cographs:
+// non-cograph inputs degrade to the exact tree backend (forests) or the
+// ½-approximation backend, and every cover response reports the route
+// taken ("backend"), whether the answer is provably minimum ("exact"),
+// and for approximate answers the certified "lower_bound" and "gap".
+// Appending ?strict=1 to /cover or /batch restores the old contract:
+// non-cograph edge lists are rejected with 400. A request may also pin
+// the route with a "backend" field ("auto", "cograph", "tree",
+// "approx"); a pinned backend that cannot serve the graph fails with
+// 400 instead of rerouting.
+//
+// Covers carry the paths (unless "omit_paths" is set), the simulated
+// PRAM cost of the computation, and wall time. Saturated admission maps
+// to 503; client disconnects cancel queued work via the request
+// context; requests cut off by -request-timeout mid-pipeline get 504
+// with a JSON body.
 package main
 
 import (
@@ -39,11 +50,13 @@ import (
 )
 
 var (
-	addr    = flag.String("addr", ":8080", "listen address")
-	shards  = flag.Int("shards", 0, "solver shards (0 = GOMAXPROCS/2)")
-	queue   = flag.Int("queue", 0, "admission queue depth (0 = 8 per shard, negative = unbounded)")
-	maxBody = flag.Int64("max-body", 64<<20, "request body size limit in bytes")
-	verify  = flag.Bool("verify", false, "re-verify every cover before responding (debugging; O(n) extra per request)")
+	addr       = flag.String("addr", ":8080", "listen address")
+	shards     = flag.Int("shards", 0, "solver shards (0 = GOMAXPROCS/2)")
+	queue      = flag.Int("queue", 0, "admission queue depth (0 = 8 per shard, negative = unbounded)")
+	maxBody    = flag.Int64("max-body", 64<<20, "request body size limit in bytes")
+	verify     = flag.Bool("verify", false, "re-verify every cover before responding (debugging; O(n) extra per request)")
+	reqTimeout = flag.Duration("request-timeout", 30*time.Second,
+		"per-request deadline enforced inside the solve pipeline; requests over it get 504 (0 disables)")
 )
 
 type server struct {
@@ -61,22 +74,55 @@ type graphSpec struct {
 	Names  []string `json:"names,omitempty"`
 }
 
-func (s *graphSpec) graph() (*pathcover.Graph, error) {
+// graph builds the spec's Graph. strict restores the pre-degradation
+// contract: edge lists must recognize as cographs or the request fails
+// (mapped to 400 by the handlers).
+func (s *graphSpec) graph(strict bool) (*pathcover.Graph, error) {
 	switch {
 	case s.Cotree != "" && (s.N != 0 || len(s.Edges) != 0):
 		return nil, errors.New("give either a cotree or an edge list, not both")
 	case s.Cotree != "":
 		return pathcover.ParseCotree(s.Cotree)
 	case s.N > 0:
-		return pathcover.FromEdges(s.N, s.Edges, s.Names)
+		if strict {
+			return pathcover.FromEdges(s.N, s.Edges, s.Names)
+		}
+		return pathcover.FromEdgesAny(s.N, s.Edges, s.Names)
 	default:
 		return nil, errors.New("empty graph spec: set \"cotree\" or \"n\"+\"edges\"")
 	}
 }
 
+// strictMode reports whether the request opted into cograph-only
+// serving (?strict=1).
+func strictMode(r *http.Request) bool {
+	v := r.URL.Query().Get("strict")
+	return v != "" && v != "0" && v != "false"
+}
+
 type coverRequest struct {
 	graphSpec
 	OmitPaths bool `json:"omit_paths,omitempty"`
+	// Backend pins the solve route ("auto", "cograph", "tree",
+	// "approx"); empty means automatic selection.
+	Backend string `json:"backend,omitempty"`
+}
+
+// coverOpts maps the request's backend field (and strict mode) onto
+// solve options.
+func coverOpts(backendName string, strict bool) ([]pathcover.Option, error) {
+	var opts []pathcover.Option
+	if backendName != "" {
+		b, err := pathcover.ParseBackend(backendName)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, pathcover.WithBackend(b))
+	}
+	if strict {
+		opts = append(opts, pathcover.WithExactOnly())
+	}
+	return opts, nil
 }
 
 type statsJSON struct {
@@ -86,10 +132,17 @@ type statsJSON struct {
 }
 
 type coverResponse struct {
-	N        int       `json:"n"`
-	NumPaths int       `json:"num_paths"`
-	Paths    [][]int   `json:"paths,omitempty"`
-	Stats    statsJSON `json:"stats"`
+	N        int     `json:"n"`
+	NumPaths int     `json:"num_paths"`
+	Paths    [][]int `json:"paths,omitempty"`
+	// Exact is true when NumPaths is provably minimum (cograph and tree
+	// backends); Backend names the route. Approximate answers carry the
+	// certified lower bound and the gap num_paths - lower_bound.
+	Exact      bool      `json:"exact"`
+	Backend    string    `json:"backend"`
+	LowerBound int       `json:"lower_bound"`
+	Gap        int       `json:"gap"`
+	Stats      statsJSON `json:"stats"`
 	// ElapsedMS is per-request wall time; batch responses report one
 	// batch-level elapsed_ms instead of faking a per-cover number.
 	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
@@ -97,8 +150,12 @@ type coverResponse struct {
 
 func coverJSON(g *pathcover.Graph, cov *pathcover.Cover, omitPaths bool, elapsed time.Duration) coverResponse {
 	resp := coverResponse{
-		N:        g.N(),
-		NumPaths: cov.NumPaths,
+		N:          g.N(),
+		NumPaths:   cov.NumPaths,
+		Exact:      cov.Exact,
+		Backend:    cov.Backend.String(),
+		LowerBound: cov.LowerBound,
+		Gap:        cov.Gap,
 		Stats: statsJSON{
 			Procs: cov.Stats.Procs,
 			Time:  cov.Stats.Time,
@@ -125,6 +182,8 @@ type hamiltonianRequest struct {
 type batchRequest struct {
 	Graphs    []graphSpec `json:"graphs"`
 	OmitPaths bool        `json:"omit_paths,omitempty"`
+	// Backend pins the solve route for every graph of the batch.
+	Backend string `json:"backend,omitempty"`
 }
 
 func main() {
@@ -191,19 +250,39 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// fail maps pool and parse errors onto HTTP statuses.
+// fail maps pool, routing and parse errors onto HTTP statuses.
 func fail(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, pathcover.ErrPoolSaturated):
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 	case errors.Is(err, pathcover.ErrPoolClosed):
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, pathcover.ErrNotExact),
+		errors.Is(err, pathcover.ErrNotCograph),
+		errors.Is(err, pathcover.ErrNotForest):
+		// The request's routing constraints (strict mode or a pinned
+		// backend) cannot serve this graph.
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	case errors.Is(err, context.DeadlineExceeded):
+		// The -request-timeout deadline cut the solve off mid-pipeline.
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error()})
+	case errors.Is(err, context.Canceled):
 		// Client went away; 499 in the nginx tradition.
 		writeJSON(w, 499, errorResponse{Error: err.Error()})
+	case errors.Is(err, pathcover.ErrSolverPanic):
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 	default:
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 	}
+}
+
+// requestCtx derives the solve context: the client's context bounded by
+// the -request-timeout deadline.
+func requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if *reqTimeout > 0 {
+		return context.WithTimeout(r.Context(), *reqTimeout)
+	}
+	return r.Context(), func() {}
 }
 
 func badRequest(w http.ResponseWriter, err error) {
@@ -247,13 +326,21 @@ func (s *server) handleCover(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	g, err := req.graph()
+	strict := strictMode(r)
+	g, err := req.graph(strict)
 	if err != nil {
 		badRequest(w, err)
 		return
 	}
+	opts, err := coverOpts(req.Backend, strict)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	ctx, cancel := requestCtx(r)
+	defer cancel()
 	start := time.Now()
-	cov, err := s.pool.MinimumPathCover(r.Context(), g)
+	cov, err := s.pool.MinimumPathCover(ctx, g, opts...)
 	if err != nil {
 		fail(w, err)
 		return
@@ -277,20 +364,24 @@ func (s *server) handleHamiltonian(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	g, err := req.graph()
+	// Hamiltonicity is cograph-only (no degraded backend exists), so the
+	// edge-list form must recognize regardless of strict mode.
+	g, err := req.graph(true)
 	if err != nil {
 		badRequest(w, err)
 		return
 	}
+	ctx, cancel := requestCtx(r)
+	defer cancel()
 	start := time.Now()
 	var (
 		path []int
 		ok   bool
 	)
 	if req.Cycle {
-		path, ok, err = s.pool.HamiltonianCycle(r.Context(), g)
+		path, ok, err = s.pool.HamiltonianCycle(ctx, g)
 	} else {
-		path, ok, err = s.pool.HamiltonianPath(r.Context(), g)
+		path, ok, err = s.pool.HamiltonianPath(ctx, g)
 	}
 	if err != nil {
 		fail(w, err)
@@ -322,17 +413,25 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, errors.New("empty batch"))
 		return
 	}
+	strict := strictMode(r)
 	gs := make([]*pathcover.Graph, len(req.Graphs))
 	for i := range req.Graphs {
-		g, err := req.Graphs[i].graph()
+		g, err := req.Graphs[i].graph(strict)
 		if err != nil {
 			badRequest(w, fmt.Errorf("graph %d: %w", i, err))
 			return
 		}
 		gs[i] = g
 	}
+	opts, err := coverOpts(req.Backend, strict)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	ctx, cancel := requestCtx(r)
+	defer cancel()
 	start := time.Now()
-	covs, err := s.pool.CoverBatch(r.Context(), gs)
+	covs, err := s.pool.CoverBatch(ctx, gs, opts...)
 	if err != nil {
 		fail(w, err)
 		return

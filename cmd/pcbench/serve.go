@@ -39,33 +39,77 @@ var (
 	serveMin  = flag.Int("servemin", 10, "smallest serving-graph bucket as a power of two (sizes are log-uniform in [2^servemin, 2^(max+1)))")
 	distinct  = flag.Int("distinct", 24, "distinct graphs in the serving catalog")
 	batchSize = flag.Int("batch", 32, "requests per batch in the batch-serving rows")
+	mixedCat  = flag.Bool("noncograph", true, "include non-cograph catalog entries (trees, sparse graphs, near-cographs) so the serving rows exercise the degraded backends")
 )
 
 // svReq is one materialised request: the graph, its precomputed
-// optimum, and the graph to verify responses against (vg differs from g
-// only in attack mode, where the wire format renumbers vertices).
+// optimum (-1 when the entry routes to the approximation backend and
+// has no known optimum), whether the route is exact, and the graph to
+// verify responses against (vg differs from g only for attack-mode
+// cotree entries, where the wire format renumbers vertices; edge-list
+// entries renumber deterministically on both sides).
 type svReq struct {
-	g    *pathcover.Graph
-	vg   *pathcover.Graph
-	want int
+	g     *pathcover.Graph
+	vg    *pathcover.Graph
+	want  int
+	exact bool
 }
 
 // buildStream materialises the request stream: one *Graph per distinct
 // catalog entry (shared across its repetitions, as a serving layer's
-// graph registry would), optimum precomputed.
-func buildStream(maxLg int) []svReq {
-	reqs := workload.Requests(*seed, *reqCount, *serveMin, maxLg, *distinct)
+// graph registry would), optimum precomputed where the route is exact.
+// The edge lists of non-cograph entries are returned alongside for the
+// HTTP wire format.
+func buildStream(maxLg int) ([]svReq, map[*pathcover.Graph][][2]int) {
+	var reqs []workload.Request
+	if *mixedCat {
+		reqs = workload.MixedRequests(*seed, *reqCount, *serveMin, maxLg, *distinct)
+	} else {
+		reqs = workload.Requests(*seed, *reqCount, *serveMin, maxLg, *distinct)
+	}
 	cat := workload.Catalog(reqs)
 	built := make(map[workload.Request]svReq, len(cat))
+	edgeSpecs := make(map[*pathcover.Graph][][2]int)
 	for _, r := range cat {
-		g := pathcover.Random(r.Seed, r.N, r.Shape)
-		built[r] = svReq{g: g, vg: g, want: g.MinPathCoverSize()}
+		if r.Kind == workload.KindCograph {
+			g := pathcover.Random(r.Seed, r.N, r.Shape)
+			built[r] = svReq{g: g, vg: g, want: g.MinPathCoverSize(), exact: true}
+			continue
+		}
+		edges := r.Edges()
+		g, err := pathcover.FromEdgesAny(r.N, edges, nil)
+		if err != nil {
+			panic(fmt.Sprintf("catalog %v: %v", r, err))
+		}
+		// Exact routes (cograph if recognition surprises us, tree for
+		// forests) have a computable optimum; the approximation route
+		// does not, so only validity is asserted for those covers.
+		sr := svReq{g: g, vg: g, want: -1}
+		if g.IsCograph() || g.IsForest() {
+			sr.exact = true
+			sr.want = g.MinPathCoverSize()
+		}
+		built[r] = sr
+		edgeSpecs[g] = edges
 	}
 	out := make([]svReq, len(reqs))
 	for i, r := range reqs {
 		out[i] = built[r]
 	}
-	return out
+	return out, edgeSpecs
+}
+
+// streamMix counts the exact- and approx-routed requests of a stream
+// for the table headers ("report exact vs approx per run").
+func streamMix(stream []svReq) (exact, approx int) {
+	for _, r := range stream {
+		if r.exact {
+			exact++
+		} else {
+			approx++
+		}
+	}
+	return
 }
 
 // drive runs the stream through call from C concurrent clients
@@ -93,7 +137,10 @@ func drive(stream []svReq, c int, call func(cli int, r svReq) (*pathcover.Cover,
 				if err != nil {
 					panic(fmt.Sprintf("serving request %d: %v", i, err))
 				}
-				if cov.NumPaths != r.want {
+				if cov.Exact != r.exact {
+					panic(fmt.Sprintf("serving request %d: exact=%v, expected %v", i, cov.Exact, r.exact))
+				}
+				if r.want >= 0 && cov.NumPaths != r.want {
 					panic(fmt.Sprintf("serving request %d: %d paths, want %d", i, cov.NumPaths, r.want))
 				}
 				if err := r.vg.Verify(cov.Paths); err != nil {
@@ -136,9 +183,10 @@ func serveRow(name string, count int, lat []time.Duration, wall time.Duration) {
 // arrival-order single-Solver equivalent.
 func runServe() {
 	maxLg := min(*maxLog, 16)
-	stream := buildStream(maxLg)
-	header(fmt.Sprintf("S1 — serving throughput, mixed n in [2^%d, 2^%d), %d requests over %d graphs",
-		*serveMin, maxLg+1, len(stream), *distinct),
+	stream, _ := buildStream(maxLg)
+	exactN, approxN := streamMix(stream)
+	header(fmt.Sprintf("S1 — serving throughput, mixed n in [2^%d, 2^%d), %d requests over %d graphs (%d exact-routed, %d approx-routed)",
+		*serveMin, maxLg+1, len(stream), *distinct, exactN, approxN),
 		"configuration", "clients", "requests", "wall s", "req/s", "p50 ms", "p99 ms")
 
 	// (a) Solver per client: every client owns a full-width Solver, so C
@@ -220,7 +268,10 @@ func runServeBatch(stream []svReq, maxLg int) {
 	}
 	check := func(batch []svReq, covs []*pathcover.Cover) {
 		for i, cov := range covs {
-			if cov.NumPaths != batch[i].want {
+			if cov.Exact != batch[i].exact {
+				panic(fmt.Sprintf("batch cover %d: exact=%v, expected %v", i, cov.Exact, batch[i].exact))
+			}
+			if batch[i].want >= 0 && cov.NumPaths != batch[i].want {
 				panic(fmt.Sprintf("batch cover %d: %d paths, want %d", i, cov.NumPaths, batch[i].want))
 			}
 			if err := batch[i].g.Verify(cov.Paths); err != nil {
@@ -284,13 +335,16 @@ func runServeBatch(stream []svReq, maxLg int) {
 }
 
 // clonedCover deep-copies a Solver-owned cover (arena-backed) into
-// caller-owned memory, mirroring what Pool methods do internally.
+// caller-owned memory, mirroring what Pool methods do internally. The
+// metadata (Exact, Backend, LowerBound, Gap, Stats) rides along.
 func clonedCover(cov *pathcover.Cover) *pathcover.Cover {
 	paths := make([][]int, len(cov.Paths))
 	for i, p := range cov.Paths {
 		paths[i] = append([]int(nil), p...)
 	}
-	return &pathcover.Cover{Paths: paths, NumPaths: cov.NumPaths, Stats: cov.Stats}
+	out := *cov
+	out.Paths = paths
+	return &out
 }
 
 // runAttack drives a running pathcoverd: /cover per request from C
@@ -298,16 +352,23 @@ func clonedCover(cov *pathcover.Cover) *pathcover.Cover {
 // cotree text; responses are fully verified client-side.
 func runAttack(base string) {
 	maxLg := min(*maxLog, 14) // HTTP transport: keep bodies sane by default
-	stream := buildStream(maxLg)
-	specs := make(map[*pathcover.Graph]string, *distinct)
-	// The server numbers vertices by cotree-text order, which differs
-	// from the generator's numbering, so responses are verified against
-	// a client-side re-parse of the same text.
+	stream, edgeSpecs := buildStream(maxLg)
+	specs := make(map[*pathcover.Graph]map[string]any, *distinct)
+	// Cotree-built graphs travel as cotree text, whose server-side parse
+	// renumbers vertices, so responses are verified against a client-side
+	// re-parse of the same text. Edge-list graphs travel as n+edges and
+	// renumber identically on both sides (recognition is deterministic),
+	// so their own Graph verifies them.
 	parsed := make(map[*pathcover.Graph]*pathcover.Graph, *distinct)
 	for _, r := range stream {
 		if _, ok := specs[r.g]; !ok {
+			if edges, isRaw := edgeSpecs[r.g]; isRaw {
+				specs[r.g] = map[string]any{"n": r.g.N(), "edges": edges}
+				parsed[r.g] = r.g
+				continue
+			}
 			src := r.g.String()
-			specs[r.g] = src
+			specs[r.g] = map[string]any{"cotree": src}
 			pg, err := pathcover.ParseCotree(src)
 			if err != nil {
 				panic(fmt.Sprintf("round-trip parse: %v", err))
@@ -320,13 +381,17 @@ func runAttack(base string) {
 	}
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *clients}}
 
-	header(fmt.Sprintf("A1 — pathcoverd attack %s, mixed n in [2^%d, 2^%d), %d requests",
-		base, *serveMin, maxLg+1, len(stream)),
+	exactN, approxN := streamMix(stream)
+	header(fmt.Sprintf("A1 — pathcoverd attack %s, mixed n in [2^%d, 2^%d), %d requests (%d exact-routed, %d approx-routed)",
+		base, *serveMin, maxLg+1, len(stream), exactN, approxN),
 		"configuration", "clients", "requests", "wall s", "req/s", "p50 ms", "p99 ms")
 
 	type coverResp struct {
 		NumPaths int     `json:"num_paths"`
 		Paths    [][]int `json:"paths"`
+		Exact    bool    `json:"exact"`
+		Backend  string  `json:"backend"`
+		Gap      int     `json:"gap"`
 	}
 	post := func(path string, body any, dst any) error {
 		blob, err := json.Marshal(body)
@@ -350,10 +415,10 @@ func runAttack(base string) {
 
 	lat, wall := drive(stream, *clients, func(_ int, r svReq) (*pathcover.Cover, error) {
 		var out coverResp
-		if err := post("/cover", map[string]string{"cotree": specs[r.g]}, &out); err != nil {
+		if err := post("/cover", specs[r.g], &out); err != nil {
 			return nil, err
 		}
-		return &pathcover.Cover{Paths: out.Paths, NumPaths: out.NumPaths}, nil
+		return &pathcover.Cover{Paths: out.Paths, NumPaths: out.NumPaths, Exact: out.Exact}, nil
 	})
 	serveRow("attack /cover", len(stream), lat, wall)
 
@@ -363,9 +428,9 @@ func runAttack(base string) {
 	start := time.Now()
 	for off := 0; off < len(stream); off += b {
 		end := min(off+b, len(stream))
-		graphs := make([]map[string]string, 0, end-off)
+		graphs := make([]map[string]any, 0, end-off)
 		for i := off; i < end; i++ {
-			graphs = append(graphs, map[string]string{"cotree": specs[stream[i].g]})
+			graphs = append(graphs, specs[stream[i].g])
 		}
 		var out struct {
 			Covers []coverResp `json:"covers"`
@@ -381,7 +446,10 @@ func runAttack(base string) {
 		}
 		for i, cov := range out.Covers {
 			r := stream[off+i]
-			if cov.NumPaths != r.want {
+			if cov.Exact != r.exact {
+				panic(fmt.Sprintf("batch cover %d: exact=%v, expected %v", off+i, cov.Exact, r.exact))
+			}
+			if r.want >= 0 && cov.NumPaths != r.want {
 				panic(fmt.Sprintf("batch cover %d: %d paths, want %d", off+i, cov.NumPaths, r.want))
 			}
 			if err := r.vg.Verify(cov.Paths); err != nil {

@@ -1,0 +1,374 @@
+package pathcover_test
+
+// The fault-injection suite: deliberate panics, stalls and deadline
+// expiry inside the solve pipeline, asserting the graceful-degradation
+// contract — a poisoned request fails alone (its shard's Solver is
+// rebuilt, the pool keeps serving), deadlines cut solves off between
+// steps within a bounded delay, and no admission ticket or shard slot
+// leaks on any failure path.
+//
+// Every test pins its injector explicitly (WithFaultInjector overrides
+// the PATCHCOVER_FAULT environment) except the Env tests, which are the
+// CI fault-matrix entry points and inherit ambient faults on purpose.
+// All test names carry the TestFault prefix so the matrix job can run
+// exactly this suite: go test -race -run 'TestFault' .
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pathcover"
+)
+
+// noFault disables both explicit and environment-driven injection.
+var noFault = pathcover.WithFaultInjector(nil)
+
+func faultGraph(tb testing.TB, seed uint64, n int) *pathcover.Graph {
+	tb.Helper()
+	return pathcover.Random(seed, n, pathcover.Mixed)
+}
+
+func panicAt(step string) pathcover.FaultInjector {
+	return func(s string) {
+		if s == step {
+			panic("injected: " + s)
+		}
+	}
+}
+
+func TestFaultPanicIsolation(t *testing.T) {
+	p := pathcover.NewPool(pathcover.WithShards(2))
+	defer p.Close()
+	g := faultGraph(t, 3, 512)
+
+	// A healthy call first, so the shard has warm state to poison.
+	base, err := p.MinimumPathCover(context.Background(), g, noFault)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stats readers must stay safe while shards are being rebuilt.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = p.Stats()
+			}
+		}
+	}()
+
+	for _, step := range []string{"step1", "step4", "step8"} {
+		_, err := p.MinimumPathCover(context.Background(), g,
+			pathcover.WithFaultInjector(panicAt(step)))
+		if !errors.Is(err, pathcover.ErrSolverPanic) {
+			t.Fatalf("%s: err = %v, want ErrSolverPanic", step, err)
+		}
+		var pe *pathcover.PanicError
+		if !errors.As(err, &pe) || !strings.Contains(pe.Error(), step) {
+			t.Fatalf("%s: error %v does not carry the panic value", step, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The pool keeps serving: same graph, same answer, on a rebuilt shard.
+	after, err := p.MinimumPathCover(context.Background(), g, noFault)
+	if err != nil {
+		t.Fatalf("post-panic cover: %v", err)
+	}
+	if after.NumPaths != base.NumPaths {
+		t.Fatalf("post-panic cover: %d paths, want %d", after.NumPaths, base.NumPaths)
+	}
+	if err := g.Verify(after.Paths); err != nil {
+		t.Fatal(err)
+	}
+
+	st := p.Stats()
+	if st.Restarts != 3 {
+		t.Fatalf("Restarts = %d, want 3", st.Restarts)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("InFlight = %d after quiesce, want 0", st.InFlight)
+	}
+	// Panicked calls are not recorded as served.
+	if st.Calls != 2 {
+		t.Fatalf("Calls = %d, want 2 (panics must not count)", st.Calls)
+	}
+}
+
+func TestFaultDeadlineMidSolve(t *testing.T) {
+	p := pathcover.NewPool(pathcover.WithShards(1))
+	defer p.Close()
+	g := faultGraph(t, 7, 1024)
+
+	// A stall far longer than the deadline: the step5 checkpoint passes
+	// (deadline not yet expired), the injected sleep burns through it,
+	// and the step6 checkpoint must then abort promptly — well before
+	// the pipeline would finish a stalled-step-per-step run.
+	stall := 300 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := p.MinimumPathCover(ctx, g, pathcover.WithFaultInjector(func(s string) {
+		if s == "step5" {
+			time.Sleep(stall)
+		}
+	}))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed > stall+700*time.Millisecond {
+		t.Fatalf("deadline enforced after %v; the solve loop is not checking ctx between steps", elapsed)
+	}
+
+	// The stalled request must not have wedged the shard.
+	if _, err := p.MinimumPathCover(context.Background(), g, noFault); err != nil {
+		t.Fatalf("post-deadline cover: %v", err)
+	}
+}
+
+func TestFaultCancelledContextBounded(t *testing.T) {
+	p := pathcover.NewPool(pathcover.WithShards(1))
+	defer p.Close()
+	g := faultGraph(t, 9, 2048)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		// Every step stalls a little, so without between-step checks the
+		// run would take >= 8 * 50ms after cancellation.
+		_, err := p.MinimumPathCover(ctx, g, pathcover.WithFaultInjector(func(string) {
+			time.Sleep(50 * time.Millisecond)
+		}))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled solve did not return within 5s")
+	}
+}
+
+func TestFaultBatchAllOrNothing(t *testing.T) {
+	p := pathcover.NewPool(pathcover.WithShards(2))
+	defer p.Close()
+	gs := make([]*pathcover.Graph, 6)
+	for i := range gs {
+		gs[i] = faultGraph(t, uint64(20+i), 256+64*i)
+	}
+
+	// The injector poisons exactly one solve (whichever segment reaches
+	// step3 first); the whole batch must fail and discard partials.
+	var once sync.Once
+	inj := func(s string) {
+		if s == "step3" {
+			boom := false
+			once.Do(func() { boom = true })
+			if boom {
+				panic("injected: batch")
+			}
+		}
+	}
+	covs, err := p.CoverBatch(context.Background(), gs, pathcover.WithFaultInjector(inj))
+	if !errors.Is(err, pathcover.ErrSolverPanic) {
+		t.Fatalf("batch err = %v, want ErrSolverPanic", err)
+	}
+	if covs != nil {
+		t.Fatalf("failed batch returned partial covers: %v", covs)
+	}
+	if r := p.Stats().Restarts; r != 1 {
+		t.Fatalf("Restarts = %d, want 1", r)
+	}
+
+	// The identical batch succeeds afterwards, end to end.
+	covs, err = p.CoverBatch(context.Background(), gs, noFault)
+	if err != nil {
+		t.Fatalf("post-panic batch: %v", err)
+	}
+	for i, cov := range covs {
+		if err := gs[i].Verify(cov.Paths); err != nil {
+			t.Fatalf("post-panic batch cover %d: %v", i, err)
+		}
+	}
+	if got := p.Stats().InFlight; got != 0 {
+		t.Fatalf("InFlight = %d after quiesce, want 0", got)
+	}
+}
+
+// TestFaultSlotLeakSaturateRecover is the regression test for the
+// shard-slot/admission-ticket leak class: drive the pool to its exact
+// admission bound, poison requests along the way, and prove the pool
+// still admits (and completes) a full load afterwards. A leaked slot
+// wedges the single shard forever; a leaked ticket shrinks the
+// admission budget until everything is ErrPoolSaturated.
+func TestFaultSlotLeakSaturateRecover(t *testing.T) {
+	const depth = 4
+	p := pathcover.NewPool(pathcover.WithShards(1), pathcover.WithQueueDepth(depth))
+	defer p.Close()
+	g := faultGraph(t, 11, 512)
+
+	for round := 0; round < 3; round++ {
+		// Saturate: depth concurrent calls, half of them panicking.
+		var wg sync.WaitGroup
+		errs := make([]error, depth)
+		for i := 0; i < depth; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				opt := noFault
+				if i%2 == 0 {
+					opt = pathcover.WithFaultInjector(panicAt("step2"))
+				}
+				_, errs[i] = p.MinimumPathCover(context.Background(), g, opt)
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if i%2 == 0 {
+				if !errors.Is(err, pathcover.ErrSolverPanic) {
+					t.Fatalf("round %d call %d: err = %v, want ErrSolverPanic", round, i, err)
+				}
+			} else if err != nil {
+				t.Fatalf("round %d call %d: %v", round, i, err)
+			}
+		}
+	}
+
+	// Full budget must still be available: depth concurrent healthy
+	// calls all admit and succeed within a bounded wait.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < depth; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := p.MinimumPathCover(ctx, g, noFault); err != nil {
+				t.Errorf("post-recovery call: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.InFlight != 0 {
+		t.Fatalf("InFlight = %d after quiesce, want 0 (ticket leak)", st.InFlight)
+	}
+	if st.Restarts != 6 {
+		t.Fatalf("Restarts = %d, want 6", st.Restarts)
+	}
+}
+
+// TestFaultEnvDriven exercises the PATCHCOVER_FAULT environment path:
+// with no ambient spec it installs its own; under the CI fault matrix
+// it inherits the ambient one. Either way the pool must absorb the
+// faults — every request ends in a valid verified cover or a
+// PanicError, and the pool serves a clean request (explicit nil
+// injector) at the end.
+func TestFaultEnvDriven(t *testing.T) {
+	if os.Getenv("PATHCOVER_FAULT") == "" {
+		t.Setenv("PATHCOVER_FAULT", "panic:step6,slow:step2:5ms")
+	}
+	spec := os.Getenv("PATHCOVER_FAULT")
+	p := pathcover.NewPool(pathcover.WithShards(2))
+	defer p.Close()
+
+	panics := 0
+	for i := 0; i < 6; i++ {
+		g := faultGraph(t, uint64(40+i), 256+128*i)
+		cov, err := p.MinimumPathCover(context.Background(), g)
+		switch {
+		case err == nil:
+			if verr := g.Verify(cov.Paths); verr != nil {
+				t.Fatalf("request %d (spec %q): %v", i, spec, verr)
+			}
+		case errors.Is(err, pathcover.ErrSolverPanic):
+			panics++
+		default:
+			t.Fatalf("request %d (spec %q): unexpected error %v", i, spec, err)
+		}
+	}
+	if strings.Contains(spec, "panic:") && panics == 0 {
+		t.Fatalf("spec %q injected no panics over 6 requests", spec)
+	}
+	if panics != int(p.Stats().Restarts) {
+		t.Fatalf("saw %d panics but %d restarts", panics, p.Stats().Restarts)
+	}
+
+	// Explicitly disabling injection overrides the environment.
+	g := faultGraph(t, 99, 512)
+	cov, err := p.MinimumPathCover(context.Background(), g, noFault)
+	if err != nil {
+		t.Fatalf("nil-injector call under spec %q: %v", spec, err)
+	}
+	if err := g.Verify(cov.Paths); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultEnvMalformed: a typo'd spec must be loud (the parse panics,
+// surfacing through the pool as a PanicError), not silently ignored.
+func TestFaultEnvMalformed(t *testing.T) {
+	t.Setenv("PATHCOVER_FAULT", "panic-step2")
+	p := pathcover.NewPool(pathcover.WithShards(1))
+	defer p.Close()
+	_, err := p.MinimumPathCover(context.Background(), faultGraph(t, 1, 64))
+	if !errors.Is(err, pathcover.ErrSolverPanic) {
+		t.Fatalf("malformed spec: err = %v, want ErrSolverPanic", err)
+	}
+	if !strings.Contains(err.Error(), "PATHCOVER_FAULT") {
+		t.Fatalf("malformed-spec error %q does not name the variable", err)
+	}
+}
+
+// TestFaultInjectorStepsSeen documents the step vocabulary: a cograph
+// solve visits step1..step8, degraded solves step1..step3.
+func TestFaultInjectorStepsSeen(t *testing.T) {
+	seen := func(g *pathcover.Graph) map[string]bool {
+		m := map[string]bool{}
+		var mu sync.Mutex
+		_, err := g.MinimumPathCover(pathcover.WithFaultInjector(func(s string) {
+			mu.Lock()
+			m[s] = true
+			mu.Unlock()
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	cg := seen(faultGraph(t, 5, 256))
+	for i := 1; i <= 8; i++ {
+		if !cg[fmt.Sprintf("step%d", i)] {
+			t.Fatalf("cograph solve skipped step%d (saw %v)", i, cg)
+		}
+	}
+	tree, err := pathcover.FromEdgesAny(4, [][2]int{{0, 1}, {1, 2}, {2, 3}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := seen(tree)
+	for i := 1; i <= 3; i++ {
+		if !tg[fmt.Sprintf("step%d", i)] {
+			t.Fatalf("tree solve skipped step%d (saw %v)", i, tg)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package backend
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"pathcover/internal/lowerbound"
+)
+
+// bruteCoverSize finds the exact minimum path cover size by trying all
+// edge subsets that form a linear forest (degrees <= 2, acyclic) and
+// maximizing the edge count: a cover with k vertices per path uses k-1
+// edges, so minimum paths = n - max edges. Exponential; tests only.
+func bruteCoverSize(n int, edges [][2]int) int {
+	best := 0
+	m := len(edges)
+	if m > 20 {
+		panic("bruteCoverSize: too many edges")
+	}
+	for mask := 0; mask < 1<<m; mask++ {
+		deg := make([]int, n)
+		uf := newUnionFind(n)
+		count := 0
+		ok := true
+		for i := 0; ok && i < m; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			u, v := edges[i][0], edges[i][1]
+			deg[u]++
+			deg[v]++
+			if deg[u] > 2 || deg[v] > 2 || !uf.union(u, v) {
+				ok = false
+			}
+			count++
+		}
+		if ok && count > best {
+			best = count
+		}
+	}
+	return n - best
+}
+
+func randomTreeEdges(rng *rand.Rand, n int) [][2]int {
+	edges := make([][2]int, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, [2]int{rng.IntN(v), v})
+	}
+	return edges
+}
+
+func TestTreeCoverKnownAnswers(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges [][2]int
+		want  int
+	}{
+		{"single vertex", 1, nil, 1},
+		{"edgeless", 4, nil, 4},
+		{"P2", 2, [][2]int{{0, 1}}, 1},
+		{"P5", 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}, 1},
+		{"star K1,4", 5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}}, 3},
+		{"spider 3 legs of 2", 7, [][2]int{{0, 1}, {1, 2}, {0, 3}, {3, 4}, {0, 5}, {5, 6}}, 2},
+		{"two P2s", 4, [][2]int{{0, 1}, {2, 3}}, 2},
+	}
+	for _, tc := range cases {
+		g := New(tc.n, tc.edges)
+		if !g.IsForest() {
+			t.Fatalf("%s: not detected as forest", tc.name)
+		}
+		res, err := TreeCover(g, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.NumPaths != tc.want {
+			t.Errorf("%s: %d paths, want %d", tc.name, res.NumPaths, tc.want)
+		}
+		if err := VerifyCover(g, res.Paths); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+		if got := TreeCoverSize(g); got != tc.want {
+			t.Errorf("%s: TreeCoverSize=%d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestTreeCoverMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.IntN(10)
+		edges := randomTreeEdges(rng, n)
+		// Random forests too: drop each edge with small probability.
+		kept := edges[:0]
+		for _, e := range edges {
+			if rng.IntN(5) != 0 {
+				kept = append(kept, e)
+			}
+		}
+		g := New(n, kept)
+		res, err := TreeCover(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyCover(g, res.Paths); err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteCoverSize(n, g.Edges); res.NumPaths != want {
+			t.Fatalf("trial %d (n=%d, edges=%v): tree DP %d paths, optimum %d",
+				trial, n, g.Edges, res.NumPaths, want)
+		}
+	}
+}
+
+func TestTreeCoverRejectsCycles(t *testing.T) {
+	g := New(3, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	if g.IsForest() {
+		t.Fatal("triangle classified as forest")
+	}
+	if _, err := TreeCover(g, nil); err == nil {
+		t.Fatal("tree backend accepted a cyclic graph")
+	}
+	if got := TreeCoverSize(g); got != -1 {
+		t.Fatalf("TreeCoverSize on cycle = %d, want -1", got)
+	}
+}
+
+func TestApproxCoverValidAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 17))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.IntN(12)
+		m := rng.IntN(2 * n)
+		edges := make([][2]int, 0, m)
+		for i := 0; i < m; i++ {
+			u, v := rng.IntN(n), rng.IntN(n)
+			if u != v {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+		g := New(n, edges)
+		res, err := ApproxCover(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyCover(g, res.Paths); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(res.Paths) != res.NumPaths {
+			t.Fatalf("trial %d: NumPaths=%d but %d paths", trial, res.NumPaths, len(res.Paths))
+		}
+		lb := lowerbound.PathCoverSize(g.N, g.Edges)
+		if res.NumPaths < lb {
+			t.Fatalf("trial %d: %d paths below lower bound %d", trial, res.NumPaths, lb)
+		}
+		if len(g.Edges) <= 16 {
+			if opt := bruteCoverSize(n, g.Edges); res.NumPaths < opt {
+				t.Fatalf("trial %d: approx %d below optimum %d", trial, res.NumPaths, opt)
+			}
+		}
+	}
+}
+
+func TestApproxCoverDeterministic(t *testing.T) {
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3}}
+	a, err := ApproxCover(New(5, edges), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ApproxCover(New(5, edges), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumPaths != b.NumPaths || len(a.Paths) != len(b.Paths) {
+		t.Fatalf("nondeterministic: %v vs %v", a.Paths, b.Paths)
+	}
+	for i := range a.Paths {
+		for j := range a.Paths[i] {
+			if a.Paths[i][j] != b.Paths[i][j] {
+				t.Fatalf("nondeterministic paths: %v vs %v", a.Paths, b.Paths)
+			}
+		}
+	}
+}
+
+func TestCheckHookAbortsBothBackends(t *testing.T) {
+	boom := errors.New("deadline")
+	hook := func(stopAt string) CheckFunc {
+		return func(step string) error {
+			if step == stopAt {
+				return boom
+			}
+			return nil
+		}
+	}
+	tree := New(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	cyc := New(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	for _, step := range []string{"step1", "step2", "step3"} {
+		if _, err := TreeCover(tree, hook(step)); !errors.Is(err, boom) {
+			t.Errorf("tree %s: err=%v, want abort", step, err)
+		}
+		if _, err := ApproxCover(cyc, hook(step)); !errors.Is(err, boom) {
+			t.Errorf("approx %s: err=%v, want abort", step, err)
+		}
+	}
+}
+
+func TestLowerBoundKnownAnswers(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges [][2]int
+		want  int
+	}{
+		{"empty", 5, nil, 5},
+		{"C5", 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}, 1},
+		{"two triangles", 6, [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}}, 2},
+		{"P4", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}}, 1},
+		{"star K1,5", 6, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}}, 6 - 7/2},
+	}
+	for _, tc := range cases {
+		if got := lowerbound.PathCoverSize(tc.n, tc.edges); got != tc.want {
+			t.Errorf("%s: lower bound %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := New(4, [][2]int{{1, 0}, {0, 1}, {2, 2}, {1, 2}})
+	if len(g.Edges) != 2 {
+		t.Fatalf("dedup failed: %v", g.Edges)
+	}
+	if !g.Adjacent(0, 1) || !g.Adjacent(1, 2) || g.Adjacent(0, 2) || g.Adjacent(3, 3) {
+		t.Fatal("adjacency wrong")
+	}
+	if g.Degree(1) != 2 || g.Degree(3) != 0 {
+		t.Fatal("degrees wrong")
+	}
+	if g.Components() != 2 {
+		t.Fatalf("components = %d, want 2", g.Components())
+	}
+}

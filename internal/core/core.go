@@ -120,6 +120,20 @@ type Options struct {
 	SkipFix      bool       // skip Step 6 (for observing illegal inserts)
 	Width        IndexWidth // index-array element width (default WidthAuto)
 	Trace        *StepTrace // when non-nil, per-step simulated costs are recorded
+	// Check, when non-nil, runs before every pipeline step ("step1"
+	// through "step8"): a non-nil return aborts the run with that error
+	// (per-request deadlines), and the hook may panic or stall (fault
+	// injection). It runs on the host outside the cost model, so the
+	// simulated counters are identical with or without it.
+	Check func(step string) error
+}
+
+// checkStep invokes the between-step hook; a nil hook never aborts.
+func (o *Options) checkStep(step string) error {
+	if o.Check == nil {
+		return nil
+	}
+	return o.Check(step)
 }
 
 // StepTrace records the cost of each pipeline step — the phase
@@ -208,9 +222,16 @@ func resolveWidth(n int, w IndexWidth) (narrow bool, err error) {
 
 func parallelCoverIx[I par.Ix](s *pram.Sim, t *cotree.Tree, opt Options) (*Cover, error) {
 	opt.Trace.start()
+	if err := opt.checkStep("step1"); err != nil {
+		return nil, err
+	}
 	t0, w0 := s.Time(), s.Work()
 	b := cotree.BinarizeIx[I](s, t) // Step 1
 	t0, w0 = opt.Trace.add(s, "1 binarize", t0, w0)
+	if err := opt.checkStep("step2"); err != nil {
+		b.Release(s)
+		return nil, err
+	}
 	L := b.MakeLeftist(s, opt.Seed) // Step 2
 	opt.Trace.add(s, "2 leaf counts + leftist", t0, w0)
 	cov, err := coverBinIx(s, b, L, opt)
@@ -230,6 +251,9 @@ func coverBinIx[I par.Ix](s *pram.Sim, b *cotree.BinIx[I], L []I, opt Options) (
 	if n == 1 {
 		return &Cover{Paths: [][]int{{0}}, NumPaths: 1, Stats: s.Stats()}, nil
 	}
+	if err := opt.checkStep("step3"); err != nil {
+		return nil, err
+	}
 	t0, w0 := s.Time(), s.Work()
 	tour, tourOwned := par.AcquireTourIx(s, b.BinTree, opt.Seed^0x9e37)
 	t0, w0 = opt.Trace.add(s, "3a euler tour", t0, w0)
@@ -240,8 +264,17 @@ func coverBinIx[I par.Ix](s *pram.Sim, b *cotree.BinIx[I], L []I, opt Options) (
 	if tourOwned {
 		tour.Release(s)
 	}
+	if err := opt.checkStep("step4"); err != nil {
+		red.Release(s)
+		return nil, err
+	}
 	seq := genBracketsIx(s, b, red, !opt.WithoutDummy) // Step 4
 	t0, w0 = opt.Trace.add(s, "4 bracket generation", t0, w0)
+	if err := opt.checkStep("step5"); err != nil {
+		seq.Release(s)
+		red.Release(s)
+		return nil, err
+	}
 	ps, err := buildPseudoIx(s, n, red, seq) // Step 5
 	seq.Release(s)
 	if err != nil {
@@ -249,6 +282,11 @@ func coverBinIx[I par.Ix](s *pram.Sim, b *cotree.BinIx[I], L []I, opt Options) (
 		return nil, err
 	}
 	t0, w0 = opt.Trace.add(s, "5 matching + pseudo trees", t0, w0)
+	if err := opt.checkStep("step6"); err != nil {
+		red.Release(s)
+		ps.Release(s)
+		return nil, err
+	}
 	if !opt.SkipFix && !opt.WithoutDummy {
 		if _, err := fixIllegalIx(s, ps, red, opt.Seed^0xabcd); err != nil {
 			red.Release(s)
@@ -257,11 +295,20 @@ func coverBinIx[I par.Ix](s *pram.Sim, b *cotree.BinIx[I], L []I, opt Options) (
 		}
 	}
 	t0, w0 = opt.Trace.add(s, "6 illegal-insert exchange", t0, w0)
+	if err := opt.checkStep("step7"); err != nil {
+		red.Release(s)
+		ps.Release(s)
+		return nil, err
+	}
 	final := bypassIx(s, ps, red, opt.Seed^0x1234) // Step 7
 	t0, w0 = opt.Trace.add(s, "7 dummy bypass", t0, w0)
 	ps.Release(s)
 	pRoot := int(p[b.Root])
-	red.Release(s)                                                  // red.P aliases p; released here
+	red.Release(s) // red.P aliases p; released here
+	if err := opt.checkStep("step8"); err != nil {
+		par.ReleaseBinTreeIx(s, final)
+		return nil, err
+	}
 	pathsIx, backingIx := extractPathsIx(s, final, opt.Seed^0x7777) // Step 8
 	opt.Trace.add(s, "8 extract paths", t0, w0)
 	par.ReleaseBinTreeIx(s, final)

@@ -92,6 +92,81 @@ func (inst *Instance) Decode(paths [][]int) (bool, error) {
 	return byCount, nil
 }
 
+// PathCoverSize returns a combinatorial lower bound on the number of
+// paths in any path cover of a simple graph on n vertices with the
+// given edges (self-loops and duplicates tolerated). It is the bound
+// the approximation backend reports its gap against.
+//
+// Two certificates are combined per connected component:
+//
+//   - a path cover's edges form a linear forest, in which every vertex
+//     has degree at most 2, so it uses at most floor(Σ min(deg v, 2)/2)
+//     edges; a component on n_c vertices therefore needs at least
+//     n_c - floor(Σ_{v in c} min(deg v, 2)/2) paths;
+//   - every component needs at least one path.
+//
+// The total is the sum of per-component maxima of the two, which is at
+// least the number of components and at least n - m overall.
+func PathCoverSize(n int, edges [][2]int) int {
+	if n == 0 {
+		return 0
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	deg := make([]int, n)
+	seen := make(map[[2]int]bool, len(edges))
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u == v || u < 0 || v < 0 || u >= n || v >= n {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		deg[u]++
+		deg[v]++
+		ru, rv := find(u), find(v)
+		if ru != rv {
+			parent[ru] = rv
+		}
+	}
+	// Per-component vertex and capped-degree sums.
+	size := make(map[int]int)
+	capped := make(map[int]int)
+	for v := 0; v < n; v++ {
+		r := find(v)
+		size[r]++
+		d := deg[v]
+		if d > 2 {
+			d = 2
+		}
+		capped[r] += d
+	}
+	total := 0
+	for r, nc := range size {
+		lb := nc - capped[r]/2
+		if lb < 1 {
+			lb = 1
+		}
+		total += lb
+	}
+	return total
+}
+
 // ORTreeCREW computes the OR of n bits on the checked PRAM machine by a
 // binary reduction tree: ceil(log2 n) supersteps with n/2 processors —
 // the matching upper bound for Lemma 2.1 (it is even exclusive-read, so

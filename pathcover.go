@@ -36,9 +36,11 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
+	"pathcover/internal/backend"
 	"pathcover/internal/baseline"
 	"pathcover/internal/cograph"
 	"pathcover/internal/cotree"
@@ -87,10 +89,19 @@ func mustValidN(n int) {
 	}
 }
 
-// Graph is a cograph, stored as its cotree.
+// Graph is a graph to cover. A cograph (the paper's domain) is stored
+// as its cotree and served exactly by the parallel pipeline; a graph
+// built by FromEdgesAny that is not a cograph is stored as raw
+// adjacency and served by the degraded backends (exact tree DP for
+// forests, deterministic ½-approximation otherwise) — see Backend.
 type Graph struct {
 	t      *cotree.Tree
 	oracle *cotree.AdjOracle
+
+	// Raw (non-cograph) representation; exactly one of t and raw is
+	// non-nil.
+	raw   *backend.Graph
+	names []string
 }
 
 // ParseCotree reads a cograph from the cotree text format:
@@ -156,29 +167,52 @@ func Complement(g *Graph) *Graph {
 func trees(gs []*Graph) []*cotree.Tree {
 	ts := make([]*cotree.Tree, len(gs))
 	for i, g := range gs {
+		if g.t == nil {
+			panic("pathcover: cotree composition (Union/Join/Complement) requires cographs")
+		}
 		ts[i] = g.t
 	}
 	return ts
 }
 
 // N returns the number of vertices.
-func (g *Graph) N() int { return g.t.NumVertices() }
+func (g *Graph) N() int {
+	if g.t == nil {
+		return g.raw.N
+	}
+	return g.t.NumVertices()
+}
 
 // Name returns the display name of a vertex.
-func (g *Graph) Name(v int) string { return g.t.Name(v) }
+func (g *Graph) Name(v int) string {
+	if g.t == nil {
+		if v >= 0 && v < len(g.names) && g.names[v] != "" {
+			return g.names[v]
+		}
+		return fmt.Sprintf("v%d", v)
+	}
+	return g.t.Name(v)
+}
 
 // Adjacent reports whether two vertices are adjacent (O(log n) after a
-// lazily built LCA oracle).
+// lazily built LCA oracle for cographs, binary search on sorted
+// adjacency for raw graphs).
 func (g *Graph) Adjacent(x, y int) bool {
+	if g.t == nil {
+		return g.raw.Adjacent(x, y)
+	}
 	if g.oracle == nil {
 		g.oracle = cotree.NewAdjOracle(g.t)
 	}
 	return g.oracle.Adjacent(x, y)
 }
 
-// NumEdges counts the edges of the cograph in O(n) from the cotree
-// (sum over 1-nodes of the products of child leaf counts).
+// NumEdges counts the edges: O(1) for raw graphs, O(n) from the cotree
+// (sum over 1-nodes of the products of child leaf counts) for cographs.
 func (g *Graph) NumEdges() int {
+	if g.t == nil {
+		return len(g.raw.Edges)
+	}
 	t := g.t
 	var walk func(u int) int // returns leaf count, accumulates edges
 	total := 0
@@ -200,22 +234,73 @@ func (g *Graph) NumEdges() int {
 	return total
 }
 
-// String renders the cotree text form.
-func (g *Graph) String() string { return g.t.String() }
+// String renders the cotree text form for cographs and an edge-list
+// summary for raw graphs.
+func (g *Graph) String() string {
+	if g.t == nil {
+		return fmt.Sprintf("graph(n=%d m=%d)", g.raw.N, len(g.raw.Edges))
+	}
+	return g.t.String()
+}
 
-// Render returns an ASCII drawing of the cotree.
-func (g *Graph) Render() string { return render.Tree(g.t) }
+// Render returns an ASCII drawing of the cotree (raw graphs, which have
+// no cotree, render as their String form).
+func (g *Graph) Render() string {
+	if g.t == nil {
+		return g.String()
+	}
+	return render.Tree(g.t)
+}
 
 // RenderCover returns an ASCII rendering of a cover's paths with vertex
 // names.
-func (g *Graph) RenderCover(paths [][]int) string { return render.Paths(g.t, paths) }
+func (g *Graph) RenderCover(paths [][]int) string {
+	if g.t == nil {
+		// Same line format as render.Paths, which needs a cotree.
+		var b strings.Builder
+		for i, p := range paths {
+			fmt.Fprintf(&b, "path %d (%d vertices): ", i+1, len(p))
+			for j, v := range p {
+				if j > 0 {
+					b.WriteString(" — ")
+				}
+				b.WriteString(g.Name(v))
+			}
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	return render.Paths(g.t, paths)
+}
 
-// Verify checks that paths is a valid minimum path cover of g.
-func (g *Graph) Verify(paths [][]int) error { return verify.MinimumCover(g.t, paths) }
+// Verify checks that paths is a valid path cover of g and, when the
+// exact size is computable (cographs and forests), that it is minimum.
+// For other raw graphs — where minimum path cover is NP-hard and the
+// answer came from the approximation backend — only validity (a
+// partition of the vertices into adjacency-respecting paths) is
+// checked.
+func (g *Graph) Verify(paths [][]int) error {
+	if g.t == nil {
+		if err := backend.VerifyCover(g.raw, paths); err != nil {
+			return err
+		}
+		if want := backend.TreeCoverSize(g.raw); want >= 0 && len(paths) != want {
+			return fmt.Errorf("pathcover: %d paths, minimum is %d", len(paths), want)
+		}
+		return nil
+	}
+	return verify.MinimumCover(g.t, paths)
+}
 
 // MinPathCoverSize returns the number of paths in a minimum path cover
-// without constructing it (the Lin et al. recurrence, O(n) sequential).
+// without constructing it: the Lin et al. recurrence (O(n) sequential)
+// for cographs, the greedy tree DP for raw forests. For raw graphs with
+// cycles the exact size is NP-hard and -1 is returned; use
+// MinimumPathCover's LowerBound/Gap fields instead.
 func (g *Graph) MinPathCoverSize() int {
+	if g.t == nil {
+		return backend.TreeCoverSize(g.raw)
+	}
 	s := pram.NewSerial()
 	b := g.t.Binarize(s)
 	L := b.MakeLeftist(s, 1)
@@ -280,21 +365,35 @@ func (g *Graph) MinimumPathCover(opts ...Option) (*Cover, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	route, rg, err := g.resolveBackend(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if route != BackendCograph {
+		// Degraded backends run on plain heap memory with no worker pool;
+		// no shard reservation needed.
+		return degradedCover(rg, route, cfg.checkFn())
+	}
 	if cfg.algorithm == Sequential {
+		if check := cfg.checkFn(); check != nil {
+			if err := check("step1"); err != nil {
+				return nil, err
+			}
+		}
 		paths := baseline.Run(g.t)
-		return &Cover{Paths: paths, NumPaths: len(paths)}, nil
+		return exactCograph(&Cover{Paths: paths, NumPaths: len(paths)}), nil
 	}
 	var cov *Cover
-	err := sharedDo(cfg, g.N(), func(sv *Solver) error {
+	err = sharedDo(cfg, g.N(), func(sv *Solver) error {
 		c, err := sv.coverCfg(g, cfg)
 		if err != nil {
 			return err
 		}
-		if cfg.algorithm != Naive {
-			// Everything except the Sequential (returned above) and Naive
-			// baselines routes through the arena-backed parallel pipeline;
-			// copy before the shard (and its arena) serves the next call.
+		if c.arena {
+			// The parallel pipeline's paths live in the shard's arena; copy
+			// before the shard serves the next call.
 			c.Paths = clonePaths(c.Paths)
+			c.arena = false
 		}
 		cov = c
 		return nil
@@ -351,7 +450,14 @@ func notifyFallback(op string, err error) {
 // the sequential construction; WithAlgorithm(Parallel) routes through
 // the paper's parallel pipeline, falling back to the sequential
 // construction on an internal error (observable via SetFallbackHook).
+//
+// Hamiltonian constructions are cograph-only (the decision problem is
+// NP-hard in general); on a non-cograph Graph from FromEdgesAny no
+// path is reported.
 func (g *Graph) HamiltonianPath(opts ...Option) ([]int, bool) {
+	if g.t == nil {
+		return nil, false
+	}
 	cfg := defaultConfig(g.N())
 	cfg.algorithm = Sequential
 	for _, o := range opts {
@@ -385,8 +491,11 @@ func (g *Graph) HamiltonianPath(opts ...Option) ([]int, bool) {
 // default is the sequential construction; WithAlgorithm(Parallel) uses
 // the O(log n) split-and-interleave construction, falling back to the
 // sequential construction on an internal error (observable via
-// SetFallbackHook).
+// SetFallbackHook). Cograph-only, like HamiltonianPath.
 func (g *Graph) HamiltonianCycle(opts ...Option) ([]int, bool) {
+	if g.t == nil {
+		return nil, false
+	}
 	cfg := defaultConfig(g.N())
 	cfg.algorithm = Sequential
 	for _, o := range opts {
@@ -415,13 +524,43 @@ func (g *Graph) HamiltonianCycle(opts ...Option) ([]int, bool) {
 	return baseline.HamiltonianCycle(b, L)
 }
 
-// Cover is a minimum path cover.
+// Cover is a path cover. Exact reports whether it is provably minimum:
+// true for the cograph and tree routes, false for the approximation
+// route, whose size is instead bracketed by LowerBound and Gap.
 type Cover struct {
 	Paths    [][]int
 	NumPaths int
 	// Stats holds the simulated PRAM cost when the cover was computed by
-	// a simulated algorithm (zero for the plain sequential path).
+	// a simulated algorithm (zero for the plain sequential path and for
+	// the degraded backends, which run outside the cost model).
 	Stats Stats
+
+	// Exact is true when NumPaths is the minimum (cograph and tree
+	// backends); approximate answers carry Exact=false even when their
+	// gap happens to be zero, because the route cannot prove it.
+	Exact bool
+	// Backend is the route that produced the cover.
+	Backend Backend
+	// LowerBound is a proven lower bound on the minimum number of paths
+	// (equal to NumPaths for exact routes).
+	LowerBound int
+	// Gap is NumPaths - LowerBound: zero for exact routes, and an upper
+	// bound on how far an approximate answer can be from optimal.
+	Gap int
+
+	// arena marks paths still backed by a Solver's arena (the parallel
+	// cograph route); Pool and the Graph methods clone before handing
+	// the cover out.
+	arena bool
+}
+
+// exactCograph stamps the metadata of a cograph-route cover: exact by
+// the paper's algorithm, so the lower bound is the answer itself.
+func exactCograph(c *Cover) *Cover {
+	c.Exact = true
+	c.Backend = BackendCograph
+	c.LowerBound = c.NumPaths
+	return c
 }
 
 // Stats reports simulated PRAM cost: Time is the number of parallel
@@ -457,6 +596,13 @@ type config struct {
 	workers   int
 	seed      uint64
 	wideIdx   bool
+
+	// Routing and robustness (see backend.go).
+	backend   Backend
+	exactOnly bool
+	fault     FaultInjector
+	faultSet  bool
+	ctx       context.Context
 }
 
 func defaultConfig(n int) config {

@@ -3,6 +3,7 @@ package pathcover
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/bits"
 	"sort"
 	"sync"
@@ -19,7 +20,26 @@ var (
 	// ErrPoolSaturated is returned when the admission queue is full; the
 	// caller should shed load or retry later.
 	ErrPoolSaturated = errors.New("pathcover: pool admission queue is full")
+	// ErrSolverPanic is the sentinel wrapped by the *PanicError a Pool
+	// call returns when the solve panicked; the panicking shard's Solver
+	// was rebuilt, so the pool keeps serving.
+	ErrSolverPanic = errors.New("pathcover: solver panicked")
 )
+
+// PanicError carries the recovered panic value of a solve that blew up
+// on a shard. It unwraps to ErrSolverPanic, so errors.Is works; only
+// the request that panicked fails — the shard's Solver is replaced
+// before the slot is released and the pool stays healthy (see
+// PoolStats.Restarts).
+type PanicError struct {
+	Value any // the recovered value
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pathcover: solver panicked: %v", e.Value)
+}
+
+func (e *PanicError) Unwrap() error { return ErrSolverPanic }
 
 // Pool is a sharded, load-aware solver fleet: N independent Solvers
 // (each with a pinned worker budget sized so the shards together never
@@ -51,15 +71,18 @@ type Pool struct {
 // channel (capacity 1) is the shard's lock; a channel rather than a
 // mutex so that waiters can abandon the wait on context cancellation.
 type poolShard struct {
-	id   int
-	slot chan struct{}
-	sv   *Solver
-	load atomic.Int64 // outstanding vertices (queued + executing)
+	id      int
+	slot    chan struct{}
+	sv      *Solver      // owned by the slot holder; rebuilt after a panic
+	opts    []Option     // construction options, replayed on rebuild
+	workers int          // cached worker budget (sv is not stable for Stats)
+	load    atomic.Int64 // outstanding vertices (queued + executing)
 
 	calls    atomic.Int64
 	vertices atomic.Int64
 	simTime  atomic.Int64
 	simWork  atomic.Int64
+	restarts atomic.Int64 // Solvers replaced after a panic
 }
 
 func (sh *poolShard) record(n int, st Stats) {
@@ -129,10 +152,13 @@ func NewPool(opts ...PoolOption) *Pool {
 	p := &Pool{depth: depth}
 	for i := 0; i < m; i++ {
 		sopts := append([]Option{WithWorkers(w)}, cfg.solverOpts...)
+		sv := NewSolver(sopts...)
 		p.shards = append(p.shards, &poolShard{
-			id:   i,
-			slot: make(chan struct{}, 1),
-			sv:   NewSolver(sopts...),
+			id:      i,
+			slot:    make(chan struct{}, 1),
+			sv:      sv,
+			opts:    sopts,
+			workers: sv.Workers(),
 		})
 	}
 	return p
@@ -198,7 +224,37 @@ func (p *Pool) runOn(ctx context.Context, sh *poolShard, f func(sh *poolShard) e
 		p.canceled.Add(1)
 		return err
 	}
+	return p.safeRun(sh, f)
+}
+
+// safeRun executes f with the shard's slot held, converting a panic
+// anywhere in the solve into a *PanicError and rebuilding the shard's
+// Solver: a half-finished arena or poisoned worker pool must never
+// serve the next request, but one poisoned request must not take the
+// pool (or the process) down either. The deferred slot release in runOn
+// still runs, so the slot cannot leak.
+func (p *Pool) safeRun(sh *poolShard, f func(sh *poolShard) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.restartShard(sh)
+			err = &PanicError{Value: r}
+		}
+	}()
 	return f(sh)
+}
+
+// restartShard replaces a poisoned shard's Solver with a fresh one
+// built from the same options. Called with the shard's slot held, so
+// the swap is invisible to other dispatchers; the old Solver is closed
+// best-effort (its own state may be the thing that panicked).
+func (p *Pool) restartShard(sh *poolShard) {
+	old := sh.sv
+	sh.sv = NewSolver(sh.opts...)
+	sh.restarts.Add(1)
+	func() {
+		defer func() { _ = recover() }()
+		old.Close()
+	}()
 }
 
 // withShard admits one call, reserves the least-loaded shard and runs f
@@ -229,18 +285,19 @@ func (sh *poolShard) callCfg(opts []Option) config {
 	return cfg
 }
 
-// cover runs one cover on the shard's Solver and copies it out.
-func (sh *poolShard) cover(g *Graph, opts []Option) (*Cover, error) {
+// cover runs one cover on the shard's Solver and copies it out. ctx is
+// threaded into the solve so deadlines and cancellation are observed
+// between pipeline steps, not just while queued.
+func (sh *poolShard) cover(ctx context.Context, g *Graph, opts []Option) (*Cover, error) {
 	cfg := sh.callCfg(opts)
+	cfg.ctx = ctx
 	cov, err := sh.sv.coverCfg(g, cfg)
 	if err != nil {
 		return nil, err
 	}
-	switch cfg.algorithm {
-	case Sequential, Naive:
-		// Plain heap paths already.
-	default:
+	if cov.arena {
 		cov.Paths = clonePaths(cov.Paths)
+		cov.arena = false
 	}
 	sh.record(g.N(), cov.Stats)
 	return cov, nil
@@ -252,7 +309,7 @@ func (sh *poolShard) cover(g *Graph, opts []Option) (*Cover, error) {
 func (p *Pool) MinimumPathCover(ctx context.Context, g *Graph, opts ...Option) (*Cover, error) {
 	var out *Cover
 	err := p.withShard(ctx, g.N(), func(sh *poolShard) error {
-		cov, err := sh.cover(g, opts)
+		cov, err := sh.cover(ctx, g, opts)
 		if err != nil {
 			return err
 		}
@@ -284,7 +341,9 @@ func (p *Pool) hamiltonian(ctx context.Context, g *Graph, opts []Option,
 	var path []int
 	var ok bool
 	err := p.withShard(ctx, g.N(), func(sh *poolShard) error {
-		q, k, err := run(sh.sv, g, sh.callCfg(opts))
+		cfg := sh.callCfg(opts)
+		cfg.ctx = ctx
+		q, k, err := run(sh.sv, g, cfg)
 		if err != nil {
 			return err
 		}
@@ -358,7 +417,7 @@ func (p *Pool) CoverBatch(ctx context.Context, gs []*Graph, opts ...Option) ([]*
 					if p.closed.Load() {
 						return ErrPoolClosed
 					}
-					cov, err := sh.cover(gs[idx], opts)
+					cov, err := sh.cover(ctx, gs[idx], opts)
 					if err != nil {
 						return err
 					}
@@ -467,6 +526,7 @@ type ShardStats struct {
 	SimTime  int64 `json:"sim_time"`
 	SimWork  int64 `json:"sim_work"`
 	Load     int64 `json:"load"`
+	Restarts int64 `json:"restarts"`
 }
 
 // PoolStats aggregates the pool's serving counters: per-shard records
@@ -480,6 +540,7 @@ type PoolStats struct {
 	Batches    int64        `json:"batches"`
 	Rejected   int64        `json:"rejected"`
 	Canceled   int64        `json:"canceled"`
+	Restarts   int64        `json:"restarts"`
 	InFlight   int64        `json:"in_flight"`
 	QueueDepth int          `json:"queue_depth"`
 }
@@ -497,18 +558,20 @@ func (p *Pool) Stats() PoolStats {
 	for _, sh := range p.shards {
 		row := ShardStats{
 			Shard:    sh.id,
-			Workers:  sh.sv.Workers(),
+			Workers:  sh.workers,
 			Calls:    sh.calls.Load(),
 			Vertices: sh.vertices.Load(),
 			SimTime:  sh.simTime.Load(),
 			SimWork:  sh.simWork.Load(),
 			Load:     sh.load.Load(),
+			Restarts: sh.restarts.Load(),
 		}
 		st.Shards = append(st.Shards, row)
 		st.Calls += row.Calls
 		st.Vertices += row.Vertices
 		st.SimTime += row.SimTime
 		st.SimWork += row.SimWork
+		st.Restarts += row.Restarts
 	}
 	return st
 }

@@ -115,26 +115,48 @@ func (sv *Solver) MinimumPathCover(g *Graph) (*Cover, error) {
 }
 
 func (sv *Solver) coverCfg(g *Graph, cfg config) (*Cover, error) {
+	route, rg, err := g.resolveBackend(cfg)
+	if err != nil {
+		return nil, err
+	}
+	check := cfg.checkFn()
+	if route != BackendCograph {
+		// Degraded backends allocate plain heap memory; the Solver's
+		// arena and worker pool stay untouched.
+		return degradedCover(rg, route, check)
+	}
 	switch cfg.algorithm {
 	case Sequential:
+		if check != nil {
+			if err := check("step1"); err != nil {
+				return nil, err
+			}
+		}
 		paths := baseline.Run(g.t)
-		return &Cover{Paths: paths, NumPaths: len(paths)}, nil
+		return exactCograph(&Cover{Paths: paths, NumPaths: len(paths)}), nil
 	case Naive:
 		s := sv.prepare(g.N(), cfg)
+		if check != nil {
+			if err := check("step1"); err != nil {
+				return nil, err
+			}
+		}
 		b := g.t.Binarize(s)
 		L := b.MakeLeftist(s, cfg.seed)
 		paths := baseline.NaiveCover(s, b, L)
 		pram.Release(s, L)
 		b.Release(s)
-		return &Cover{Paths: paths, NumPaths: len(paths), Stats: statsOf(s)}, nil
+		return exactCograph(&Cover{Paths: paths, NumPaths: len(paths), Stats: statsOf(s)}), nil
 	default:
 		s := sv.prepare(g.N(), cfg)
-		cov, err := core.ParallelCover(s, g.t, core.Options{Seed: cfg.seed, Width: cfg.width()})
+		cov, err := core.ParallelCover(s, g.t, core.Options{Seed: cfg.seed, Width: cfg.width(), Check: check})
 		if err != nil {
 			return nil, err
 		}
 		sv.prevCover = cov
-		return &Cover{Paths: cov.Paths, NumPaths: cov.NumPaths, Stats: statsOf(s)}, nil
+		c := exactCograph(&Cover{Paths: cov.Paths, NumPaths: cov.NumPaths, Stats: statsOf(s)})
+		c.arena = true
+		return c, nil
 	}
 }
 
@@ -156,8 +178,11 @@ func (sv *Solver) HamiltonianPath(g *Graph) ([]int, bool, error) {
 }
 
 func (sv *Solver) hamiltonianPathCfg(g *Graph, cfg config) ([]int, bool, error) {
+	if g.t == nil {
+		return nil, false, ErrNotCograph
+	}
 	s := sv.prepare(g.N(), cfg)
-	p, ok, err := core.ParallelHamiltonianPath(s, g.t, core.Options{Seed: cfg.seed, Width: cfg.width()})
+	p, ok, err := core.ParallelHamiltonianPath(s, g.t, core.Options{Seed: cfg.seed, Width: cfg.width(), Check: cfg.checkFn()})
 	if err != nil {
 		return nil, false, fmt.Errorf("pathcover: parallel Hamiltonian path: %w", err)
 	}
@@ -174,8 +199,11 @@ func (sv *Solver) HamiltonianCycle(g *Graph) ([]int, bool, error) {
 }
 
 func (sv *Solver) hamiltonianCycleCfg(g *Graph, cfg config) ([]int, bool, error) {
+	if g.t == nil {
+		return nil, false, ErrNotCograph
+	}
 	s := sv.prepare(g.N(), cfg)
-	c, ok, err := core.ParallelHamiltonianCycle(s, g.t, core.Options{Seed: cfg.seed, Width: cfg.width()})
+	c, ok, err := core.ParallelHamiltonianCycle(s, g.t, core.Options{Seed: cfg.seed, Width: cfg.width(), Check: cfg.checkFn()})
 	if err != nil {
 		return nil, false, fmt.Errorf("pathcover: parallel Hamiltonian cycle: %w", err)
 	}
