@@ -7,10 +7,14 @@
 //
 //	POST /cover        {"cotree": "(1 (0 a b) c)"}            -> cover
 //	                   {"n": 4, "edges": [[0,1],[1,2]]}       -> cover
+//	GET/POST /cover?id=g1                                     -> cover of a registered graph
 //	POST /hamiltonian  {"cotree": "...", "cycle": true}       -> {"ok": ..., "path": [...]}
 //	POST /batch        {"graphs": [spec, spec, ...]}          -> {"covers": [cover, ...]}
+//	POST /graphs       {graph spec}                           -> {"id": "g1", ...}
+//	GET  /graphs/{id}                                         -> registered-graph info
+//	DELETE /graphs/{id}                                       -> {"deleted": true}
 //	GET  /healthz                                             -> {"ok": true, ...}
-//	GET  /stats                                               -> pool + process counters
+//	GET  /stats                                               -> pool + cache + registry counters
 //
 // A graph spec is either a cotree string (the package's text format) or
 // an explicit edge list. Edge lists are not restricted to cographs:
@@ -25,10 +29,22 @@
 // 400 instead of rerouting.
 //
 // Covers carry the paths (unless "omit_paths" is set), the simulated
-// PRAM cost of the computation, and wall time. Saturated admission maps
-// to 503; client disconnects cancel queued work via the request
-// context; requests cut off by -request-timeout mid-pipeline get 504
-// with a JSON body.
+// PRAM cost of the computation, and wall time; "include_names" adds the
+// server-side vertex names, letting clients remap paths onto their own
+// numbering (the cotree text format numbers vertices by leaf order, so
+// names — which travel with the leaves — are the stable identity).
+// Saturated admission maps to 503; client disconnects cancel queued
+// work via the request context; requests cut off by -request-timeout
+// mid-pipeline get 504 with a JSON body.
+//
+// POST /graphs registers a graph for repeated querying: parse,
+// validation, recognition and canonicalization are paid once, and
+// GET/POST /cover?id=... then serves it by id. The store holds at most
+// -max-graphs entries (LRU-evicted; stale ids return 404 and clients
+// re-register). The pool runs a canonical-identity result cache of
+// -cache-mb MiB: repeats of an already-solved graph — including
+// relabelled isomorphic presentations — are answered from cache
+// without a solve, and concurrent duplicates coalesce onto one solve.
 package main
 
 import (
@@ -57,10 +73,13 @@ var (
 	verify     = flag.Bool("verify", false, "re-verify every cover before responding (debugging; O(n) extra per request)")
 	reqTimeout = flag.Duration("request-timeout", 30*time.Second,
 		"per-request deadline enforced inside the solve pipeline; requests over it get 504 (0 disables)")
+	cacheMB   = flag.Int64("cache-mb", 64, "canonical-identity result cache capacity in MiB (0 disables)")
+	maxGraphs = flag.Int("max-graphs", 0, "registered-graph capacity for POST /graphs (0 = default 1024)")
 )
 
 type server struct {
 	pool     *pathcover.Pool
+	reg      *pathcover.Registry
 	started  time.Time
 	requests atomic.Int64
 }
@@ -103,6 +122,11 @@ func strictMode(r *http.Request) bool {
 type coverRequest struct {
 	graphSpec
 	OmitPaths bool `json:"omit_paths,omitempty"`
+	// IncludeNames adds the "names" array (vertex id -> display name) to
+	// the response, so a client that submitted the cotree text format —
+	// whose parse numbers vertices by leaf order — can remap the paths
+	// onto its own numbering by name.
+	IncludeNames bool `json:"include_names,omitempty"`
 	// Backend pins the solve route ("auto", "cograph", "tree",
 	// "approx"); empty means automatic selection.
 	Backend string `json:"backend,omitempty"`
@@ -135,6 +159,9 @@ type coverResponse struct {
 	N        int     `json:"n"`
 	NumPaths int     `json:"num_paths"`
 	Paths    [][]int `json:"paths,omitempty"`
+	// Names maps vertex ids to display names (only when the request set
+	// "include_names").
+	Names []string `json:"names,omitempty"`
 	// Exact is true when NumPaths is provably minimum (cograph and tree
 	// backends); Backend names the route. Approximate answers carry the
 	// certified lower bound and the gap num_paths - lower_bound.
@@ -174,6 +201,15 @@ func coverJSON(g *pathcover.Graph, cov *pathcover.Cover, omitPaths bool, elapsed
 	return resp
 }
 
+// vertexNames materialises the id -> name table of a graph.
+func vertexNames(g *pathcover.Graph) []string {
+	names := make([]string, g.N())
+	for i := range names {
+		names[i] = g.Name(i)
+	}
+	return names
+}
+
 type hamiltonianRequest struct {
 	graphSpec
 	Cycle bool `json:"cycle,omitempty"`
@@ -182,6 +218,8 @@ type hamiltonianRequest struct {
 type batchRequest struct {
 	Graphs    []graphSpec `json:"graphs"`
 	OmitPaths bool        `json:"omit_paths,omitempty"`
+	// IncludeNames adds the per-cover "names" arrays, as for /cover.
+	IncludeNames bool `json:"include_names,omitempty"`
 	// Backend pins the solve route for every graph of the batch.
 	Backend string `json:"backend,omitempty"`
 }
@@ -195,7 +233,14 @@ func main() {
 	if *queue != 0 {
 		popts = append(popts, pathcover.WithQueueDepth(*queue))
 	}
-	s := &server{pool: pathcover.NewPool(popts...), started: time.Now()}
+	if *cacheMB > 0 {
+		popts = append(popts, pathcover.WithCache(*cacheMB<<20))
+	}
+	s := &server{
+		pool:    pathcover.NewPool(popts...),
+		reg:     pathcover.NewRegistry(*maxGraphs),
+		started: time.Now(),
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -203,6 +248,9 @@ func main() {
 	mux.HandleFunc("/cover", s.handleCover)
 	mux.HandleFunc("/hamiltonian", s.handleHamiltonian)
 	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("POST /graphs", s.handleRegister)
+	mux.HandleFunc("GET /graphs/{id}", s.handleGraphInfo)
+	mux.HandleFunc("DELETE /graphs/{id}", s.handleGraphDelete)
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -309,6 +357,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"pool":       s.pool.Stats(),
+		"registry":   s.reg.Stats(),
 		"requests":   s.requests.Load(),
 		"uptime_s":   time.Since(s.started).Seconds(),
 		"gomaxprocs": runtime.GOMAXPROCS(0),
@@ -316,21 +365,51 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// boolParam reads a query-string boolean ("1"/"true"), so GET
+// /cover?id= requests can ask for omit_paths / include_names without a
+// body.
+func boolParam(r *http.Request, name string) bool {
+	v := r.URL.Query().Get(name)
+	return v != "" && v != "0" && v != "false"
+}
+
+// handleCover serves POST /cover with an inline graph spec, and
+// GET/POST /cover?id=... against a registered graph.
 func (s *server) handleCover(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
-		return
+	id := r.URL.Query().Get("id")
+	if r.Method != http.MethodGet || id == "" {
+		if !requirePost(w, r) {
+			return
+		}
 	}
 	s.requests.Add(1)
 	var req coverRequest
-	if err := decode(w, r, &req); err != nil {
-		badRequest(w, err)
-		return
+	if r.Method == http.MethodPost {
+		if err := decode(w, r, &req); err != nil {
+			badRequest(w, err)
+			return
+		}
 	}
+	req.OmitPaths = req.OmitPaths || boolParam(r, "omit_paths")
+	req.IncludeNames = req.IncludeNames || boolParam(r, "include_names")
 	strict := strictMode(r)
-	g, err := req.graph(strict)
-	if err != nil {
-		badRequest(w, err)
-		return
+	var g *pathcover.Graph
+	if id != "" {
+		if req.Cotree != "" || req.N != 0 || len(req.Edges) != 0 {
+			badRequest(w, errors.New("give either ?id= or a graph spec, not both"))
+			return
+		}
+		var ok bool
+		if g, ok = s.reg.Get(id); !ok {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no registered graph %q", id)})
+			return
+		}
+	} else {
+		var err error
+		if g, err = req.graph(strict); err != nil {
+			badRequest(w, err)
+			return
+		}
 	}
 	opts, err := coverOpts(req.Backend, strict)
 	if err != nil {
@@ -351,7 +430,63 @@ func (s *server) handleCover(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, coverJSON(g, cov, req.OmitPaths, time.Since(start)))
+	resp := coverJSON(g, cov, req.OmitPaths, time.Since(start))
+	if req.IncludeNames {
+		resp.Names = vertexNames(g)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRegister (POST /graphs) parses, validates and canonicalizes a
+// graph spec once and stores it under a fresh id for repeated
+// GET/POST /cover?id= querying.
+func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var spec graphSpec
+	if err := decode(w, r, &spec); err != nil {
+		badRequest(w, err)
+		return
+	}
+	g, err := spec.graph(strictMode(r))
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	id := s.reg.Register(g)
+	writeJSON(w, http.StatusOK, graphInfoJSON(id, g))
+}
+
+func graphInfoJSON(id string, g *pathcover.Graph) map[string]any {
+	info := map[string]any{
+		"id":      id,
+		"n":       g.N(),
+		"cograph": g.IsCograph(),
+	}
+	if hi, lo, ok := g.CanonicalHash(); ok {
+		info["canonical_hash"] = fmt.Sprintf("%016x%016x", hi, lo)
+	}
+	return info
+}
+
+func (s *server) handleGraphInfo(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	id := r.PathValue("id")
+	g, ok := s.reg.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no registered graph %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, graphInfoJSON(id, g))
+}
+
+func (s *server) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	id := r.PathValue("id")
+	if !s.reg.Delete(id) {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no registered graph %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": true, "id": id})
 }
 
 func (s *server) handleHamiltonian(w http.ResponseWriter, r *http.Request) {
@@ -446,6 +581,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		out[i] = coverJSON(gs[i], cov, req.OmitPaths, 0)
+		if req.IncludeNames {
+			out[i].Names = vertexNames(gs[i])
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"covers":     out,

@@ -44,13 +44,12 @@ var (
 
 // svReq is one materialised request: the graph, its precomputed
 // optimum (-1 when the entry routes to the approximation backend and
-// has no known optimum), whether the route is exact, and the graph to
-// verify responses against (vg differs from g only for attack-mode
-// cotree entries, where the wire format renumbers vertices; edge-list
-// entries renumber deterministically on both sides).
+// has no known optimum), and whether the route is exact. Covers are
+// always verified against g itself — attack mode remaps responses onto
+// g's numbering by vertex name before verification (the server's
+// "names" array), so no shadow re-parsed graph is needed.
 type svReq struct {
 	g     *pathcover.Graph
-	vg    *pathcover.Graph
 	want  int
 	exact bool
 }
@@ -73,7 +72,10 @@ func buildStream(maxLg int) ([]svReq, map[*pathcover.Graph][][2]int) {
 	for _, r := range cat {
 		if r.Kind == workload.KindCograph {
 			g := pathcover.Random(r.Seed, r.N, r.Shape)
-			built[r] = svReq{g: g, vg: g, want: g.MinPathCoverSize(), exact: true}
+			if r.Relabel != 0 {
+				g = pathcover.Relabelled(g, r.Relabel)
+			}
+			built[r] = svReq{g: g, want: g.MinPathCoverSize(), exact: true}
 			continue
 		}
 		edges := r.Edges()
@@ -84,7 +86,7 @@ func buildStream(maxLg int) ([]svReq, map[*pathcover.Graph][][2]int) {
 		// Exact routes (cograph if recognition surprises us, tree for
 		// forests) have a computable optimum; the approximation route
 		// does not, so only validity is asserted for those covers.
-		sr := svReq{g: g, vg: g, want: -1}
+		sr := svReq{g: g, want: -1}
 		if g.IsCograph() || g.IsForest() {
 			sr.exact = true
 			sr.want = g.MinPathCoverSize()
@@ -143,7 +145,7 @@ func drive(stream []svReq, c int, call func(cli int, r svReq) (*pathcover.Cover,
 				if r.want >= 0 && cov.NumPaths != r.want {
 					panic(fmt.Sprintf("serving request %d: %d paths, want %d", i, cov.NumPaths, r.want))
 				}
-				if err := r.vg.Verify(cov.Paths); err != nil {
+				if err := r.g.Verify(cov.Paths); err != nil {
 					panic(fmt.Sprintf("serving request %d: invalid cover: %v", i, err))
 				}
 			}
@@ -246,6 +248,79 @@ func runServe() {
 	}
 
 	runServeBatch(stream, maxLg)
+	runServeZipf(maxLg)
+}
+
+// buildZipfStream materialises a Zipf repeat-heavy cograph stream: the
+// catalog's base graphs each appear under relabelled-isomorphic
+// presentations (workload.ZipfRequests), so a canonical-identity cache
+// can collapse presentations a Request-keyed registry cannot. One
+// *Graph per distinct presentation, shared across its repetitions.
+func buildZipfStream(maxLg int, s float64) []svReq {
+	reqs := workload.ZipfRequests(*seed, *reqCount, *serveMin, maxLg, *distinct, s)
+	built := make(map[workload.Request]svReq, len(reqs))
+	out := make([]svReq, len(reqs))
+	for i, r := range reqs {
+		sr, ok := built[r]
+		if !ok {
+			g := pathcover.Random(r.Seed, r.N, r.Shape)
+			if r.Relabel != 0 {
+				g = pathcover.Relabelled(g, r.Relabel)
+			}
+			sr = svReq{g: g, want: g.MinPathCoverSize(), exact: true}
+			built[r] = sr
+		}
+		out[i] = sr
+	}
+	return out
+}
+
+// hitPct formats a cache's hit rate — requests served without a solve
+// (hits plus coalesced waits) over all cache-eligible requests — or "-"
+// when there is no cache (or no traffic) to report on.
+func hitPct(st *pathcover.CacheStats) string {
+	if st == nil {
+		return "-"
+	}
+	total := st.Hits + st.Misses + st.Coalesced
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", 100*float64(st.Hits+st.Coalesced)/float64(total))
+}
+
+// runServeZipf is the canonical-identity cache benchmark: the same
+// Zipf repeat-heavy stream — duplicates and relabelled-isomorphic
+// twins drawn from a small catalog — served by an uncached pool and by
+// one carrying the canonical-cotree result cache. Reading down the
+// cached rows as the Zipf exponent grows shows the p50-vs-hit-rate
+// cliff: the hit %% column rises and the cached p50 collapses toward
+// the copy-out cost, while the uncached p50 stays put.
+func runServeZipf(maxLg int) {
+	header(fmt.Sprintf("S3 — canonical-identity cache, Zipf streams of %d requests over %d base graphs ×3 presentations, n in [2^%d, 2^%d)",
+		*reqCount, *distinct, *serveMin, maxLg+1),
+		"configuration", "zipf s", "hit %", "wall s", "req/s", "p50 ms", "p99 ms")
+	for _, s := range []float64{0, 0.8, 1.1, 1.4} {
+		stream := buildZipfStream(maxLg, s)
+		for _, cached := range []bool{false, true} {
+			popts := []pathcover.PoolOption{pathcover.WithQueueDepth(-1),
+				pathcover.WithShardOptions(pathcover.WithSeed(*seed))}
+			name := "pool, uncached"
+			if cached {
+				popts = append(popts, pathcover.WithCache(64<<20))
+				name = "pool, 64 MiB canonical cache"
+			}
+			p := pathcover.NewPool(popts...)
+			lat, wall := drive(stream, *clients, func(_ int, r svReq) (*pathcover.Cover, error) {
+				return p.MinimumPathCover(context.Background(), r.g)
+			})
+			row(name, fmt.Sprintf("%.1f", s), hitPct(p.Stats().Cache),
+				fmt.Sprintf("%.2f", wall.Seconds()),
+				fmt.Sprintf("%.1f", float64(len(stream))/wall.Seconds()),
+				ms(pctl(lat, 0.50)), ms(pctl(lat, 0.99)))
+			p.Close()
+		}
+	}
 }
 
 // runServeBatch compares the batch API (grouped per shard) against the
@@ -347,37 +422,48 @@ func clonedCover(cov *pathcover.Cover) *pathcover.Cover {
 	return &out
 }
 
+// nameIndex inverts a graph's vertex naming for the response remap:
+// name -> client vertex id. Names must be unique — they are for every
+// graph this benchmark builds (the workload constructors name leaves
+// v%d / t%d / c%d_%d / leaf%d), and the remap is meaningless otherwise.
+func nameIndex(g *pathcover.Graph) map[string]int {
+	byName := make(map[string]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		name := g.Name(v)
+		if _, dup := byName[name]; dup {
+			panic(fmt.Sprintf("graph has duplicate vertex name %q; cannot remap by name", name))
+		}
+		byName[name] = v
+	}
+	return byName
+}
+
 // runAttack drives a running pathcoverd: /cover per request from C
-// clients, then the same stream in /batch chunks. Graphs travel as
-// cotree text; responses are fully verified client-side.
+// clients, then the same stream in /batch chunks, then a registered-
+// graph session run over a Zipf stream. Graphs travel as cotree text;
+// responses are fully verified client-side.
 func runAttack(base string) {
 	maxLg := min(*maxLog, 14) // HTTP transport: keep bodies sane by default
 	stream, edgeSpecs := buildStream(maxLg)
 	specs := make(map[*pathcover.Graph]map[string]any, *distinct)
 	// Cotree-built graphs travel as cotree text, whose server-side parse
-	// renumbers vertices, so responses are verified against a client-side
-	// re-parse of the same text. Edge-list graphs travel as n+edges and
-	// renumber identically on both sides (recognition is deterministic),
-	// so their own Graph verifies them.
-	parsed := make(map[*pathcover.Graph]*pathcover.Graph, *distinct)
+	// numbers vertices by leaf order — a different numbering from the
+	// client's Graph. Every request asks for the server's "names" array
+	// and responses are remapped onto the client's own numbering by name
+	// (names travel with the vertices through every rewrite), so the
+	// client's Graph verifies its own covers directly. Edge-list graphs
+	// keep their input numbering on both sides; the remap is then the
+	// identity and costs one map lookup per vertex.
+	remaps := make(map[*pathcover.Graph]map[string]int, *distinct)
 	for _, r := range stream {
 		if _, ok := specs[r.g]; !ok {
 			if edges, isRaw := edgeSpecs[r.g]; isRaw {
 				specs[r.g] = map[string]any{"n": r.g.N(), "edges": edges}
-				parsed[r.g] = r.g
-				continue
+			} else {
+				specs[r.g] = map[string]any{"cotree": r.g.String()}
 			}
-			src := r.g.String()
-			specs[r.g] = map[string]any{"cotree": src}
-			pg, err := pathcover.ParseCotree(src)
-			if err != nil {
-				panic(fmt.Sprintf("round-trip parse: %v", err))
-			}
-			parsed[r.g] = pg
+			remaps[r.g] = nameIndex(r.g)
 		}
-	}
-	for i := range stream {
-		stream[i].vg = parsed[stream[i].g]
 	}
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *clients}}
 
@@ -387,18 +473,36 @@ func runAttack(base string) {
 		"configuration", "clients", "requests", "wall s", "req/s", "p50 ms", "p99 ms")
 
 	type coverResp struct {
-		NumPaths int     `json:"num_paths"`
-		Paths    [][]int `json:"paths"`
-		Exact    bool    `json:"exact"`
-		Backend  string  `json:"backend"`
-		Gap      int     `json:"gap"`
+		NumPaths int      `json:"num_paths"`
+		Paths    [][]int  `json:"paths"`
+		Names    []string `json:"names"`
+		Exact    bool     `json:"exact"`
+		Backend  string   `json:"backend"`
+		Gap      int      `json:"gap"`
 	}
-	post := func(path string, body any, dst any) error {
-		blob, err := json.Marshal(body)
-		if err != nil {
-			return err
+	// remap rewrites a response's server-numbered paths onto the client
+	// graph's numbering: server vertex v is the client vertex sharing its
+	// name. This replaces the old round-trip reparse of the cotree text.
+	remap := func(g *pathcover.Graph, paths [][]int, names []string) [][]int {
+		byName := remaps[g]
+		out := make([][]int, len(paths))
+		for i, p := range paths {
+			q := make([]int, len(p))
+			for j, v := range p {
+				if v < 0 || v >= len(names) {
+					panic(fmt.Sprintf("response path vertex %d outside names array (n=%d)", v, len(names)))
+				}
+				cid, ok := byName[names[v]]
+				if !ok {
+					panic(fmt.Sprintf("response names vertex %q unknown to the client graph", names[v]))
+				}
+				q[j] = cid
+			}
+			out[i] = q
 		}
-		resp, err := client.Post(base+path, "application/json", bytes.NewReader(blob))
+		return out
+	}
+	finish := func(path string, resp *http.Response, err error, dst any) error {
 		if err != nil {
 			return err
 		}
@@ -412,13 +516,25 @@ func runAttack(base string) {
 		}
 		return json.Unmarshal(payload, dst)
 	}
+	post := func(path string, body any, dst any) error {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader(blob))
+		return finish(path, resp, err, dst)
+	}
+	get := func(path string, dst any) error {
+		resp, err := client.Get(base + path)
+		return finish(path, resp, err, dst)
+	}
 
 	lat, wall := drive(stream, *clients, func(_ int, r svReq) (*pathcover.Cover, error) {
 		var out coverResp
-		if err := post("/cover", specs[r.g], &out); err != nil {
+		if err := post("/cover?include_names=1", specs[r.g], &out); err != nil {
 			return nil, err
 		}
-		return &pathcover.Cover{Paths: out.Paths, NumPaths: out.NumPaths, Exact: out.Exact}, nil
+		return &pathcover.Cover{Paths: remap(r.g, out.Paths, out.Names), NumPaths: out.NumPaths, Exact: out.Exact}, nil
 	})
 	serveRow("attack /cover", len(stream), lat, wall)
 
@@ -436,7 +552,7 @@ func runAttack(base string) {
 			Covers []coverResp `json:"covers"`
 		}
 		t0 := time.Now()
-		err := post("/batch", map[string]any{"graphs": graphs}, &out)
+		err := post("/batch", map[string]any{"graphs": graphs, "include_names": true}, &out)
 		blat = append(blat, time.Since(t0))
 		if err != nil {
 			panic(err)
@@ -452,7 +568,7 @@ func runAttack(base string) {
 			if r.want >= 0 && cov.NumPaths != r.want {
 				panic(fmt.Sprintf("batch cover %d: %d paths, want %d", off+i, cov.NumPaths, r.want))
 			}
-			if err := r.vg.Verify(cov.Paths); err != nil {
+			if err := r.g.Verify(remap(r.g, cov.Paths, cov.Names)); err != nil {
 				panic(fmt.Sprintf("batch cover %d: %v", off+i, err))
 			}
 		}
@@ -462,4 +578,87 @@ func runAttack(base string) {
 		fmt.Sprintf("%.2f", bwall.Seconds()),
 		fmt.Sprintf("%.1f", float64(len(stream))/bwall.Seconds()),
 		ms(pctl(blat, 0.50)), ms(pctl(blat, 0.99)))
+
+	// A2 — registered-graph sessions: every distinct presentation of a
+	// Zipf stream is registered once (POST /graphs), then the stream is
+	// served by id (GET /cover?id=) — no graph bytes on the hot path.
+	// The hit %% column is the server cache's delta over this run read
+	// from /stats; relabelled twins of one base graph share a canonical
+	// entry, so with a cached daemon the hit rate far exceeds what
+	// presentation-keyed duplicates alone could deliver ("-" when the
+	// daemon runs uncached).
+	type cachePeek struct {
+		Pool struct {
+			Cache *pathcover.CacheStats `json:"cache"`
+		} `json:"pool"`
+	}
+	readCache := func() *pathcover.CacheStats {
+		var st cachePeek
+		if err := get("/stats", &st); err != nil {
+			panic(err)
+		}
+		return st.Pool.Cache
+	}
+
+	const zipfS = 1.1
+	zstream := buildZipfStream(maxLg, zipfS)
+	ids := make(map[*pathcover.Graph]string, len(zstream))
+	for _, r := range zstream {
+		if _, ok := ids[r.g]; ok {
+			continue
+		}
+		var info struct {
+			ID string `json:"id"`
+		}
+		if err := post("/graphs", map[string]any{"cotree": r.g.String()}, &info); err != nil {
+			panic(err)
+		}
+		if info.ID == "" {
+			panic("POST /graphs returned no id")
+		}
+		ids[r.g] = info.ID
+		remaps[r.g] = nameIndex(r.g)
+	}
+
+	header(fmt.Sprintf("A2 — registered-graph sessions %s, Zipf(%.1f) stream of %d requests over %d registered presentations",
+		base, zipfS, len(zstream), len(ids)),
+		"configuration", "clients", "requests", "hit %", "wall s", "req/s", "p50 ms", "p99 ms")
+	before := readCache()
+	zlat, zwall := drive(zstream, *clients, func(_ int, r svReq) (*pathcover.Cover, error) {
+		var out coverResp
+		if err := get("/cover?id="+ids[r.g]+"&include_names=1", &out); err != nil {
+			return nil, err
+		}
+		return &pathcover.Cover{Paths: remap(r.g, out.Paths, out.Names), NumPaths: out.NumPaths, Exact: out.Exact}, nil
+	})
+	after := readCache()
+	hit := "-"
+	if before != nil && after != nil {
+		hit = hitPct(&pathcover.CacheStats{
+			Hits:      after.Hits - before.Hits,
+			Misses:    after.Misses - before.Misses,
+			Coalesced: after.Coalesced - before.Coalesced,
+		})
+	}
+	row("attack GET /cover?id=", fmt.Sprint(*clients), fmt.Sprint(len(zstream)), hit,
+		fmt.Sprintf("%.2f", zwall.Seconds()),
+		fmt.Sprintf("%.1f", float64(len(zstream))/zwall.Seconds()),
+		ms(pctl(zlat, 0.50)), ms(pctl(zlat, 0.99)))
+
+	// Deregister the session graphs so repeated attacks against one
+	// daemon don't accumulate registry residents (and so DELETE gets
+	// exercised outside the smoke test).
+	for _, id := range ids {
+		req, err := http.NewRequest(http.MethodDelete, base+"/graphs/"+id, nil)
+		if err != nil {
+			panic(err)
+		}
+		var out struct {
+			Deleted bool `json:"deleted"`
+		}
+		resp, err := client.Do(req)
+		if err := finish("/graphs/"+id, resp, err, &out); err != nil || !out.Deleted {
+			panic(fmt.Sprintf("DELETE /graphs/%s: deleted=%v err=%v", id, out.Deleted, err))
+		}
+	}
 }

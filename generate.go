@@ -28,6 +28,22 @@ func Random(seed uint64, n int, shape Shape) *Graph {
 	return &Graph{t: workload.Random(seed, n, shape)}
 }
 
+// Relabelled returns the same graph as g under a rewritten
+// presentation: vertex ids permuted and cotree child order shuffled,
+// deterministically in the seed (names travel with the vertices, so
+// Name is the stable identity across presentations). The result is
+// isomorphic to g — equal CanonicalHash, different wire form — which
+// makes Relabelled the generator for exercising canonical-identity
+// machinery: caches keyed on canonical form treat g and Relabelled(g,
+// s) as one graph. Cographs only; raw (FromEdgesAny) graphs have no
+// cotree to rewrite and panic.
+func Relabelled(g *Graph, seed uint64) *Graph {
+	if g.t == nil {
+		panic("pathcover: Relabelled requires a cograph")
+	}
+	return &Graph{t: cotree.Permute(g.t, seed)}
+}
+
 // Clique returns the complete graph K_n.
 func Clique(n int) *Graph {
 	mustValidN(n)

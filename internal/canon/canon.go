@@ -1,0 +1,262 @@
+// Package canon computes the canonical form of a cotree: a
+// representative that is identical for every cotree of the same graph
+// up to vertex relabelling, together with a 128-bit content hash and
+// the vertex permutation between the input's numbering and the
+// canonical one.
+//
+// The cotree of a cograph is unique up to the order of children
+// (property (6) of the paper's §1), so canonicalization is exactly a
+// deterministic child ordering: children are sorted by a key of their
+// subtree computed bottom-up. Two relabelled or rewritten cotrees of
+// the same graph collapse to one canonical representative; distinct
+// graphs never share one (the representative *is* the cotree, which
+// determines the graph).
+//
+// Canonicalize orders children by a 128-bit subtree hash — O(n log n)
+// overall, stack-free (caterpillar cotrees reach depth Θ(n)), and
+// collision-safe in practice (a pair of distinct subtrees colliding on
+// all 128 bits is ~2^-64 per cache lifetime). Encode produces the
+// exact canonical text form with children ordered by full string
+// comparison — hash-free ground truth for tests, at worst-case
+// quadratic output size, so it is for small inputs only.
+package canon
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"pathcover/internal/cotree"
+)
+
+// Hash is a 128-bit content hash of a canonical cotree. Equal graphs
+// (up to vertex relabelling) always hash equal; distinct graphs hash
+// distinct up to astronomically unlikely collisions.
+type Hash struct {
+	Hi, Lo uint64
+}
+
+// String renders the hash as 32 hex digits.
+func (h Hash) String() string { return fmt.Sprintf("%016x%016x", h.Hi, h.Lo) }
+
+// Less orders hashes lexicographically (Hi, then Lo).
+func (h Hash) Less(o Hash) bool {
+	if h.Hi != o.Hi {
+		return h.Hi < o.Hi
+	}
+	return h.Lo < o.Lo
+}
+
+// Form is the canonical identity of a cotree: its hash plus the vertex
+// permutation between the input numbering and the canonical numbering
+// (vertices numbered 0..n-1 in depth-first order of the canonically
+// sorted tree). A path cover expressed in canonical numbering is valid
+// for every graph of this form; remap it through FromCanon to answer
+// in a particular requester's numbering.
+type Form struct {
+	Hash Hash
+	// ToCanon maps an input vertex id to its canonical id.
+	ToCanon []int32
+	// FromCanon maps a canonical vertex id back to the input id.
+	FromCanon []int32
+}
+
+// N returns the vertex count.
+func (f *Form) N() int { return len(f.ToCanon) }
+
+// Hash-mixing constants (splitmix64 / xxhash lineage).
+const (
+	mulA = 0x9e3779b97f4a7c15
+	mulB = 0xbf58476d1ce4e5b9
+	mulC = 0x94d049bb133111eb
+)
+
+// mix folds x into h with strong diffusion. Sequential folds over a
+// canonically ordered child list give an order-sensitive combine, which
+// is what we want: the order is itself canonical.
+func mix(h, x uint64) uint64 {
+	h ^= x * mulA
+	h = bits.RotateLeft64(h, 31) * mulB
+	h ^= h >> 29
+	return h
+}
+
+// Subtree-hash initial values per node kind. The two lanes use
+// different IVs and fold children with different multipliers, so a
+// collision must hold in two decorrelated 64-bit digests at once.
+const (
+	ivLeafHi = 0x8f14a5c3d2e1b007
+	ivLeafLo = 0x51ed2701fa35c94d
+	iv0Hi    = 0xc3a5c85c97cb3127
+	iv0Lo    = 0xb492b66fbe98f273
+	iv1Hi    = 0x9ae16a3b2f90404f
+	iv1Lo    = 0xe7037ed1a0b428db
+)
+
+// Canonicalize computes the canonical form of t. The input is not
+// modified. O(n log n) time, O(n) memory, no recursion.
+func Canonicalize(t *cotree.Tree) *Form {
+	nn := t.NumNodes()
+	nv := t.NumVertices()
+	post := postOrder(t)
+
+	// Per-node subtree digests and leaf counts, bottom-up.
+	hi := make([]uint64, nn)
+	lo := make([]uint64, nn)
+	leaves := make([]int32, nn)
+	// kids holds every node's children re-sorted by subtree digest, all
+	// segments in one backing array (kids[off[u]:off[u+1]] is node u's).
+	off := make([]int32, nn+1)
+	for u := 0; u < nn; u++ {
+		off[u+1] = off[u] + int32(len(t.Children[u]))
+	}
+	kids := make([]int32, off[nn])
+	for _, u := range post {
+		if t.Label[u] == cotree.LabelLeaf {
+			hi[u], lo[u], leaves[u] = ivLeafHi, ivLeafLo, 1
+			continue
+		}
+		seg := kids[off[u]:off[u+1]]
+		for i, c := range t.Children[u] {
+			seg[i] = int32(c)
+		}
+		sort.Slice(seg, func(a, b int) bool {
+			x, y := seg[a], seg[b]
+			if hi[x] != hi[y] {
+				return hi[x] < hi[y]
+			}
+			return lo[x] < lo[y]
+		})
+		var h, l uint64
+		if t.Label[u] == cotree.Label0 {
+			h, l = iv0Hi, iv0Lo
+		} else {
+			h, l = iv1Hi, iv1Lo
+		}
+		var cnt int32
+		for _, c := range seg {
+			h = mix(h, hi[c])
+			l = mix(l, lo[c]*mulC+1)
+			cnt += leaves[c]
+		}
+		leaves[u] = cnt
+		hi[u] = mix(h, uint64(cnt))
+		lo[u] = mix(l, uint64(cnt)*mulB+uint64(len(seg)))
+	}
+
+	// Canonical vertex numbering: depth-first over the sorted children,
+	// leaves numbered in visit order.
+	toCanon := make([]int32, nv)
+	fromCanon := make([]int32, nv)
+	stack := make([]int32, 0, 64)
+	stack = append(stack, int32(t.Root))
+	next := int32(0)
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if t.Label[u] == cotree.LabelLeaf {
+			v := int32(t.VertexOf[u])
+			toCanon[v] = next
+			fromCanon[next] = v
+			next++
+			continue
+		}
+		seg := kids[off[u]:off[u+1]]
+		for i := len(seg) - 1; i >= 0; i-- {
+			stack = append(stack, seg[i])
+		}
+	}
+
+	root := t.Root
+	return &Form{
+		Hash: Hash{
+			Hi: mix(hi[root], uint64(nv)*mulA),
+			Lo: mix(lo[root], uint64(nv)*mulC),
+		},
+		ToCanon:   toCanon,
+		FromCanon: fromCanon,
+	}
+}
+
+// postOrder returns the nodes of t in post-order, iteratively (cotree
+// depth reaches Θ(n) on caterpillars).
+func postOrder(t *cotree.Tree) []int32 {
+	nn := t.NumNodes()
+	type frame struct {
+		node int32
+		next int32
+	}
+	st := make([]frame, 0, 64)
+	st = append(st, frame{int32(t.Root), 0})
+	post := make([]int32, 0, nn)
+	for len(st) > 0 {
+		f := &st[len(st)-1]
+		ch := t.Children[f.node]
+		if int(f.next) < len(ch) {
+			c := ch[f.next]
+			f.next++
+			st = append(st, frame{int32(c), 0})
+			continue
+		}
+		post = append(post, f.node)
+		st = st[:len(st)-1]
+	}
+	return post
+}
+
+// Encode returns the canonical text form of t's structure: leaves
+// render as "*" (vertex identity is immaterial to the form) and every
+// internal node's children are sorted by their full encoded string.
+// Two cotrees encode equal iff they represent the same graph up to
+// vertex relabelling. Exact but worst-case quadratic in output size —
+// use for tests and small graphs; Canonicalize is the serving path.
+func Encode(t *cotree.Tree) string {
+	var enc func(u int) string
+	enc = func(u int) string {
+		if t.Label[u] == cotree.LabelLeaf {
+			return "*"
+		}
+		parts := make([]string, len(t.Children[u]))
+		for i, c := range t.Children[u] {
+			parts[i] = enc(c)
+		}
+		sort.Strings(parts)
+		return fmt.Sprintf("(%d %s)", t.Label[u], strings.Join(parts, " "))
+	}
+	return enc(t.Root)
+}
+
+// HashEdges is a content hash for raw (non-cograph) graphs: the edge
+// set is normalized (undirected, sorted) and folded with n. Identical
+// inputs hash equal; unlike Canonicalize this is NOT invariant under
+// vertex relabelling — raw graphs have no cheap canonical form — so it
+// identifies duplicate requests, not isomorphic ones.
+func HashEdges(n int, edges [][2]int) Hash {
+	norm := make([][2]int, len(edges))
+	for i, e := range edges {
+		a, b := e[0], e[1]
+		if a > b {
+			a, b = b, a
+		}
+		norm[i] = [2]int{a, b}
+	}
+	sort.Slice(norm, func(i, j int) bool {
+		if norm[i][0] != norm[j][0] {
+			return norm[i][0] < norm[j][0]
+		}
+		return norm[i][1] < norm[j][1]
+	})
+	h, l := uint64(0x27d4eb2f165667c5), uint64(0x85ebca77c2b2ae63)
+	h = mix(h, uint64(n))
+	l = mix(l, uint64(n)*mulB+1)
+	for i, e := range norm {
+		if i > 0 && e == norm[i-1] {
+			continue // duplicate edges do not change the graph
+		}
+		x := uint64(e[0])<<32 | uint64(uint32(e[1]))
+		h = mix(h, x)
+		l = mix(l, x*mulC+7)
+	}
+	return Hash{Hi: h, Lo: l}
+}

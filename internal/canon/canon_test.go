@@ -1,0 +1,227 @@
+package canon
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pathcover/internal/cotree"
+	"pathcover/internal/workload"
+)
+
+// --- enumeration of all unlabeled cographs up to n=10 -----------------
+//
+// A cograph's cotree is unique up to child order, so isomorphism
+// classes of cographs on n vertices are exactly multiset-built cotrees:
+// a single leaf (n=1), or a 0/1-rooted node whose >=2 children are
+// leaves and opposite-kind subtrees. rooted enumerates one expression
+// per class — children chosen as a multiset (sizes nonincreasing,
+// option index nonincreasing within a size) so no class appears twice.
+// Leaves are "@" placeholders, instantiated with fresh names at parse.
+
+var rootedMemo = map[[2]int][]string{}
+
+func childOptions(size, rootKind int) []string {
+	if size == 1 {
+		return []string{"@"}
+	}
+	return rooted(size, 1-rootKind)
+}
+
+func rooted(n, kind int) []string {
+	key := [2]int{n, kind}
+	if got, ok := rootedMemo[key]; ok {
+		return got
+	}
+	var out []string
+	var rec func(rem, maxSize, maxIdx int, kids []string)
+	rec = func(rem, maxSize, maxIdx int, kids []string) {
+		if rem == 0 {
+			if len(kids) >= 2 {
+				out = append(out, "("+strconv.Itoa(kind)+" "+strings.Join(kids, " ")+")")
+			}
+			return
+		}
+		for s := min(maxSize, rem); s >= 1; s-- {
+			opts := childOptions(s, kind)
+			hi := len(opts) - 1
+			if s == maxSize && maxIdx < hi {
+				hi = maxIdx
+			}
+			for i := hi; i >= 0; i-- {
+				rec(rem-s, s, i, append(kids[:len(kids):len(kids)], opts[i]))
+			}
+		}
+	}
+	// Children are strictly smaller than the whole (>=2 of them), so the
+	// size scan starts at n-1; this also breaks the would-be recursion
+	// rooted(n,0) <-> rooted(n,1).
+	rec(n, n-1, int(^uint(0)>>1), nil)
+	rootedMemo[key] = out
+	return out
+}
+
+func allCographs(n int) []*cotree.Tree {
+	if n == 1 {
+		return []*cotree.Tree{cotree.Single("v0")}
+	}
+	exprs := append(append([]string(nil), rooted(n, 0)...), rooted(n, 1)...)
+	out := make([]*cotree.Tree, len(exprs))
+	for i, e := range exprs {
+		out[i] = instantiate(e)
+	}
+	return out
+}
+
+func instantiate(expr string) *cotree.Tree {
+	var b strings.Builder
+	k := 0
+	for _, c := range expr {
+		if c == '@' {
+			fmt.Fprintf(&b, "v%d", k)
+			k++
+		} else {
+			b.WriteRune(c)
+		}
+	}
+	return cotree.MustParse(b.String())
+}
+
+// TestDistinctCographsNeverCollide canonicalizes every isomorphism
+// class of cographs up to n=10 (class counts cross-checked against the
+// known sequence) and asserts that both the canonical text form and
+// the 128-bit hash separate all of them — the "distinct graphs never
+// collapse" half of canonical identity, exhaustively.
+func TestDistinctCographsNeverCollide(t *testing.T) {
+	counts := []int{1, 2, 4, 10, 24, 66, 180, 522, 1532, 4624}
+	seenHash := make(map[Hash]string)
+	seenEnc := make(map[string]Hash)
+	for n := 1; n <= len(counts); n++ {
+		trees := allCographs(n)
+		if len(trees) != counts[n-1] {
+			t.Fatalf("n=%d: enumerated %d cograph classes, want %d", n, len(trees), counts[n-1])
+		}
+		for _, tr := range trees {
+			enc := Encode(tr)
+			form := Canonicalize(tr)
+			if prev, dup := seenHash[form.Hash]; dup {
+				t.Fatalf("hash collision between distinct cographs:\n  %s\n  %s", prev, enc)
+			}
+			seenHash[form.Hash] = enc
+			if _, dup := seenEnc[enc]; dup {
+				t.Fatalf("canonical-form collision between distinct cographs: %s", enc)
+			}
+			seenEnc[enc] = form.Hash
+		}
+	}
+}
+
+// TestPermutationInvariance: every relabelled-isomorphic presentation
+// of a graph — permuted vertex ids, shuffled child order — has the
+// identical canonical hash AND the identical canonical text form,
+// across sizes and silhouettes.
+func TestPermutationInvariance(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16, 33, 100, 257, 1000} {
+		for shape := 0; shape < 3; shape++ {
+			base := workload.Random(uint64(7*n+shape), n, workload.Shape(shape))
+			wantForm := Canonicalize(base)
+			wantEnc := ""
+			if n <= 257 { // Encode is quadratic; ground-truth small sizes only
+				wantEnc = Encode(base)
+			}
+			for ps := uint64(1); ps <= 3; ps++ {
+				twin := cotree.Permute(base, ps)
+				form := Canonicalize(twin)
+				if form.Hash != wantForm.Hash {
+					t.Fatalf("n=%d shape=%d permute=%d: hash %s != base %s",
+						n, shape, ps, form.Hash, wantForm.Hash)
+				}
+				if wantEnc != "" {
+					if enc := Encode(twin); enc != wantEnc {
+						t.Fatalf("n=%d shape=%d permute=%d: canonical form diverged", n, shape, ps)
+					}
+				}
+				checkPermutation(t, form)
+			}
+		}
+	}
+}
+
+// checkPermutation asserts ToCanon and FromCanon are mutually inverse
+// permutations of [0, n).
+func checkPermutation(t *testing.T, f *Form) {
+	t.Helper()
+	n := f.N()
+	if len(f.ToCanon) != n || len(f.FromCanon) != n {
+		t.Fatalf("permutation lengths %d/%d, want %d", len(f.ToCanon), len(f.FromCanon), n)
+	}
+	for v := 0; v < n; v++ {
+		c := f.ToCanon[v]
+		if c < 0 || int(c) >= n {
+			t.Fatalf("ToCanon[%d] = %d out of range", v, c)
+		}
+		if int(f.FromCanon[c]) != v {
+			t.Fatalf("FromCanon[ToCanon[%d]] = %d", v, f.FromCanon[c])
+		}
+	}
+}
+
+// TestCanonicalNumberingIsIsomorphism: mapping vertices through
+// ToCanon must preserve adjacency — the canonical numbering is an
+// actual isomorphism onto the canonical representative, which is what
+// lets cached covers transport between presentations.
+func TestCanonicalNumberingIsIsomorphism(t *testing.T) {
+	base := workload.Random(42, 80, workload.Mixed)
+	twin := cotree.Permute(base, 9)
+	bf, tf := Canonicalize(base), Canonicalize(twin)
+	if bf.Hash != tf.Hash {
+		t.Fatal("twin hash mismatch")
+	}
+	ab, at := cotree.NewAdjOracle(base), cotree.NewAdjOracle(twin)
+	// base vertex u corresponds to twin vertex tf.FromCanon[bf.ToCanon[u]].
+	n := bf.N()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			tu := tf.FromCanon[bf.ToCanon[u]]
+			tv := tf.FromCanon[bf.ToCanon[v]]
+			if ab.Adjacent(u, v) != at.Adjacent(int(tu), int(tv)) {
+				t.Fatalf("canonical correspondence breaks adjacency at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+// TestHashEdges: order- and orientation-independent, edge-sensitive.
+func TestHashEdges(t *testing.T) {
+	a := HashEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	b := HashEdges(4, [][2]int{{3, 2}, {0, 1}, {2, 1}, {1, 0}}) // shuffled, flipped, duplicated
+	if a != b {
+		t.Fatal("HashEdges depends on edge order/orientation")
+	}
+	if c := HashEdges(4, [][2]int{{0, 1}, {1, 2}, {1, 3}}); c == a {
+		t.Fatal("HashEdges ignored an edge difference")
+	}
+	if c := HashEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}}); c == a {
+		t.Fatal("HashEdges ignored the vertex count")
+	}
+}
+
+// FuzzPermutationInvariance drives random (graph, permutation) pairs
+// through the property the whole cache rests on: presentations of one
+// graph share a canonical hash.
+func FuzzPermutationInvariance(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint8(12), uint8(0))
+	f.Add(uint64(99), uint64(7), uint8(200), uint8(2))
+	f.Fuzz(func(t *testing.T, gseed, pseed uint64, size, shape uint8) {
+		n := int(size)%96 + 1
+		base := workload.Random(gseed, n, workload.Shape(int(shape)%3))
+		twin := cotree.Permute(base, pseed)
+		bf, tf := Canonicalize(base), Canonicalize(twin)
+		if bf.Hash != tf.Hash {
+			t.Fatalf("permuted twin hash %s != %s", tf.Hash, bf.Hash)
+		}
+		checkPermutation(t, bf)
+		checkPermutation(t, tf)
+	})
+}

@@ -14,6 +14,7 @@ package cotree
 
 import (
 	"fmt"
+	"math/rand/v2"
 
 	"pathcover/internal/par"
 	"pathcover/internal/pram"
@@ -84,6 +85,39 @@ func Complement(t *Tree) *Tree {
 		case Label1:
 			out.Label[i] = Label0
 		}
+	}
+	return out
+}
+
+// Permute returns a rewritten presentation of the same graph: every
+// internal node's child list is shuffled and the vertex numbering is
+// permuted, both deterministically in the seed. Names travel with the
+// leaves, so the vertex named "x" before is still named "x" after —
+// only its id changed. The result is isomorphic to t (identical up to
+// relabelling), which makes Permute the generator of choice for
+// exercising canonical-identity machinery: Canonicalize(t) and
+// Canonicalize(Permute(t, s)) must agree for every s.
+func Permute(t *Tree, seed uint64) *Tree {
+	rng := rand.New(rand.NewPCG(seed, 0x9e37))
+	out := t.Clone()
+	for _, ch := range out.Children {
+		rng.Shuffle(len(ch), func(i, j int) { ch[i], ch[j] = ch[j], ch[i] })
+	}
+	nv := t.NumVertices()
+	perm := rng.Perm(nv) // perm[old vertex id] = new vertex id
+	for u, v := range t.VertexOf {
+		if v >= 0 {
+			out.VertexOf[u] = perm[v]
+		}
+	}
+	for v := 0; v < nv; v++ {
+		out.LeafOf[perm[v]] = t.LeafOf[v]
+	}
+	if len(out.Names) != nv {
+		out.Names = make([]string, nv)
+	}
+	for v := 0; v < nv; v++ {
+		out.Names[perm[v]] = t.Name(v)
 	}
 	return out
 }

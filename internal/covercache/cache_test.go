@@ -1,0 +1,267 @@
+package covercache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"pathcover/internal/canon"
+)
+
+func key(i uint64) Key {
+	return Key{Hash: canon.Hash{Hi: i, Lo: ^i}, N: int(i), Seed: 1}
+}
+
+// entryOfSize builds an entry whose accounted size lands near bytes
+// (the fixed struct overhead means small asks clamp to the minimum).
+func entryOfSize(bytes int) *Entry {
+	verts := max((bytes-96)/4, 0)
+	return &Entry{Verts: make([]int32, verts), Ends: []int32{int32(verts)}, NumPaths: 1}
+}
+
+func fillWith(e *Entry) func() (*Entry, error) {
+	return func() (*Entry, error) { return e, nil }
+}
+
+func TestDoMissThenHit(t *testing.T) {
+	c := New(1 << 20)
+	want := entryOfSize(200)
+	e, out, err := c.Do(context.Background(), key(1), fillWith(want))
+	if err != nil || out != Miss || e != want {
+		t.Fatalf("first Do: entry=%p outcome=%v err=%v, want miss of %p", e, out, err, want)
+	}
+	e, out, err = c.Do(context.Background(), key(1), func() (*Entry, error) {
+		t.Fatal("hit ran the fill")
+		return nil, nil
+	})
+	if err != nil || out != Hit || e != want {
+		t.Fatalf("second Do: outcome=%v err=%v", out, err)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Coalesced != 0 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestDoCoalesces parks waiters behind a deliberately-blocked leader:
+// the fill holds until every other Do is provably queued on the
+// flight, so exactly one fill runs and everyone gets its entry.
+func TestDoCoalesces(t *testing.T) {
+	c := New(1 << 20)
+	const waiters = 8
+	want := entryOfSize(128)
+	fills := 0
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+	results := make(chan Outcome, waiters+1)
+	var wg sync.WaitGroup
+	launch := func(first bool) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, out, err := c.Do(context.Background(), key(7), func() (*Entry, error) {
+				fills++
+				if first {
+					close(leaderIn)
+				}
+				<-release
+				return want, nil
+			})
+			if err != nil || e != want {
+				panic(fmt.Sprintf("Do: entry=%p err=%v", e, err))
+			}
+			results <- out
+		}()
+	}
+	launch(true)
+	<-leaderIn // the flight exists; everyone after this coalesces
+	for i := 0; i < waiters; i++ {
+		launch(false)
+	}
+	// Waiters block inside Do without running their fill (fills would
+	// race otherwise — the -race build enforces this for us).
+	close(release)
+	wg.Wait()
+	if fills != 1 {
+		t.Fatalf("%d fills ran, want 1", fills)
+	}
+	// Exactly one miss (the leader); every other call either coalesced
+	// onto the flight or — if its goroutine was scheduled only after the
+	// fill landed — hit the finished entry. Neither ran a fill.
+	miss, coal, hit := 0, 0, 0
+	for i := 0; i < waiters+1; i++ {
+		switch <-results {
+		case Miss:
+			miss++
+		case Coalesced:
+			coal++
+		case Hit:
+			hit++
+		}
+	}
+	if miss != 1 || coal+hit != waiters {
+		t.Fatalf("miss=%d coalesced=%d hit=%d, want 1 miss and %d others", miss, coal, hit, waiters)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Coalesced != int64(coal) || st.Hits != int64(hit) {
+		t.Fatalf("stats %+v do not match outcomes (coal=%d hit=%d)", st, coal, hit)
+	}
+}
+
+// TestDoLeaderErrorRetries: a failed fill must not poison the key —
+// waiters retry (racing to lead) rather than inheriting the error, and
+// a later Do succeeds.
+func TestDoLeaderErrorRetries(t *testing.T) {
+	c := New(1 << 20)
+	boom := errors.New("boom")
+	if _, _, err := c.Do(context.Background(), key(3), func() (*Entry, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("leader error = %v, want boom", err)
+	}
+	want := entryOfSize(128)
+	e, out, err := c.Do(context.Background(), key(3), fillWith(want))
+	if err != nil || out != Miss || e != want {
+		t.Fatalf("retry after error: outcome=%v err=%v", out, err)
+	}
+}
+
+// TestDoWaiterCancellation: a cancelled waiter unblocks with ctx.Err()
+// while the leader's fill proceeds and lands in the cache.
+func TestDoWaiterCancellation(t *testing.T) {
+	c := New(1 << 20)
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+	want := entryOfSize(128)
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), key(5), func() (*Entry, error) {
+			close(leaderIn)
+			<-release
+			return want, nil
+		})
+		done <- err
+	}()
+	<-leaderIn
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.Do(ctx, key(5), fillWith(nil)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("leader err = %v", err)
+	}
+	if e := c.Get(key(5)); e != want {
+		t.Fatal("fill result did not land despite waiter cancellation")
+	}
+}
+
+// TestTryDo never waits: with a flight in progress it runs its own
+// fill (the caller may hold resources the leader is queued on), and
+// with no flight it registers one so Do callers can coalesce onto it.
+func TestTryDo(t *testing.T) {
+	c := New(1 << 20)
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+	want := entryOfSize(128)
+	go func() {
+		c.Do(context.Background(), key(9), func() (*Entry, error) {
+			close(leaderIn)
+			<-release
+			return want, nil
+		})
+	}()
+	<-leaderIn
+	own := entryOfSize(128)
+	e, out, err := c.TryDo(key(9), fillWith(own))
+	if err != nil || out != Miss || e != own {
+		t.Fatalf("TryDo under flight: entry=%p outcome=%v err=%v", e, out, err)
+	}
+	close(release)
+
+	// No flight: TryDo's fill fills the cache and subsequent calls hit.
+	fresh := entryOfSize(128)
+	if e, out, _ := c.TryDo(key(11), fillWith(fresh)); out != Miss || e != fresh {
+		t.Fatalf("TryDo fresh: outcome=%v", out)
+	}
+	if _, out, _ := c.TryDo(key(11), fillWith(nil)); out != Hit {
+		t.Fatalf("TryDo after fill: outcome=%v", out)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(1024)
+	for i := uint64(0); i < 4; i++ {
+		c.Do(context.Background(), key(i), fillWith(entryOfSize(400)))
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions at 4x400 bytes into 1024: %+v", st)
+	}
+	if st.Bytes > st.Capacity {
+		t.Fatalf("resident bytes %d exceed capacity %d", st.Bytes, st.Capacity)
+	}
+	if c.Get(key(0)) != nil {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if c.Get(key(3)) == nil {
+		t.Fatal("newest entry was evicted")
+	}
+	// An entry larger than the whole capacity must still be admitted
+	// (the cache keeps at least one resident) without wedging.
+	big := entryOfSize(4096)
+	c.Do(context.Background(), key(100), fillWith(big))
+	if c.Get(key(100)) != big {
+		t.Fatal("oversized entry not resident")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("oversized entry should evict the rest, len=%d", c.Len())
+	}
+}
+
+// TestFillPanicReleasesFlight: a panicking fill must re-panic AND
+// leave the key usable (no waiter wedged forever on a dead flight).
+func TestFillPanicReleasesFlight(t *testing.T) {
+	c := New(1 << 20)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("fill panic did not propagate")
+			}
+		}()
+		c.Do(context.Background(), key(13), func() (*Entry, error) { panic("fill exploded") })
+	}()
+	want := entryOfSize(128)
+	e, out, err := c.Do(context.Background(), key(13), fillWith(want))
+	if err != nil || out != Miss || e != want {
+		t.Fatalf("Do after panic: outcome=%v err=%v", out, err)
+	}
+}
+
+// TestConcurrentMixedKeys hammers Do from many goroutines over a small
+// key space — the -race build is the assertion.
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := New(8 << 10)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := key(uint64(i % 7))
+				e, _, err := c.Do(context.Background(), k, fillWith(entryOfSize(300)))
+				if err != nil || e == nil {
+					panic(fmt.Sprintf("Do: %v", err))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses+st.Coalesced != 8*200 {
+		t.Fatalf("outcome counters do not sum to requests: %+v", st)
+	}
+}

@@ -2,7 +2,9 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
+	"sort"
 
 	"pathcover/internal/cotree"
 )
@@ -54,6 +56,15 @@ type Request struct {
 	N     int
 	Shape Shape
 	Kind  Kind
+	// Relabel, when non-zero, rewrites the materialised cotree into a
+	// relabelled-isomorphic presentation (permuted vertex ids, shuffled
+	// child order — cotree.Permute with this seed): the same graph, a
+	// different wire form. Distinct Relabel values are distinct catalog
+	// entries to a registry keyed on Request values, but one graph to
+	// anything keyed on canonical identity. Zero (the zero value, so
+	// pre-existing literals are unchanged) keeps the original
+	// presentation. Cograph requests only; the edge-list kinds ignore it.
+	Relabel uint64
 }
 
 // Tree materialises the request's cotree (KindCograph only; the other
@@ -62,7 +73,11 @@ func (r Request) Tree() *cotree.Tree {
 	if r.Kind != KindCograph {
 		panic("workload: Tree called on a non-cograph request")
 	}
-	return Random(r.Seed, r.N, r.Shape)
+	t := Random(r.Seed, r.N, r.Shape)
+	if r.Relabel != 0 {
+		t = cotree.Permute(t, r.Relabel)
+	}
+	return t
 }
 
 // Edges materialises the request's edge list (the non-cograph kinds;
@@ -148,6 +163,21 @@ func NearCographEdges(seed uint64, n int) [][2]int {
 // (and should) materialise each distinct request once and reuse it —
 // exactly what a serving layer's graph registry does.
 func Requests(seed uint64, count, minLg, maxLg, distinct int) []Request {
+	rng := rand.New(rand.NewPCG(seed, 0x5eed5))
+	catalog := catalogOf(rng, seed, minLg, maxLg, distinct)
+	out := make([]Request, count)
+	for i := range out {
+		out[i] = catalog[rng.IntN(len(catalog))]
+	}
+	return out
+}
+
+// catalogOf builds the distinct entries of a serving catalog: sizes
+// log-uniform in [2^minLg, 2^(maxLg+1)), shapes cycling through the
+// silhouettes. rng must be freshly seeded — Requests and ZipfRequests
+// share this so their catalogs (though not their streams) coincide for
+// equal parameters.
+func catalogOf(rng *rand.Rand, seed uint64, minLg, maxLg, distinct int) []Request {
 	if minLg < 1 {
 		minLg = 1
 	}
@@ -157,7 +187,6 @@ func Requests(seed uint64, count, minLg, maxLg, distinct int) []Request {
 	if distinct < 1 {
 		distinct = 1
 	}
-	rng := rand.New(rand.NewPCG(seed, 0x5eed5))
 	catalog := make([]Request, distinct)
 	for i := range catalog {
 		lg := minLg + rng.IntN(maxLg-minLg+1)
@@ -171,11 +200,70 @@ func Requests(seed uint64, count, minLg, maxLg, distinct int) []Request {
 			Shape: Shape(i % 3),
 		}
 	}
+	return catalog
+}
+
+// zipfVariants is how many presentations each base graph of a
+// ZipfRequests catalog appears under: the original plus two
+// relabelled-isomorphic twins.
+const zipfVariants = 3
+
+// ZipfRequests returns a repeat-heavy serving workload: a catalog of
+// `distinct` base cographs (sized and shaped exactly as in Requests),
+// each appearing under zipfVariants presentations — the original and
+// relabelled-isomorphic twins (cotree.Permute: same graph, permuted
+// vertex ids and shuffled child order). The stream draws base graphs
+// Zipf-distributed by catalog rank — P(rank k) ∝ 1/(k+1)^s, so larger
+// s concentrates the stream onto fewer graphs — and picks the
+// presentation uniformly. This is the canonical-identity cache's
+// adversarial diet: a Request-keyed registry sees up to
+// distinct×zipfVariants distinct entries, while a canonical-form cache
+// sees only `distinct` graphs, so the achievable hit rate cliff
+// between the two is built into the stream. s <= 0 degrades to the
+// uniform draw of Requests (but keeps the relabelled twins).
+func ZipfRequests(seed uint64, count, minLg, maxLg, distinct int, s float64) []Request {
+	if distinct < 1 {
+		distinct = 1
+	}
+	catalog := catalogOf(rand.New(rand.NewPCG(seed, 0x5eed5)), seed, minLg, maxLg, distinct)
+	// Inverse-CDF table over ranks: cum[k] = sum_{j<=k} (j+1)^-s.
+	cum := make([]float64, distinct)
+	total := 0.0
+	for k := 0; k < distinct; k++ {
+		w := 1.0
+		if s > 0 {
+			w = 1 / powf(float64(k+1), s)
+		}
+		total += w
+		cum[k] = total
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x21bf))
 	out := make([]Request, count)
 	for i := range out {
-		out[i] = catalog[rng.IntN(distinct)]
+		u := rng.Float64() * total
+		k := sort.SearchFloat64s(cum, u)
+		if k >= distinct {
+			k = distinct - 1
+		}
+		r := catalog[k]
+		if v := rng.IntN(zipfVariants); v > 0 {
+			// A deterministic per-(entry, variant) relabel seed: the same
+			// twin re-drawn later is the identical Request value, so the
+			// stream has true duplicates of every presentation.
+			r.Relabel = r.Seed ^ (uint64(v) * 0xd1342543de82ef95)
+		}
+		out[i] = r
 	}
 	return out
+}
+
+// powf is math.Pow with the common fast cases inlined (s is typically
+// 1 in serving benchmarks).
+func powf(x, y float64) float64 {
+	if y == 1 {
+		return x
+	}
+	return math.Pow(x, y)
 }
 
 // maxNonCographN caps the size of edge-list catalog entries: building a

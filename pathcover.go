@@ -42,6 +42,7 @@ import (
 
 	"pathcover/internal/backend"
 	"pathcover/internal/baseline"
+	"pathcover/internal/canon"
 	"pathcover/internal/cograph"
 	"pathcover/internal/cotree"
 	"pathcover/internal/pram"
@@ -102,6 +103,11 @@ type Graph struct {
 	// non-nil.
 	raw   *backend.Graph
 	names []string
+
+	// Memoized canonical form (cographs only; see cache.go). Computed
+	// at most once per Graph, on first cache or CanonicalHash use.
+	canonOnce sync.Once
+	canonForm *canon.Form
 }
 
 // ParseCotree reads a cograph from the cotree text format:

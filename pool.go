@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"pathcover/internal/core"
+	"pathcover/internal/covercache"
 	"pathcover/internal/pram"
 )
 
@@ -58,6 +59,12 @@ type Pool struct {
 	shards []*poolShard
 	depth  int // admitted-call bound; 0 = unbounded
 
+	// cache, when non-nil (WithCache), is the shard-shared result cache
+	// keyed on canonical graph identity; baseCfg is the shards' common
+	// base configuration, from which per-call cache keys derive.
+	cache   *covercache.Cache
+	baseCfg config
+
 	inflight atomic.Int64
 	closed   atomic.Bool
 	closeOne sync.Once
@@ -94,7 +101,8 @@ func (sh *poolShard) record(n int, st Stats) {
 
 type poolConfig struct {
 	shards     int
-	queue      int // 0 = default, negative = unbounded
+	queue      int   // 0 = default, negative = unbounded
+	cacheBytes int64 // 0 = uncached
 	solverOpts []Option
 }
 
@@ -160,6 +168,12 @@ func NewPool(opts ...PoolOption) *Pool {
 			opts:    sopts,
 			workers: sv.Workers(),
 		})
+	}
+	// All shards share one base config (only workers could differ, and
+	// workers are not part of a cache key).
+	p.baseCfg = p.shards[0].sv.cfg
+	if cfg.cacheBytes > 0 {
+		p.cache = covercache.New(cfg.cacheBytes)
 	}
 	return p
 }
@@ -306,7 +320,46 @@ func (sh *poolShard) cover(ctx context.Context, g *Graph, opts []Option) (*Cover
 // MinimumPathCover computes a minimum path cover of g on the
 // least-loaded shard. The context covers the queue wait as well as
 // admission; the returned cover is the caller's to keep.
+//
+// On a pool built with WithCache, eligible requests (see cacheKey) are
+// first resolved against the canonical-identity cache: a resident
+// cover for the same graph — under any vertex relabelling — is copied
+// out and remapped into g's numbering without occupying a shard, and
+// concurrent requests for one uncached graph coalesce onto a single
+// solve. The cache flight runs before admission, so waiters hold no
+// queue slot; the solve itself (the cache fill) is admitted normally.
 func (p *Pool) MinimumPathCover(ctx context.Context, g *Graph, opts ...Option) (*Cover, error) {
+	key, form, cacheable := p.cacheKey(g, opts)
+	if !cacheable {
+		return p.solveCover(ctx, g, opts)
+	}
+	if p.closed.Load() {
+		// Hits must not outlive the pool: Close means closed.
+		return nil, ErrPoolClosed
+	}
+	var missCov *Cover
+	entry, outcome, err := p.cache.Do(ctx, key, func() (*covercache.Entry, error) {
+		cov, err := p.solveCover(ctx, g, opts)
+		if err != nil {
+			return nil, err
+		}
+		missCov = cov
+		return entryFromCover(cov, form), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if outcome == covercache.Miss && missCov != nil {
+		// The filling request answers with the pipeline's own cover —
+		// charged Stats and all, bit-identical to an uncached solve.
+		return missCov, nil
+	}
+	return coverFromEntry(entry, form), nil
+}
+
+// solveCover is the uncached solve path: admission, least-loaded shard
+// dispatch, copy-out. Exactly the pre-cache MinimumPathCover.
+func (p *Pool) solveCover(ctx context.Context, g *Graph, opts []Option) (*Cover, error) {
 	var out *Cover
 	err := p.withShard(ctx, g.N(), func(sh *poolShard) error {
 		cov, err := sh.cover(ctx, g, opts)
@@ -320,6 +373,35 @@ func (p *Pool) MinimumPathCover(ctx context.Context, g *Graph, opts ...Option) (
 		return nil, err
 	}
 	return out, nil
+}
+
+// coverMaybeCached serves one batch item, through the cache when the
+// item is eligible, solving on the already-held shard otherwise (and
+// on misses). It uses TryDo, never waiting on another request's
+// in-flight solve: the caller holds a shard slot that a flight leader
+// may itself be queued on, so waiting could deadlock. A cross-shard
+// race on the same key at worst solves twice and unifies at insert.
+func (p *Pool) coverMaybeCached(ctx context.Context, sh *poolShard, g *Graph, opts []Option) (*Cover, error) {
+	key, form, cacheable := p.cacheKey(g, opts)
+	if !cacheable {
+		return sh.cover(ctx, g, opts)
+	}
+	var missCov *Cover
+	entry, outcome, err := p.cache.TryDo(key, func() (*covercache.Entry, error) {
+		cov, err := sh.cover(ctx, g, opts)
+		if err != nil {
+			return nil, err
+		}
+		missCov = cov
+		return entryFromCover(cov, form), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if outcome == covercache.Miss && missCov != nil {
+		return missCov, nil
+	}
+	return coverFromEntry(entry, form), nil
 }
 
 // HamiltonianPath returns a Hamiltonian path of g (ok=false when none
@@ -417,7 +499,7 @@ func (p *Pool) CoverBatch(ctx context.Context, gs []*Graph, opts ...Option) ([]*
 					if p.closed.Load() {
 						return ErrPoolClosed
 					}
-					cov, err := sh.cover(ctx, gs[idx], opts)
+					cov, err := p.coverMaybeCached(ctx, sh, gs[idx], opts)
 					if err != nil {
 						return err
 					}
@@ -530,7 +612,9 @@ type ShardStats struct {
 }
 
 // PoolStats aggregates the pool's serving counters: per-shard records
-// plus their totals and the admission-control counters.
+// plus their totals, the admission-control counters, and — on cached
+// pools — the result cache's counters (nil when the pool is uncached;
+// shard counters record only cache misses, since hits never solve).
 type PoolStats struct {
 	Shards     []ShardStats `json:"shards"`
 	Calls      int64        `json:"calls"`
@@ -543,6 +627,7 @@ type PoolStats struct {
 	Restarts   int64        `json:"restarts"`
 	InFlight   int64        `json:"in_flight"`
 	QueueDepth int          `json:"queue_depth"`
+	Cache      *CacheStats  `json:"cache,omitempty"`
 }
 
 // Stats snapshots the pool's counters. Safe to call concurrently with
@@ -572,6 +657,18 @@ func (p *Pool) Stats() PoolStats {
 		st.SimTime += row.SimTime
 		st.SimWork += row.SimWork
 		st.Restarts += row.Restarts
+	}
+	if p.cache != nil {
+		cs := p.cache.Stats()
+		st.Cache = &CacheStats{
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Coalesced: cs.Coalesced,
+			Evictions: cs.Evictions,
+			Entries:   cs.Entries,
+			Bytes:     cs.Bytes,
+			Capacity:  cs.Capacity,
+		}
 	}
 	return st
 }
