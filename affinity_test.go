@@ -1,0 +1,32 @@
+package pathcover
+
+import (
+	"context"
+	"testing"
+
+	"pathcover/internal/workload"
+)
+
+// TestPoolShardAffinity serves a mixed workload on a pinned pool: the
+// WithShardAffinity option must not change any answer (pinning is an
+// executor property, invisible to the cost model and the covers), and
+// a shard rebuilt after a panic keeps its pinning options without
+// erroring. On non-Linux platforms the option is a no-op and the test
+// still exercises the full path.
+func TestPoolShardAffinity(t *testing.T) {
+	p := NewPool(WithShards(2), WithShardAffinity())
+	defer p.Close()
+	for _, r := range workload.Requests(29, 24, 4, 9, 8) {
+		g := Random(r.Seed, r.N, r.Shape)
+		cov, err := p.MinimumPathCover(context.Background(), g)
+		if err != nil {
+			t.Fatalf("n=%d: %v", r.N, err)
+		}
+		if want := g.MinPathCoverSize(); cov.NumPaths != want {
+			t.Fatalf("n=%d: %d paths, want %d", r.N, cov.NumPaths, want)
+		}
+		if err := g.Verify(cov.Paths); err != nil {
+			t.Fatalf("n=%d: invalid cover: %v", r.N, err)
+		}
+	}
+}

@@ -316,3 +316,49 @@ func BenchmarkSolverCover(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkServingWidths is the PR 8 memory-wall A/B: one reusable
+// Solver serving a serving-size-class graph (n = 3000, inside the
+// int16 tier) with the index width forced to each tier in turn. The
+// covers and the simulated counters are identical across the sub-
+// benchmarks — only the bytes per index element differ — so the ns/op
+// and B/op deltas isolate what the narrower kernels buy on the sizes
+// the Pool actually serves.
+func BenchmarkServingWidths(b *testing.B) {
+	const n = 3000
+	widths := []struct {
+		name string
+		w    IndexWidth
+	}{{"int16", Width16}, {"int32", Width32}, {"int", Width64}}
+	for _, wc := range widths {
+		b.Run(fmt.Sprintf("n=%d/width=%s/warm", n, wc.name), func(b *testing.B) {
+			g := Random(3, n, Mixed)
+			sv := NewSolver(WithIndexWidth(wc.w))
+			defer sv.Close()
+			if _, err := sv.MinimumPathCover(g); err != nil {
+				b.Fatal(err) // warm the arena
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sv.MinimumPathCover(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		// Cold: a fresh Solver per op, so B/op shows the arena bytes the
+		// width actually claims (the warm rows amortise them away).
+		b.Run(fmt.Sprintf("n=%d/width=%s/cold", n, wc.name), func(b *testing.B) {
+			g := Random(3, n, Mixed)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sv := NewSolver(WithIndexWidth(wc.w))
+				if _, err := sv.MinimumPathCover(g); err != nil {
+					b.Fatal(err)
+				}
+				sv.Close()
+			}
+		})
+	}
+}

@@ -79,7 +79,7 @@ type CacheStats struct {
 // Ineligible: uncached pools, raw graphs, pinned non-cograph backends,
 // and calls with an active fault injector (explicit or ambient via
 // PATHCOVER_FAULT) — fault runs must reach the pipeline every time.
-// WithWideIndices is deliberately absent from the key: both widths
+// WithIndexWidth is deliberately absent from the key: all widths
 // produce identical covers and counters.
 func (p *Pool) cacheKey(g *Graph, opts []Option) (covercache.Key, *canon.Form, bool) {
 	if p.cache == nil || g.t == nil {

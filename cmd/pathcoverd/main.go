@@ -58,6 +58,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -73,8 +74,10 @@ var (
 	verify     = flag.Bool("verify", false, "re-verify every cover before responding (debugging; O(n) extra per request)")
 	reqTimeout = flag.Duration("request-timeout", 30*time.Second,
 		"per-request deadline enforced inside the solve pipeline; requests over it get 504 (0 disables)")
-	cacheMB   = flag.Int64("cache-mb", 64, "canonical-identity result cache capacity in MiB (0 disables)")
-	maxGraphs = flag.Int("max-graphs", 0, "registered-graph capacity for POST /graphs (0 = default 1024)")
+	cacheMB    = flag.Int64("cache-mb", 64, "canonical-identity result cache capacity in MiB (0 disables)")
+	maxGraphs  = flag.Int("max-graphs", 0, "registered-graph capacity for POST /graphs (0 = default 1024)")
+	affinity   = flag.Bool("affinity", false, "pin each shard's workers to a disjoint CPU set (Linux; no-op elsewhere)")
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile covering the daemon's lifetime to this file on shutdown (pprof format; feeds default.pgo for PGO builds)")
 )
 
 type server struct {
@@ -226,6 +229,22 @@ type batchRequest struct {
 
 func main() {
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("pathcoverd: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("pathcoverd: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Printf("pathcoverd: %v", err)
+			}
+			log.Printf("pathcoverd: wrote CPU profile %s", *cpuprofile)
+		}()
+	}
 	var popts []pathcover.PoolOption
 	if *shards > 0 {
 		popts = append(popts, pathcover.WithShards(*shards))
@@ -235,6 +254,9 @@ func main() {
 	}
 	if *cacheMB > 0 {
 		popts = append(popts, pathcover.WithCache(*cacheMB<<20))
+	}
+	if *affinity {
+		popts = append(popts, pathcover.WithShardAffinity())
 	}
 	s := &server{
 		pool:    pathcover.NewPool(popts...),

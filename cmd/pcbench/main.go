@@ -17,8 +17,13 @@
 //	pcbench -serve -json BENCH.json
 //	                               # serving-layer benchmark: Pool vs a
 //	                               # single shared Solver (see serve.go)
+//	pcbench -serve -sizeclass loguniform
+//	                               # historical flat size sweep instead of
+//	                               # the small-skewed serving class
 //	pcbench -attack http://host:8080
 //	                               # HTTP load against a pathcoverd
+//	pcbench -serve -cpuprofile cmd/pcbench/default.pgo
+//	                               # refresh the committed PGO profile
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"os/exec"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -45,13 +51,14 @@ import (
 )
 
 var (
-	exp       = flag.String("exp", "all", "experiment to run: e1..e9 | all")
-	maxLog    = flag.Int("max", 18, "largest input size as a power of two")
-	seed      = flag.Uint64("seed", 1, "random seed")
-	jsonPath  = flag.String("json", "", "write machine-readable results to this file")
-	compare   = flag.Bool("compare", false, "compare two -json reports (pcbench -compare old.json new.json) instead of running experiments")
-	gate      = flag.Float64("gate", 0, "with -compare: fail (exit 1) when any simulated simtime/simwork cell drifts by more than this percentage")
-	walltrace = flag.Bool("walltrace", false, "also emit the per-step wall-clock trace table (and include it in -json, so -compare diffs per-step deltas)")
+	exp        = flag.String("exp", "all", "experiment to run: e1..e9 | all")
+	maxLog     = flag.Int("max", 18, "largest input size as a power of two")
+	seed       = flag.Uint64("seed", 1, "random seed")
+	jsonPath   = flag.String("json", "", "write machine-readable results to this file")
+	compare    = flag.Bool("compare", false, "compare two -json reports (pcbench -compare old.json new.json) instead of running experiments")
+	gate       = flag.Float64("gate", 0, "with -compare: fail (exit 1) when any simulated simtime/simwork cell drifts by more than this percentage")
+	walltrace  = flag.Bool("walltrace", false, "also emit the per-step wall-clock trace table (and include it in -json, so -compare diffs per-step deltas)")
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (pprof format; feeds default.pgo for PGO builds)")
 )
 
 // jsonExperiment mirrors one rendered table; the -json dump gives future
@@ -112,6 +119,24 @@ func commitHash() string {
 
 func main() {
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pcbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "pcbench: %v\n", err)
+			}
+			fmt.Fprintf(os.Stderr, "pcbench: wrote CPU profile %s\n", *cpuprofile)
+		}()
+	}
 	if *compare {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "pcbench: -compare needs exactly two report files: pcbench -compare old.json new.json")

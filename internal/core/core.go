@@ -90,8 +90,8 @@ func (c *Cover) Release(s *pram.Sim) {
 type IndexWidth uint8
 
 const (
-	// WidthAuto picks int32 kernels when every derived index fits and
-	// int kernels otherwise (the default).
+	// WidthAuto picks the narrowest kernels every derived index fits —
+	// int16, then int32, then int (the default).
 	WidthAuto IndexWidth = iota
 	// WidthNarrow forces the int32 kernels (the caller guarantees the
 	// input is small enough; ParallelCover rejects inputs past the
@@ -99,7 +99,25 @@ const (
 	WidthNarrow
 	// WidthWide forces the int kernels.
 	WidthWide
+	// WidthNarrow16 forces the int16 kernels, with the same
+	// force/reject semantics as WidthNarrow: inputs past
+	// MaxInt16Vertices are rejected rather than truncated.
+	WidthNarrow16
 )
+
+func (w IndexWidth) String() string {
+	switch w {
+	case WidthAuto:
+		return "auto"
+	case WidthNarrow16:
+		return "int16"
+	case WidthNarrow:
+		return "int32"
+	case WidthWide:
+		return "int"
+	}
+	return fmt.Sprintf("IndexWidth(%d)", uint8(w))
+}
 
 // MaxNarrowVertices is the largest vertex count the int32 pipeline
 // accepts. The binding constraint is not n itself but the largest id the
@@ -109,9 +127,57 @@ const (
 // by 10n with room to spare, hence the /10.
 const MaxNarrowVertices = (math.MaxInt32 - 64) / 10
 
+// MaxInt16Vertices is the largest vertex count the int16 pipeline
+// accepts, derived from the same 10n bound on the largest value any
+// pipeline cell holds (see MaxNarrowVertices). Small — 3270 — but the
+// serving size distribution is dominated by graphs under it, and those
+// requests stream a quarter of the bytes the int kernels would.
+const MaxInt16Vertices = (math.MaxInt16 - 64) / 10
+
 // fitsNarrow reports whether an n-vertex cover can run on the int32
 // kernels without any derived value overflowing.
 func fitsNarrow(n int) bool { return n <= MaxNarrowVertices }
+
+// fitsNarrow16 reports whether an n-vertex cover can run on the int16
+// kernels without any derived value overflowing.
+func fitsNarrow16(n int) bool { return n <= MaxInt16Vertices }
+
+// maxVerticesFor returns the vertex bound of a forceable narrow width
+// (0 for widths without one).
+func maxVerticesFor(w IndexWidth) int {
+	switch w {
+	case WidthNarrow16:
+		return MaxInt16Vertices
+	case WidthNarrow:
+		return MaxNarrowVertices
+	}
+	return 0
+}
+
+// WidthError reports a forced narrow index width the input does not fit:
+// the caller demanded kernels whose cells cannot hold every value an
+// n-vertex run derives, and the pipeline rejects rather than truncates.
+type WidthError struct {
+	N     int        // vertices in the rejected input
+	Max   int        // largest vertex count Width accepts
+	Width IndexWidth // the forced width that rejected
+}
+
+func (e *WidthError) Error() string {
+	return fmt.Sprintf("core: %d vertices exceed the %s-index bound %d", e.N, e.Width, e.Max)
+}
+
+// AutoWidth reports the width WidthAuto resolves to for an n-vertex
+// input: the narrowest kernels every derived value fits.
+func AutoWidth(n int) IndexWidth {
+	switch {
+	case fitsNarrow16(n):
+		return WidthNarrow16
+	case fitsNarrow(n):
+		return WidthNarrow
+	}
+	return WidthWide
+}
 
 // Options tune the pipeline (mostly for tests and experiments).
 type Options struct {
@@ -188,36 +254,40 @@ func (tr *StepTrace) String() string {
 // simulated processors (and the goroutine parallelism) comes from s.
 //
 // The index width follows opt.Width: by default the whole pipeline —
-// binarization through path extraction — runs on int32 index arrays
-// whenever the input is small enough (MaxNarrowVertices), halving the
-// bytes every bandwidth-bound phase streams, and falls back to the int
-// kernels otherwise. The two widths produce identical covers and
-// identical simulated cost counters.
+// binarization through path extraction — runs on the narrowest index
+// arrays the input fits (int16 up to MaxInt16Vertices, int32 up to
+// MaxNarrowVertices, int beyond), quartering or halving the bytes every
+// bandwidth-bound phase streams. All widths produce identical covers
+// and identical simulated cost counters.
 func ParallelCover(s *pram.Sim, t *cotree.Tree, opt Options) (*Cover, error) {
-	narrow, err := resolveWidth(t.NumVertices(), opt.Width)
+	w, err := resolveWidth(t.NumVertices(), opt.Width)
 	if err != nil {
 		return nil, err
 	}
-	if narrow {
+	switch w {
+	case WidthNarrow16:
+		return parallelCoverIx[int16](s, t, opt)
+	case WidthNarrow:
 		return parallelCoverIx[int32](s, t, opt)
 	}
 	return parallelCoverIx[int](s, t, opt)
 }
 
-// resolveWidth maps the requested index width onto the narrow/wide
-// routes for an n-vertex input, rejecting a forced-narrow request the
-// int32 kernels cannot hold rather than truncating.
-func resolveWidth(n int, w IndexWidth) (narrow bool, err error) {
-	narrow = fitsNarrow(n)
+// resolveWidth maps the requested index width onto a concrete route
+// (WidthNarrow16, WidthNarrow or WidthWide) for an n-vertex input,
+// rejecting a forced-narrow request the kernels cannot hold with a
+// *WidthError rather than truncating.
+func resolveWidth(n int, w IndexWidth) (IndexWidth, error) {
 	switch w {
-	case WidthNarrow:
-		if !narrow {
-			return false, fmt.Errorf("core: %d vertices exceed the narrow-index bound %d", n, MaxNarrowVertices)
+	case WidthNarrow16, WidthNarrow:
+		if max := maxVerticesFor(w); n > max {
+			return WidthWide, &WidthError{N: n, Max: max, Width: w}
 		}
+		return w, nil
 	case WidthWide:
-		narrow = false
+		return WidthWide, nil
 	}
-	return narrow, nil
+	return AutoWidth(n), nil
 }
 
 func parallelCoverIx[I par.Ix](s *pram.Sim, t *cotree.Tree, opt Options) (*Cover, error) {

@@ -18,8 +18,9 @@ import (
 // segments and interleaves the vertices of G(w) around the cycle with
 // prefix-sum arithmetic — O(log n) time, O(n) work end to end.
 //
-// Like ParallelCover, both constructions follow opt.Width: narrow
-// (int32) index kernels whenever the input fits, int otherwise.
+// Like ParallelCover, both constructions follow opt.Width: the
+// narrowest index kernels (int16, then int32) the input fits, int
+// otherwise.
 
 // ParallelHamiltonianPath returns a Hamiltonian path computed by the
 // optimal parallel algorithm, or ok=false when none exists. The path is
@@ -43,11 +44,14 @@ func ParallelHamiltonianPath(s *pram.Sim, t *cotree.Tree, opt Options) ([]int, b
 // parallel pipeline, or ok=false when none exists. The cycle is drawn
 // from the Sim's arena; the caller owns (and may Release) it.
 func ParallelHamiltonianCycle(s *pram.Sim, t *cotree.Tree, opt Options) ([]int, bool, error) {
-	narrow, err := resolveWidth(t.NumVertices(), opt.Width)
+	w, err := resolveWidth(t.NumVertices(), opt.Width)
 	if err != nil {
 		return nil, false, err
 	}
-	if narrow {
+	switch w {
+	case WidthNarrow16:
+		return hamCycleIx[int16](s, t, opt)
+	case WidthNarrow:
 		return hamCycleIx[int32](s, t, opt)
 	}
 	return hamCycleIx[int](s, t, opt)

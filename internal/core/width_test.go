@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math/rand/v2"
 	"testing"
 
@@ -11,10 +12,10 @@ import (
 	"pathcover/internal/workload"
 )
 
-// The width/cutover differential suite: the narrow (int32) pipeline, the
-// wide (int) pipeline and the sequential baseline must agree on every
+// The width/cutover differential suite: the int16, narrow (int32) and
+// wide (int) pipelines and the sequential baseline must agree on every
 // input, for every placement of the sequential-cutover threshold, and
-// the two widths must additionally agree on the simulated cost counters
+// the widths must additionally agree on the simulated cost counters
 // bit for bit.
 
 // coverWith runs one full parallel cover under the given width and
@@ -69,10 +70,14 @@ func checkInstance(t *testing.T, seed uint64, n int, shape workload.Shape) {
 	// size the pipeline will see, including the dispatch-everything and
 	// fuse-everything extremes.
 	cutovers := []int{-1, n / 2, n, 3*n + 1, 1 << 30}
+	widths := []IndexWidth{WidthNarrow, WidthWide}
+	if fitsNarrow16(n) {
+		widths = append(widths, WidthNarrow16)
+	}
 	var refPaths [][]int
 	var refStats pram.Stats
 	for ci, cut := range cutovers {
-		for _, width := range []IndexWidth{WidthNarrow, WidthWide} {
+		for _, width := range widths {
 			paths, stats := coverWith(t, tr, width, cut)
 			if ci == 0 && width == WidthNarrow {
 				refPaths, refStats = paths, stats
@@ -148,23 +153,112 @@ func TestHamiltonianCycleWidths(t *testing.T) {
 		}
 		nc, nok := run(WidthNarrow)
 		wc, wok := run(WidthWide)
-		if nok != wok {
-			t.Fatalf("tree %d: narrow ok=%v wide ok=%v", ti, nok, wok)
+		hc, hok := run(WidthNarrow16)
+		if nok != wok || nok != hok {
+			t.Fatalf("tree %d: narrow ok=%v wide ok=%v int16 ok=%v", ti, nok, wok, hok)
 		}
 		if !nok {
 			continue
 		}
-		if len(nc) != len(wc) {
-			t.Fatalf("tree %d: cycle lengths %d vs %d", ti, len(nc), len(wc))
+		if len(nc) != len(wc) || len(nc) != len(hc) {
+			t.Fatalf("tree %d: cycle lengths %d vs %d vs %d", ti, len(nc), len(wc), len(hc))
 		}
 		for i := range nc {
-			if nc[i] != wc[i] {
-				t.Fatalf("tree %d: cycles diverge at %d: %d vs %d", ti, i, nc[i], wc[i])
+			if nc[i] != wc[i] || nc[i] != hc[i] {
+				t.Fatalf("tree %d: cycles diverge at %d: %d vs %d vs %d", ti, i, nc[i], wc[i], hc[i])
 			}
 		}
 		if err := verify.Cycle(tree, nc); err != nil {
 			t.Fatalf("tree %d: %v", ti, err)
 		}
+	}
+}
+
+// TestResolveWidth asserts both directions of every width's dispatch:
+// auto routing at each bound, forced narrow widths accepted at their
+// bound and rejected one past it with a typed *WidthError, and the wide
+// width never rejecting.
+func TestResolveWidth(t *testing.T) {
+	cases := []struct {
+		n       int
+		req     IndexWidth
+		want    IndexWidth
+		wantErr bool
+	}{
+		{1, WidthAuto, WidthNarrow16, false},
+		{MaxInt16Vertices, WidthAuto, WidthNarrow16, false},
+		{MaxInt16Vertices + 1, WidthAuto, WidthNarrow, false},
+		{MaxNarrowVertices, WidthAuto, WidthNarrow, false},
+		{MaxNarrowVertices + 1, WidthAuto, WidthWide, false},
+		{MaxInt16Vertices, WidthNarrow16, WidthNarrow16, false},
+		{MaxInt16Vertices + 1, WidthNarrow16, 0, true},
+		{MaxNarrowVertices + 1, WidthNarrow16, 0, true},
+		{MaxInt16Vertices + 1, WidthNarrow, WidthNarrow, false},
+		{MaxNarrowVertices, WidthNarrow, WidthNarrow, false},
+		{MaxNarrowVertices + 1, WidthNarrow, 0, true},
+		{1, WidthWide, WidthWide, false},
+		{MaxNarrowVertices + 1, WidthWide, WidthWide, false},
+	}
+	for _, c := range cases {
+		got, err := resolveWidth(c.n, c.req)
+		if c.wantErr {
+			var we *WidthError
+			if err == nil {
+				t.Errorf("resolveWidth(%d, %v): no error, want *WidthError", c.n, c.req)
+			} else if !errors.As(err, &we) {
+				t.Errorf("resolveWidth(%d, %v): error %T %v, want *WidthError", c.n, c.req, err, err)
+			} else if we.N != c.n || we.Width != c.req || we.Max != maxVerticesFor(c.req) {
+				t.Errorf("resolveWidth(%d, %v): WidthError %+v carries wrong fields", c.n, c.req, we)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("resolveWidth(%d, %v): unexpected error %v", c.n, c.req, err)
+		} else if got != c.want {
+			t.Errorf("resolveWidth(%d, %v) = %v, want %v", c.n, c.req, got, c.want)
+		}
+		if c.req == WidthAuto && AutoWidth(c.n) != c.want {
+			t.Errorf("AutoWidth(%d) = %v, want %v", c.n, AutoWidth(c.n), c.want)
+		}
+	}
+}
+
+// TestInt16Boundary runs real covers at exactly MaxInt16Vertices and
+// one past it: the bound itself must serve on the int16 kernels (forced
+// and auto) with paths and counters identical to the wide run, and one
+// past the bound must reject a forced int16 while auto falls over to
+// int32 seamlessly.
+func TestInt16Boundary(t *testing.T) {
+	at := workload.Random(301, MaxInt16Vertices, workload.Mixed)
+	trAt := &workloadTree{tree: at, n: MaxInt16Vertices, seed: 301, shape: workload.Mixed}
+	refPaths, refStats := coverWith(t, trAt, WidthWide, 0)
+	for _, w := range []IndexWidth{WidthNarrow16, WidthAuto} {
+		paths, stats := coverWith(t, trAt, w, 0)
+		if !pathsEq(paths, refPaths) {
+			t.Fatalf("n=MaxInt16Vertices width=%v: paths diverge from wide reference", w)
+		}
+		if stats != refStats {
+			t.Fatalf("n=MaxInt16Vertices width=%v: stats %+v != wide %+v", w, stats, refStats)
+		}
+	}
+
+	over := workload.Random(302, MaxInt16Vertices+1, workload.Mixed)
+	s := pram.New(pram.ProcsFor(MaxInt16Vertices+1), pram.WithWorkers(2))
+	defer s.Close()
+	var we *WidthError
+	if _, err := ParallelCover(s, over, Options{Seed: 302, Width: WidthNarrow16}); !errors.As(err, &we) {
+		t.Fatalf("forced int16 one past the bound: err = %v, want *WidthError", err)
+	} else if we.N != MaxInt16Vertices+1 || we.Max != MaxInt16Vertices || we.Width != WidthNarrow16 {
+		t.Fatalf("WidthError fields %+v", we)
+	}
+	trOver := &workloadTree{tree: over, n: MaxInt16Vertices + 1, seed: 302, shape: workload.Mixed}
+	wp, ws := coverWith(t, trOver, WidthWide, 0)
+	ap, as := coverWith(t, trOver, WidthAuto, 0)
+	if !pathsEq(ap, wp) || as != ws {
+		t.Fatalf("auto one past the int16 bound diverges from wide")
+	}
+	if err := verify.MinimumCover(over, ap); err != nil {
+		t.Fatalf("n=MaxInt16Vertices+1: %v", err)
 	}
 }
 

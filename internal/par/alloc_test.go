@@ -228,6 +228,7 @@ func fusedRankOptAlloc[I Ix](t *testing.T) {
 
 func TestFusedRankOptAllocFree(t *testing.T)       { fusedRankOptAlloc[int](t) }
 func TestFusedRankOptNarrowAllocFree(t *testing.T) { fusedRankOptAlloc[int32](t) }
+func TestFusedRankOptInt16AllocFree(t *testing.T)  { fusedRankOptAlloc[int16](t) }
 
 func fusedTourAlloc[I Ix](t *testing.T) {
 	t.Helper()
@@ -265,6 +266,7 @@ func fusedTourAlloc[I Ix](t *testing.T) {
 
 func TestFusedTourAllocFree(t *testing.T)       { fusedTourAlloc[int](t) }
 func TestFusedTourNarrowAllocFree(t *testing.T) { fusedTourAlloc[int32](t) }
+func TestFusedTourInt16AllocFree(t *testing.T)  { fusedTourAlloc[int16](t) }
 
 func fusedBracketsAlloc[I Ix](t *testing.T) {
 	t.Helper()
@@ -287,6 +289,7 @@ func fusedBracketsAlloc[I Ix](t *testing.T) {
 
 func TestFusedMatchBracketsAllocFree(t *testing.T)       { fusedBracketsAlloc[int](t) }
 func TestFusedMatchBracketsNarrowAllocFree(t *testing.T) { fusedBracketsAlloc[int32](t) }
+func TestFusedMatchBracketsInt16AllocFree(t *testing.T)  { fusedBracketsAlloc[int16](t) }
 
 func fusedEvalTreeAlloc[I Ix](t *testing.T) {
 	t.Helper()
@@ -329,6 +332,68 @@ func fusedEvalTreeAlloc[I Ix](t *testing.T) {
 
 func TestFusedEvalTreeAllocFree(t *testing.T)       { fusedEvalTreeAlloc[int](t) }
 func TestFusedEvalTreeNarrowAllocFree(t *testing.T) { fusedEvalTreeAlloc[int32](t) }
+func TestFusedEvalTreeInt16AllocFree(t *testing.T)  { fusedEvalTreeAlloc[int16](t) }
+
+// The int16 kernels on the dispatched (phase-structured) route, at a
+// size inside their serving envelope and with the fused cutover
+// disabled so the worker pool is what gets measured.
+func int16AllocSim() *pram.Sim {
+	return pram.New(pram.ProcsFor(3270), pram.WithWorkers(2), pram.WithGrain(256), pram.WithSeqCutover(-1))
+}
+
+func TestScanIxInt16AllocFree(t *testing.T) {
+	s := int16AllocSim()
+	defer s.Close()
+	in := make([]int16, 3270)
+	for i := range in {
+		in[i] = int16(i % 7) // total ≈ 9.8K, inside int16
+	}
+	run := func() {
+		out, _ := ScanIx(s, in)
+		pram.Release(s, out)
+	}
+	run()
+	if allocs := testing.AllocsPerRun(20, run); allocs > 2 {
+		t.Errorf("ScanIx[int16] allocates %.1f objects/op in steady state, want <= 2", allocs)
+	}
+}
+
+func TestRankOptIxInt16AllocFree(t *testing.T) {
+	s := int16AllocSim()
+	defer s.Close()
+	n := 3270
+	next := make([]int16, n)
+	for i := 0; i < n-1; i++ {
+		next[i] = int16(i + 1)
+	}
+	next[n-1] = -1
+	run := func() {
+		dist, last := RankOptIx(s, next, 12345)
+		pram.Release(s, dist)
+		pram.Release(s, last)
+	}
+	run()
+	if allocs := testing.AllocsPerRun(10, run); allocs > 2 {
+		t.Errorf("RankOptIx[int16] allocates %.1f objects/op in steady state, want <= 2", allocs)
+	}
+}
+
+func TestMatchBracketsIxInt16AllocFree(t *testing.T) {
+	s := int16AllocSim()
+	defer s.Close()
+	rng := rand.New(rand.NewPCG(9, 9))
+	open := make([]bool, 3270)
+	for i := range open {
+		open[i] = rng.IntN(2) == 0
+	}
+	run := func() {
+		pram.Release(s, MatchBracketsIx[int16](s, open))
+	}
+	run()
+	if allocs := testing.AllocsPerRun(10, run); allocs > 2 {
+		t.Errorf("MatchBracketsIx[int16] allocates %.1f objects/op in steady state, want <= 2", allocs)
+	}
+}
 
 // TestPrimitivesMatchSerialAfterReuse drives the pooled primitives
 // through many iterations on one Sim — the buffer-recycling regime — and

@@ -338,6 +338,75 @@ func TestNarrowWideParity(t *testing.T) {
 	}
 }
 
+// TestInt16WideParity runs the int16 kernels against the int kernels:
+// identical values (after widening) and identical simulated counters.
+// Sizes and values stay inside the int16 envelope the serving dispatch
+// guarantees (n ≤ core.MaxInt16Vertices, scan totals under
+// math.MaxInt16) — the kernels never see anything bigger on the int16
+// route.
+func TestInt16WideParity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 4))
+	for _, n := range []int{0, 1, 5, 513, 3000} {
+		in16 := make([]int16, n)
+		in := make([]int, n)
+		open := make([]bool, n)
+		next16 := make([]int16, n)
+		next := make([]int, n)
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			v := rng.IntN(9) // totals ≤ 9n < math.MaxInt16 for every n here
+			in16[i], in[i] = int16(v), v
+			open[i] = rng.IntN(2) == 0
+			if i < n-1 {
+				next[perm[i]] = perm[i+1]
+				next16[perm[i]] = int16(perm[i+1])
+			}
+		}
+		if n > 0 {
+			next[perm[n-1]], next16[perm[n-1]] = -1, -1
+		}
+		procs := pram.ProcsFor(max(n, 2))
+		sw := pram.New(procs, pram.WithWorkers(2), pram.WithGrain(128))
+		sn := pram.New(procs, pram.WithWorkers(2), pram.WithGrain(128))
+		defer sw.Close()
+		defer sn.Close()
+
+		check := func(what string, wide []int, narrow []int16) {
+			t.Helper()
+			if len(wide) != len(narrow) {
+				t.Fatalf("%s n=%d: %d vs %d elements", what, n, len(wide), len(narrow))
+			}
+			for i := range wide {
+				if wide[i] != int(narrow[i]) {
+					t.Fatalf("%s n=%d: [%d] = %d (wide) vs %d (int16)", what, n, i, wide[i], narrow[i])
+				}
+			}
+			ws, ns := sw.Stats(), sn.Stats()
+			if ws.Time != ns.Time || ws.Work != ns.Work || ws.Phases != ns.Phases {
+				t.Fatalf("%s n=%d: wide stats %+v != int16 stats %+v", what, n, ws, ns)
+			}
+		}
+
+		wo, wt := ScanIx(sw, in)
+		no, nt := ScanIx(sn, in16)
+		if int(nt) != wt {
+			t.Fatalf("ScanIx total: %d vs %d", wt, nt)
+		}
+		check("ScanIx", wo, no)
+		check("MaxScanIx", MaxScanIx(sw, in), MaxScanIx(sn, in16))
+		check("IndexPackIx", IndexPackIx[int](sw, open), IndexPackIx[int16](sn, open))
+		check("MatchBracketsIx", MatchBracketsIx[int](sw, open), MatchBracketsIx[int16](sn, open))
+		wd, wl := RankOptIx(sw, next, 42)
+		nd, nl := RankOptIx(sn, next16, 42)
+		check("RankOptIx dist", wd, nd)
+		for i := range wl {
+			if wl[i] != int(nl[i]) {
+				t.Fatalf("RankOptIx last: [%d] = %d vs %d", i, wl[i], nl[i])
+			}
+		}
+	}
+}
+
 // TestTourNarrowWideParity compares the full Euler-tour numberings of a
 // random forest across widths.
 func TestTourNarrowWideParity(t *testing.T) {
@@ -348,21 +417,24 @@ func TestTourNarrowWideParity(t *testing.T) {
 		// free child slot (or leave it a root).
 		wide := NewBinTree(n)
 		narrow := NewBinTreeIx[int32](n)
+		tiny := NewBinTreeIx[int16](n)
 		for v := 1; v < n; v++ {
 			p := rng.IntN(v)
 			if wide.Left[p] < 0 {
-				wide.Left[p], narrow.Left[p] = v, int32(v)
+				wide.Left[p], narrow.Left[p], tiny.Left[p] = v, int32(v), int16(v)
 			} else if wide.Right[p] < 0 {
-				wide.Right[p], narrow.Right[p] = v, int32(v)
+				wide.Right[p], narrow.Right[p], tiny.Right[p] = v, int32(v), int16(v)
 			} else {
 				continue // stays a root
 			}
-			wide.Parent[v], narrow.Parent[v] = p, int32(p)
+			wide.Parent[v], narrow.Parent[v], tiny.Parent[v] = p, int32(p), int16(p)
 		}
 		sw := pram.New(pram.ProcsFor(n), pram.WithWorkers(2), pram.WithGrain(64))
 		sn := pram.New(pram.ProcsFor(n), pram.WithWorkers(2), pram.WithGrain(64))
+		sh := pram.New(pram.ProcsFor(n), pram.WithWorkers(2), pram.WithGrain(64))
 		tw := TourBinary(sw, wide, 99)
 		tn := TourBinaryIx(sn, narrow, 99)
+		th := TourBinaryIx(sh, tiny, 99)
 		for v := 0; v < n; v++ {
 			if tw.Pre[v] != int(tn.Pre[v]) || tw.In[v] != int(tn.In[v]) ||
 				tw.Post[v] != int(tn.Post[v]) || tw.Root[v] != int(tn.Root[v]) {
@@ -370,12 +442,22 @@ func TestTourNarrowWideParity(t *testing.T) {
 					trial, v, tw.Pre[v], tw.In[v], tw.Post[v], tw.Root[v],
 					tn.Pre[v], tn.In[v], tn.Post[v], tn.Root[v])
 			}
+			if tw.Pre[v] != int(th.Pre[v]) || tw.In[v] != int(th.In[v]) ||
+				tw.Post[v] != int(th.Post[v]) || tw.Root[v] != int(th.Root[v]) {
+				t.Fatalf("trial %d node %d: wide (%d,%d,%d,%d) int16 (%d,%d,%d,%d)",
+					trial, v, tw.Pre[v], tw.In[v], tw.Post[v], tw.Root[v],
+					th.Pre[v], th.In[v], th.Post[v], th.Root[v])
+			}
 		}
-		ws, ns := sw.Stats(), sn.Stats()
+		ws, ns, hs := sw.Stats(), sn.Stats(), sh.Stats()
 		if ws.Time != ns.Time || ws.Work != ns.Work || ws.Phases != ns.Phases {
 			t.Fatalf("trial %d: wide stats %+v != narrow stats %+v", trial, ws, ns)
 		}
+		if ws.Time != hs.Time || ws.Work != hs.Work || ws.Phases != hs.Phases {
+			t.Fatalf("trial %d: wide stats %+v != int16 stats %+v", trial, ws, hs)
+		}
 		sw.Close()
 		sn.Close()
+		sh.Close()
 	}
 }

@@ -1,0 +1,37 @@
+//go:build linux
+
+package pram
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// AffinitySupported reports whether per-worker CPU pinning is available
+// on this platform.
+func AffinitySupported() bool { return true }
+
+// cpuMask mirrors the kernel's cpu_set_t: 1024 CPUs, one bit each.
+type cpuMask [1024 / 64]uint64
+
+// setAffinity restricts the calling thread to the given CPUs. The
+// caller must have locked the goroutine to its thread first; ids
+// outside the mask's range are ignored. Reports whether the kernel
+// accepted a non-empty mask — a false return (an empty set, or ids
+// this machine does not have) leaves the thread unrestricted.
+func setAffinity(cpus []int) bool {
+	var mask cpuMask
+	any := false
+	for _, c := range cpus {
+		if c >= 0 && c < len(mask)*64 {
+			mask[c/64] |= 1 << (c % 64)
+			any = true
+		}
+	}
+	if !any {
+		return false
+	}
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, unsafe.Sizeof(mask), uintptr(unsafe.Pointer(&mask[0])))
+	return errno == 0
+}

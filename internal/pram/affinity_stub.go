@@ -1,0 +1,11 @@
+//go:build !linux
+
+package pram
+
+// AffinitySupported reports whether per-worker CPU pinning is available
+// on this platform.
+func AffinitySupported() bool { return false }
+
+// setAffinity is the portable no-op: pinning is Linux-only, and a Sim
+// with a cpuset on other platforms simply runs unpinned.
+func setAffinity(cpus []int) bool { return false }

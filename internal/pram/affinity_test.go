@@ -1,0 +1,56 @@
+package pram
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestAffinitySupportedMatchesPlatform(t *testing.T) {
+	if got, want := AffinitySupported(), runtime.GOOS == "linux"; got != want {
+		t.Fatalf("AffinitySupported() = %v on %s, want %v", got, runtime.GOOS, want)
+	}
+}
+
+// TestWithCPUSetPhases runs dispatched phases on a pinned pool: results
+// must be correct whether or not the platform (or the host's CPU count)
+// lets the pin take effect, and concurrent phase execution on pinned
+// workers must stay race-free.
+func TestWithCPUSetPhases(t *testing.T) {
+	s := New(8, WithWorkers(4), WithCPUSet([]int{0, 1}), WithGrain(1))
+	defer s.Close()
+	const n = 1 << 12
+	out := make([]int, n)
+	for round := 0; round < 3; round++ {
+		s.ParallelFor(n, func(i int) { out[i] = i + round })
+		for i, v := range out {
+			if v != i+round {
+				t.Fatalf("round %d: out[%d] = %d, want %d", round, i, v, i+round)
+			}
+		}
+	}
+}
+
+// TestSetAffinityBounds exercises the mask builder directly: ids the
+// mask cannot hold are ignored, an effectively empty set reports
+// failure, and a valid pin on Linux is accepted by the kernel. The
+// goroutine locks and exits, so its restricted thread is destroyed
+// rather than returned to the scheduler.
+func TestSetAffinityBounds(t *testing.T) {
+	if setAffinity(nil) {
+		t.Fatal("setAffinity(nil) = true, want false")
+	}
+	if setAffinity([]int{-1, 1 << 20}) {
+		t.Fatal("setAffinity(out-of-range ids) = true, want false")
+	}
+	if !AffinitySupported() {
+		return
+	}
+	done := make(chan bool)
+	go func() {
+		runtime.LockOSThread()
+		done <- setAffinity([]int{0})
+	}()
+	if !<-done {
+		t.Fatal("setAffinity([]int{0}) failed on Linux")
+	}
+}

@@ -153,6 +153,45 @@ func NearCographEdges(seed uint64, n int) [][2]int {
 	return edges
 }
 
+// SizeClass selects the size distribution of a serving catalog.
+type SizeClass int
+
+const (
+	// SizeLogUniform draws bucket exponents uniformly from [minLg,
+	// maxLg] — every size decade equally likely (the historical
+	// behaviour and the zero value).
+	SizeLogUniform SizeClass = iota
+	// SizeServing skews the catalog toward the small graphs real
+	// serving traffic is dominated by: ~70% of entries land in
+	// [2^minLg, 2^12) — mostly the int16 kernel tier, deliberately
+	// straddling its n=3270 bound — ~25% in the mid band up to 2^16
+	// (the int32 tier), and the rest anywhere in [minLg, maxLg].
+	// When maxLg is small enough that the bands collapse, it degrades
+	// toward SizeLogUniform.
+	SizeServing
+)
+
+func (c SizeClass) String() string {
+	switch c {
+	case SizeLogUniform:
+		return "loguniform"
+	case SizeServing:
+		return "serving"
+	}
+	return fmt.Sprintf("SizeClass(%d)", int(c))
+}
+
+// ParseSizeClass maps the flag spellings onto a SizeClass.
+func ParseSizeClass(s string) (SizeClass, error) {
+	switch s {
+	case "loguniform", "log-uniform", "uniform":
+		return SizeLogUniform, nil
+	case "serving", "small":
+		return SizeServing, nil
+	}
+	return 0, fmt.Errorf("workload: unknown size class %q (want loguniform or serving)", s)
+}
+
 // Requests returns a deterministic serving workload of count queries.
 // The catalog holds `distinct` graphs whose sizes are log-uniform in
 // [2^minLg, 2^(maxLg+1)) — a bucket exponent is drawn uniformly from
@@ -163,8 +202,13 @@ func NearCographEdges(seed uint64, n int) [][2]int {
 // (and should) materialise each distinct request once and reuse it —
 // exactly what a serving layer's graph registry does.
 func Requests(seed uint64, count, minLg, maxLg, distinct int) []Request {
+	return RequestsClass(seed, count, minLg, maxLg, distinct, SizeLogUniform)
+}
+
+// RequestsClass is Requests with an explicit catalog size class.
+func RequestsClass(seed uint64, count, minLg, maxLg, distinct int, class SizeClass) []Request {
 	rng := rand.New(rand.NewPCG(seed, 0x5eed5))
-	catalog := catalogOf(rng, seed, minLg, maxLg, distinct)
+	catalog := catalogOf(rng, seed, minLg, maxLg, distinct, class)
 	out := make([]Request, count)
 	for i := range out {
 		out[i] = catalog[rng.IntN(len(catalog))]
@@ -172,12 +216,27 @@ func Requests(seed uint64, count, minLg, maxLg, distinct int) []Request {
 	return out
 }
 
+// drawLg picks a catalog entry's bucket exponent under the size class.
+func drawLg(rng *rand.Rand, minLg, maxLg int, class SizeClass) int {
+	if class == SizeServing && maxLg > minLg {
+		smallMax := min(11, maxLg) // 2^11 buckets reach 4095: the int16 tier plus its boundary
+		midMax := min(15, maxLg)   // up to 64K: the int32 serving band
+		switch d := rng.IntN(100); {
+		case d < 70:
+			return minLg + rng.IntN(smallMax-minLg+1)
+		case d < 95 && midMax > smallMax:
+			return smallMax + 1 + rng.IntN(midMax-smallMax)
+		}
+	}
+	return minLg + rng.IntN(maxLg-minLg+1)
+}
+
 // catalogOf builds the distinct entries of a serving catalog: sizes
-// log-uniform in [2^minLg, 2^(maxLg+1)), shapes cycling through the
-// silhouettes. rng must be freshly seeded — Requests and ZipfRequests
-// share this so their catalogs (though not their streams) coincide for
-// equal parameters.
-func catalogOf(rng *rand.Rand, seed uint64, minLg, maxLg, distinct int) []Request {
+// drawn per the size class (log-uniform by default), shapes cycling
+// through the silhouettes. rng must be freshly seeded — Requests and
+// ZipfRequests share this so their catalogs (though not their streams)
+// coincide for equal parameters.
+func catalogOf(rng *rand.Rand, seed uint64, minLg, maxLg, distinct int, class SizeClass) []Request {
 	if minLg < 1 {
 		minLg = 1
 	}
@@ -189,10 +248,10 @@ func catalogOf(rng *rand.Rand, seed uint64, minLg, maxLg, distinct int) []Reques
 	}
 	catalog := make([]Request, distinct)
 	for i := range catalog {
-		lg := minLg + rng.IntN(maxLg-minLg+1)
+		lg := drawLg(rng, minLg, maxLg, class)
 		n := 1 << lg
 		if lg > 1 {
-			n += rng.IntN(n) // log-uniform bucket, uniform within it
+			n += rng.IntN(n) // power-of-two bucket, uniform within it
 		}
 		catalog[i] = Request{
 			Seed:  seed + uint64(i)*0x9e3779b97f4a7c15,
@@ -222,10 +281,15 @@ const zipfVariants = 3
 // between the two is built into the stream. s <= 0 degrades to the
 // uniform draw of Requests (but keeps the relabelled twins).
 func ZipfRequests(seed uint64, count, minLg, maxLg, distinct int, s float64) []Request {
+	return ZipfRequestsClass(seed, count, minLg, maxLg, distinct, s, SizeLogUniform)
+}
+
+// ZipfRequestsClass is ZipfRequests with an explicit catalog size class.
+func ZipfRequestsClass(seed uint64, count, minLg, maxLg, distinct int, s float64, class SizeClass) []Request {
 	if distinct < 1 {
 		distinct = 1
 	}
-	catalog := catalogOf(rand.New(rand.NewPCG(seed, 0x5eed5)), seed, minLg, maxLg, distinct)
+	catalog := catalogOf(rand.New(rand.NewPCG(seed, 0x5eed5)), seed, minLg, maxLg, distinct, class)
 	// Inverse-CDF table over ranks: cum[k] = sum_{j<=k} (j+1)^-s.
 	cum := make([]float64, distinct)
 	total := 0.0
@@ -281,7 +345,13 @@ const maxNonCographN = 4096
 // recognition step is quadratic-bit in n); the cotree entries keep the
 // full size range.
 func MixedRequests(seed uint64, count, minLg, maxLg, distinct int) []Request {
-	reqs := Requests(seed, count, minLg, maxLg, distinct)
+	return MixedRequestsClass(seed, count, minLg, maxLg, distinct, SizeLogUniform)
+}
+
+// MixedRequestsClass is MixedRequests with an explicit catalog size
+// class.
+func MixedRequestsClass(seed uint64, count, minLg, maxLg, distinct int, class SizeClass) []Request {
+	reqs := RequestsClass(seed, count, minLg, maxLg, distinct, class)
 	// Rewrite a deterministic subset of the catalog in place: every
 	// distinct Request value maps to one rewritten value, so the
 	// stream's catalog structure (and the registry pattern) survives.

@@ -136,3 +136,56 @@ func TestZipfRequestsTwinsAreIsomorphic(t *testing.T) {
 		t.Fatal("no base appeared under multiple presentations")
 	}
 }
+
+func TestServingSizeClass(t *testing.T) {
+	// The serving class must be deterministic, respect [2^minLg,
+	// 2^(maxLg+1)), and put the bulk of the catalog in the small band
+	// (n < 4096 — the int16 kernel tier plus its boundary bucket).
+	a := RequestsClass(7, 500, 4, 20, 64, SizeServing)
+	b := RequestsClass(7, 500, 4, 20, 64, SizeServing)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stream not deterministic at %d", i)
+		}
+	}
+	small, mid, large := 0, 0, 0
+	for _, r := range Catalog(a) {
+		if r.N < 1<<4 || r.N >= 1<<21 {
+			t.Fatalf("catalog size %d outside [2^4, 2^21)", r.N)
+		}
+		switch {
+		case r.N < 1<<12:
+			small++
+		case r.N < 1<<16:
+			mid++
+		default:
+			large++
+		}
+	}
+	if small < mid+large {
+		t.Fatalf("serving class not small-skewed: %d small, %d mid, %d large", small, mid, large)
+	}
+	if mid == 0 {
+		t.Fatalf("serving class produced no mid-band entries (%d small, %d large)", small, large)
+	}
+
+	// The default class is unchanged by the refactor: Requests ==
+	// RequestsClass(..., SizeLogUniform).
+	c := Requests(9, 100, 3, 8, 16)
+	d := RequestsClass(9, 100, 3, 8, 16, SizeLogUniform)
+	for i := range c {
+		if c[i] != d[i] {
+			t.Fatalf("SizeLogUniform diverges from Requests at %d", i)
+		}
+	}
+
+	if cls, err := ParseSizeClass("serving"); err != nil || cls != SizeServing {
+		t.Fatalf("ParseSizeClass(serving) = %v, %v", cls, err)
+	}
+	if cls, err := ParseSizeClass("loguniform"); err != nil || cls != SizeLogUniform {
+		t.Fatalf("ParseSizeClass(loguniform) = %v, %v", cls, err)
+	}
+	if _, err := ParseSizeClass("bogus"); err == nil {
+		t.Fatal("ParseSizeClass(bogus) did not error")
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"pathcover/internal/baseline"
 	"pathcover/internal/canon"
 	"pathcover/internal/cograph"
+	"pathcover/internal/core"
 	"pathcover/internal/cotree"
 	"pathcover/internal/pram"
 	"pathcover/internal/render"
@@ -601,7 +602,8 @@ type config struct {
 	procs     int
 	workers   int
 	seed      uint64
-	wideIdx   bool
+	idxWidth  IndexWidth
+	cpuset    []int
 
 	// Routing and robustness (see backend.go).
 	backend   Backend
@@ -632,10 +634,54 @@ func WithWorkers(w int) Option { return func(c *config) { c.workers = w } }
 // ranking (results are deterministic for a fixed seed).
 func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
 
+// IndexWidth selects the element width of the parallel pipeline's
+// index arrays; see WithIndexWidth.
+type IndexWidth = core.IndexWidth
+
+const (
+	// WidthAuto picks the narrowest kernels the input fits: int16 up to
+	// core.MaxInt16Vertices, int32 up to core.MaxNarrowVertices, int
+	// beyond (the default).
+	WidthAuto = core.WidthAuto
+	// Width16 forces the int16 kernels; inputs past the int16 bound are
+	// rejected with a *WidthError rather than truncated.
+	Width16 = core.WidthNarrow16
+	// Width32 forces the int32 kernels, with the same reject semantics.
+	Width32 = core.WidthNarrow
+	// Width64 forces the full-width int kernels (never rejects).
+	Width64 = core.WidthWide
+)
+
+// MaxInt16Vertices is the largest vertex count the int16 kernel tier —
+// Width16, and the first WidthAuto tier — can hold: the 10n bound of
+// the dummy-augmented pipeline keeps every intermediate value (Euler
+// tour positions, weighted ranks) inside int16 up to exactly this n.
+const MaxInt16Vertices = core.MaxInt16Vertices
+
+// WidthError is the typed error returned when a forced narrow index
+// width (Width16, Width32) cannot hold the input; it carries the vertex
+// count, the width's bound and the width that rejected.
+type WidthError = core.WidthError
+
+// WithIndexWidth selects the index-array width of the parallel
+// pipeline. The default, WidthAuto, streams the fewest bytes the input
+// permits; forcing a width exists for diagnostics and differential
+// testing, and a forced narrow width returns a *WidthError when the
+// input exceeds its bound. The paths and the simulated cost counters
+// are identical across all widths.
+func WithIndexWidth(w IndexWidth) Option { return func(c *config) { c.idxWidth = w } }
+
 // WithWideIndices forces the parallel pipeline onto full-width (int)
-// index arrays. The default picks 32-bit index kernels whenever the
-// input fits, which halves the memory traffic of the bandwidth-bound
-// phases; the results and the simulated cost counters are identical
-// either way, so this switch exists for diagnostics and differential
-// testing only.
-func WithWideIndices() Option { return func(c *config) { c.wideIdx = true } }
+// index arrays: shorthand for WithIndexWidth(Width64), kept for
+// compatibility.
+func WithWideIndices() Option { return WithIndexWidth(Width64) }
+
+// RouteWidth reports the kernel width ("int16", "int32" or "int") the
+// default WidthAuto dispatch routes an n-vertex request to — the
+// serving tier of the request, as surfaced in pcbench routing counts.
+func RouteWidth(n int) string { return core.AutoWidth(n).String() }
+
+// withCPUSet pins the Solver's pram workers to the given CPUs (Linux;
+// no-op elsewhere). Unexported: reached through Pool's
+// WithShardAffinity, which derives a disjoint set per shard.
+func withCPUSet(cpus []int) Option { return func(c *config) { c.cpuset = cpus } }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -103,6 +104,7 @@ type poolConfig struct {
 	shards     int
 	queue      int   // 0 = default, negative = unbounded
 	cacheBytes int64 // 0 = uncached
+	affinity   bool
 	solverOpts []Option
 }
 
@@ -136,6 +138,19 @@ func WithShardOptions(opts ...Option) PoolOption {
 	return func(c *poolConfig) { c.solverOpts = opts }
 }
 
+// WithShardAffinity pins each shard's pram workers to a disjoint set
+// of CPUs (shard i gets CPUs i*w .. i*w+w-1 of the host, wrapping past
+// NumCPU), so a shard's workers share L2/L3 instead of bouncing cache
+// lines across the socket between requests. Linux-only: elsewhere —
+// and on hosts too small for helper goroutines (one worker per shard
+// means the driving goroutine does all the work, and that goroutine is
+// the caller's) — it is a no-op. The pinning rides in the shard's
+// construction options, so a Solver rebuilt after a panic is pinned
+// the same way.
+func WithShardAffinity() PoolOption {
+	return func(c *poolConfig) { c.affinity = true }
+}
+
 // NewPool builds the shard fleet. Each shard's Solver gets
 // pram-budgeted workers (GOMAXPROCS/shards, at least 1), so the whole
 // pool respects the host's parallelism budget no matter how many
@@ -160,6 +175,13 @@ func NewPool(opts ...PoolOption) *Pool {
 	p := &Pool{depth: depth}
 	for i := 0; i < m; i++ {
 		sopts := append([]Option{WithWorkers(w)}, cfg.solverOpts...)
+		if cfg.affinity && pram.AffinitySupported() {
+			cpus := make([]int, w)
+			for j := range cpus {
+				cpus[j] = (i*w + j) % runtime.NumCPU()
+			}
+			sopts = append(sopts, withCPUSet(cpus))
+		}
 		sv := NewSolver(sopts...)
 		p.shards = append(p.shards, &poolShard{
 			id:      i,
@@ -539,11 +561,7 @@ func (p *Pool) batchSegments(gs []*Graph) [][]int {
 	}
 	key := func(i int) [3]int {
 		n := gs[i].N()
-		wide := 0
-		if n > core.MaxNarrowVertices {
-			wide = 1
-		}
-		return [3]int{wide, bits.Len(uint(n)), first[gs[i]]}
+		return [3]int{int(core.AutoWidth(n)), bits.Len(uint(n)), first[gs[i]]}
 	}
 	sort.SliceStable(order, func(a, b int) bool {
 		ka, kb := key(order[a]), key(order[b])

@@ -77,7 +77,11 @@ func (sv *Solver) ensureSim() *pram.Sim {
 		if w <= 0 {
 			w = runtime.GOMAXPROCS(0)
 		}
-		sv.sim = pram.New(1, pram.WithWorkers(w))
+		opts := []pram.Option{pram.WithWorkers(w)}
+		if len(sv.cfg.cpuset) > 0 {
+			opts = append(opts, pram.WithCPUSet(sv.cfg.cpuset))
+		}
+		sv.sim = pram.New(1, opts...)
 	}
 	return sv.sim
 }
@@ -160,13 +164,10 @@ func (sv *Solver) coverCfg(g *Graph, cfg config) (*Cover, error) {
 	}
 }
 
-// width maps the public index-width switch onto the core option.
-func (c config) width() core.IndexWidth {
-	if c.wideIdx {
-		return core.WidthWide
-	}
-	return core.WidthAuto
-}
+// width maps the public index-width switch onto the core option (the
+// public IndexWidth is an alias of core's, so this is the identity; it
+// survives as the single point the mapping would change at).
+func (c config) width() core.IndexWidth { return c.idxWidth }
 
 // HamiltonianPath returns a Hamiltonian path of g computed by the
 // parallel pipeline, ok=false when none exists, or an error if the
