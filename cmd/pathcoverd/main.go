@@ -3,67 +3,25 @@
 //
 //	pathcoverd -addr :8080 -shards 4
 //
-// Endpoints (request/response bodies are JSON):
-//
-//	POST /cover        {"cotree": "(1 (0 a b) c)"}            -> cover
-//	                   {"n": 4, "edges": [[0,1],[1,2]]}       -> cover
-//	GET/POST /cover?id=g1                                     -> cover of a registered graph
-//	POST /hamiltonian  {"cotree": "...", "cycle": true}       -> {"ok": ..., "path": [...]}
-//	POST /batch        {"graphs": [spec, spec, ...]}          -> {"covers": [cover, ...]}
-//	POST /graphs       {graph spec}                           -> {"id": "g1", ...}
-//	GET  /graphs/{id}                                         -> registered-graph info
-//	DELETE /graphs/{id}                                       -> {"deleted": true}
-//	GET  /healthz                                             -> {"ok": true, ...}
-//	GET  /stats                                               -> pool + cache + registry counters
-//
-// A graph spec is either a cotree string (the package's text format) or
-// an explicit edge list. Edge lists are not restricted to cographs:
-// non-cograph inputs degrade to the exact tree backend (forests) or the
-// ½-approximation backend, and every cover response reports the route
-// taken ("backend"), whether the answer is provably minimum ("exact"),
-// and for approximate answers the certified "lower_bound" and "gap".
-// Appending ?strict=1 to /cover or /batch restores the old contract:
-// non-cograph edge lists are rejected with 400. A request may also pin
-// the route with a "backend" field ("auto", "cograph", "tree",
-// "approx"); a pinned backend that cannot serve the graph fails with
-// 400 instead of rerouting.
-//
-// Covers carry the paths (unless "omit_paths" is set), the simulated
-// PRAM cost of the computation, and wall time; "include_names" adds the
-// server-side vertex names, letting clients remap paths onto their own
-// numbering (the cotree text format numbers vertices by leaf order, so
-// names — which travel with the leaves — are the stable identity).
-// Saturated admission maps to 503; client disconnects cancel queued
-// work via the request context; requests cut off by -request-timeout
-// mid-pipeline get 504 with a JSON body.
-//
-// POST /graphs registers a graph for repeated querying: parse,
-// validation, recognition and canonicalization are paid once, and
-// GET/POST /cover?id=... then serves it by id. The store holds at most
-// -max-graphs entries (LRU-evicted; stale ids return 404 and clients
-// re-register). The pool runs a canonical-identity result cache of
-// -cache-mb MiB: repeats of an already-solved graph — including
-// relabelled isomorphic presentations — are answered from cache
-// without a solve, and concurrent duplicates coalesce onto one solve.
+// The server itself lives in internal/daemon (shared with
+// pathcover-gateway's -spawn mode and the cluster tests); this binary
+// is the flag surface, the PGO/cpuprofile plumbing and the signal
+// lifecycle around it. See the package comment of internal/daemon for
+// the endpoint and status-code contract.
 package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
-	"runtime"
 	"runtime/pprof"
-	"sync/atomic"
 	"syscall"
 	"time"
 
-	"pathcover"
+	"pathcover/internal/daemon"
 )
 
 var (
@@ -77,155 +35,10 @@ var (
 	cacheMB    = flag.Int64("cache-mb", 64, "canonical-identity result cache capacity in MiB (0 disables)")
 	maxGraphs  = flag.Int("max-graphs", 0, "registered-graph capacity for POST /graphs (0 = default 1024)")
 	affinity   = flag.Bool("affinity", false, "pin each shard's workers to a disjoint CPU set (Linux; no-op elsewhere)")
+	retryAfter = flag.Duration("retry-after", time.Second,
+		"backoff hint set on 503 responses via the Retry-After header (rounded to whole seconds, minimum 1s)")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile covering the daemon's lifetime to this file on shutdown (pprof format; feeds default.pgo for PGO builds)")
 )
-
-type server struct {
-	pool     *pathcover.Pool
-	reg      *pathcover.Registry
-	started  time.Time
-	requests atomic.Int64
-}
-
-// graphSpec is the wire form of a graph: exactly one of the cotree text
-// format or an explicit edge list on vertices 0..n-1.
-type graphSpec struct {
-	Cotree string   `json:"cotree,omitempty"`
-	N      int      `json:"n,omitempty"`
-	Edges  [][2]int `json:"edges,omitempty"`
-	Names  []string `json:"names,omitempty"`
-}
-
-// graph builds the spec's Graph. strict restores the pre-degradation
-// contract: edge lists must recognize as cographs or the request fails
-// (mapped to 400 by the handlers).
-func (s *graphSpec) graph(strict bool) (*pathcover.Graph, error) {
-	switch {
-	case s.Cotree != "" && (s.N != 0 || len(s.Edges) != 0):
-		return nil, errors.New("give either a cotree or an edge list, not both")
-	case s.Cotree != "":
-		return pathcover.ParseCotree(s.Cotree)
-	case s.N > 0:
-		if strict {
-			return pathcover.FromEdges(s.N, s.Edges, s.Names)
-		}
-		return pathcover.FromEdgesAny(s.N, s.Edges, s.Names)
-	default:
-		return nil, errors.New("empty graph spec: set \"cotree\" or \"n\"+\"edges\"")
-	}
-}
-
-// strictMode reports whether the request opted into cograph-only
-// serving (?strict=1).
-func strictMode(r *http.Request) bool {
-	v := r.URL.Query().Get("strict")
-	return v != "" && v != "0" && v != "false"
-}
-
-type coverRequest struct {
-	graphSpec
-	OmitPaths bool `json:"omit_paths,omitempty"`
-	// IncludeNames adds the "names" array (vertex id -> display name) to
-	// the response, so a client that submitted the cotree text format —
-	// whose parse numbers vertices by leaf order — can remap the paths
-	// onto its own numbering by name.
-	IncludeNames bool `json:"include_names,omitempty"`
-	// Backend pins the solve route ("auto", "cograph", "tree",
-	// "approx"); empty means automatic selection.
-	Backend string `json:"backend,omitempty"`
-}
-
-// coverOpts maps the request's backend field (and strict mode) onto
-// solve options.
-func coverOpts(backendName string, strict bool) ([]pathcover.Option, error) {
-	var opts []pathcover.Option
-	if backendName != "" {
-		b, err := pathcover.ParseBackend(backendName)
-		if err != nil {
-			return nil, err
-		}
-		opts = append(opts, pathcover.WithBackend(b))
-	}
-	if strict {
-		opts = append(opts, pathcover.WithExactOnly())
-	}
-	return opts, nil
-}
-
-type statsJSON struct {
-	Procs int   `json:"procs"`
-	Time  int64 `json:"time"`
-	Work  int64 `json:"work"`
-}
-
-type coverResponse struct {
-	N        int     `json:"n"`
-	NumPaths int     `json:"num_paths"`
-	Paths    [][]int `json:"paths,omitempty"`
-	// Names maps vertex ids to display names (only when the request set
-	// "include_names").
-	Names []string `json:"names,omitempty"`
-	// Exact is true when NumPaths is provably minimum (cograph and tree
-	// backends); Backend names the route. Approximate answers carry the
-	// certified lower bound and the gap num_paths - lower_bound.
-	Exact      bool      `json:"exact"`
-	Backend    string    `json:"backend"`
-	LowerBound int       `json:"lower_bound"`
-	Gap        int       `json:"gap"`
-	Stats      statsJSON `json:"stats"`
-	// ElapsedMS is per-request wall time; batch responses report one
-	// batch-level elapsed_ms instead of faking a per-cover number.
-	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
-}
-
-func coverJSON(g *pathcover.Graph, cov *pathcover.Cover, omitPaths bool, elapsed time.Duration) coverResponse {
-	resp := coverResponse{
-		N:          g.N(),
-		NumPaths:   cov.NumPaths,
-		Exact:      cov.Exact,
-		Backend:    cov.Backend.String(),
-		LowerBound: cov.LowerBound,
-		Gap:        cov.Gap,
-		Stats: statsJSON{
-			Procs: cov.Stats.Procs,
-			Time:  cov.Stats.Time,
-			Work:  cov.Stats.Work,
-		},
-	}
-	if elapsed > 0 {
-		resp.ElapsedMS = float64(elapsed.Nanoseconds()) / 1e6
-	}
-	if !omitPaths {
-		resp.Paths = cov.Paths
-		if resp.Paths == nil {
-			resp.Paths = [][]int{}
-		}
-	}
-	return resp
-}
-
-// vertexNames materialises the id -> name table of a graph.
-func vertexNames(g *pathcover.Graph) []string {
-	names := make([]string, g.N())
-	for i := range names {
-		names[i] = g.Name(i)
-	}
-	return names
-}
-
-type hamiltonianRequest struct {
-	graphSpec
-	Cycle bool `json:"cycle,omitempty"`
-}
-
-type batchRequest struct {
-	Graphs    []graphSpec `json:"graphs"`
-	OmitPaths bool        `json:"omit_paths,omitempty"`
-	// IncludeNames adds the per-cover "names" arrays, as for /cover.
-	IncludeNames bool `json:"include_names,omitempty"`
-	// Backend pins the solve route for every graph of the batch.
-	Backend string `json:"backend,omitempty"`
-}
 
 func main() {
 	flag.Parse()
@@ -245,38 +58,21 @@ func main() {
 			log.Printf("pathcoverd: wrote CPU profile %s", *cpuprofile)
 		}()
 	}
-	var popts []pathcover.PoolOption
-	if *shards > 0 {
-		popts = append(popts, pathcover.WithShards(*shards))
-	}
-	if *queue != 0 {
-		popts = append(popts, pathcover.WithQueueDepth(*queue))
-	}
-	if *cacheMB > 0 {
-		popts = append(popts, pathcover.WithCache(*cacheMB<<20))
-	}
-	if *affinity {
-		popts = append(popts, pathcover.WithShardAffinity())
-	}
-	s := &server{
-		pool:    pathcover.NewPool(popts...),
-		reg:     pathcover.NewRegistry(*maxGraphs),
-		started: time.Now(),
-	}
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/cover", s.handleCover)
-	mux.HandleFunc("/hamiltonian", s.handleHamiltonian)
-	mux.HandleFunc("/batch", s.handleBatch)
-	mux.HandleFunc("POST /graphs", s.handleRegister)
-	mux.HandleFunc("GET /graphs/{id}", s.handleGraphInfo)
-	mux.HandleFunc("DELETE /graphs/{id}", s.handleGraphDelete)
+	s := daemon.New(daemon.Config{
+		Shards:         *shards,
+		Queue:          *queue,
+		MaxBody:        *maxBody,
+		Verify:         *verify,
+		RequestTimeout: *reqTimeout,
+		CacheMB:        *cacheMB,
+		MaxGraphs:      *maxGraphs,
+		Affinity:       *affinity,
+		RetryAfter:     *retryAfter,
+	})
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -284,7 +80,7 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("pathcoverd: serving on %s (%d shards, queue depth %d)",
-		*addr, s.pool.NumShards(), s.pool.Stats().QueueDepth)
+		*addr, s.Pool().NumShards(), s.Pool().Stats().QueueDepth)
 	select {
 	case err := <-errc:
 		log.Fatalf("pathcoverd: %v", err)
@@ -296,319 +92,5 @@ func main() {
 	if err := srv.Shutdown(shutCtx); err != nil {
 		log.Printf("pathcoverd: shutdown: %v", err)
 	}
-	s.pool.Close()
-}
-
-// decode reads one JSON request body within the size limit.
-func decode(w http.ResponseWriter, r *http.Request, dst any) error {
-	r.Body = http.MaxBytesReader(w, r.Body, *maxBody)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	return dec.Decode(dst)
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(v); err != nil {
-		log.Printf("pathcoverd: encode: %v", err)
-	}
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-// fail maps pool, routing and parse errors onto HTTP statuses.
-func fail(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, pathcover.ErrPoolSaturated):
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
-	case errors.Is(err, pathcover.ErrPoolClosed):
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
-	case errors.Is(err, pathcover.ErrNotExact),
-		errors.Is(err, pathcover.ErrNotCograph),
-		errors.Is(err, pathcover.ErrNotForest):
-		// The request's routing constraints (strict mode or a pinned
-		// backend) cannot serve this graph.
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-	case errors.Is(err, context.DeadlineExceeded):
-		// The -request-timeout deadline cut the solve off mid-pipeline.
-		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error()})
-	case errors.Is(err, context.Canceled):
-		// Client went away; 499 in the nginx tradition.
-		writeJSON(w, 499, errorResponse{Error: err.Error()})
-	case errors.Is(err, pathcover.ErrSolverPanic):
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
-	default:
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
-	}
-}
-
-// requestCtx derives the solve context: the client's context bounded by
-// the -request-timeout deadline.
-func requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
-	if *reqTimeout > 0 {
-		return context.WithTimeout(r.Context(), *reqTimeout)
-	}
-	return r.Context(), func() {}
-}
-
-func badRequest(w http.ResponseWriter, err error) {
-	writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-}
-
-func requirePost(w http.ResponseWriter, r *http.Request) bool {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
-		return false
-	}
-	return true
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":       true,
-		"shards":   s.pool.NumShards(),
-		"uptime_s": time.Since(s.started).Seconds(),
-	})
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"pool":       s.pool.Stats(),
-		"registry":   s.reg.Stats(),
-		"requests":   s.requests.Load(),
-		"uptime_s":   time.Since(s.started).Seconds(),
-		"gomaxprocs": runtime.GOMAXPROCS(0),
-		"num_cpu":    runtime.NumCPU(),
-	})
-}
-
-// boolParam reads a query-string boolean ("1"/"true"), so GET
-// /cover?id= requests can ask for omit_paths / include_names without a
-// body.
-func boolParam(r *http.Request, name string) bool {
-	v := r.URL.Query().Get(name)
-	return v != "" && v != "0" && v != "false"
-}
-
-// handleCover serves POST /cover with an inline graph spec, and
-// GET/POST /cover?id=... against a registered graph.
-func (s *server) handleCover(w http.ResponseWriter, r *http.Request) {
-	id := r.URL.Query().Get("id")
-	if r.Method != http.MethodGet || id == "" {
-		if !requirePost(w, r) {
-			return
-		}
-	}
-	s.requests.Add(1)
-	var req coverRequest
-	if r.Method == http.MethodPost {
-		if err := decode(w, r, &req); err != nil {
-			badRequest(w, err)
-			return
-		}
-	}
-	req.OmitPaths = req.OmitPaths || boolParam(r, "omit_paths")
-	req.IncludeNames = req.IncludeNames || boolParam(r, "include_names")
-	strict := strictMode(r)
-	var g *pathcover.Graph
-	if id != "" {
-		if req.Cotree != "" || req.N != 0 || len(req.Edges) != 0 {
-			badRequest(w, errors.New("give either ?id= or a graph spec, not both"))
-			return
-		}
-		var ok bool
-		if g, ok = s.reg.Get(id); !ok {
-			writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no registered graph %q", id)})
-			return
-		}
-	} else {
-		var err error
-		if g, err = req.graph(strict); err != nil {
-			badRequest(w, err)
-			return
-		}
-	}
-	opts, err := coverOpts(req.Backend, strict)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	ctx, cancel := requestCtx(r)
-	defer cancel()
-	start := time.Now()
-	cov, err := s.pool.MinimumPathCover(ctx, g, opts...)
-	if err != nil {
-		fail(w, err)
-		return
-	}
-	if *verify {
-		if err := g.Verify(cov.Paths); err != nil {
-			fail(w, fmt.Errorf("cover failed verification: %w", err))
-			return
-		}
-	}
-	resp := coverJSON(g, cov, req.OmitPaths, time.Since(start))
-	if req.IncludeNames {
-		resp.Names = vertexNames(g)
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// handleRegister (POST /graphs) parses, validates and canonicalizes a
-// graph spec once and stores it under a fresh id for repeated
-// GET/POST /cover?id= querying.
-func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
-	var spec graphSpec
-	if err := decode(w, r, &spec); err != nil {
-		badRequest(w, err)
-		return
-	}
-	g, err := spec.graph(strictMode(r))
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	id := s.reg.Register(g)
-	writeJSON(w, http.StatusOK, graphInfoJSON(id, g))
-}
-
-func graphInfoJSON(id string, g *pathcover.Graph) map[string]any {
-	info := map[string]any{
-		"id":      id,
-		"n":       g.N(),
-		"cograph": g.IsCograph(),
-	}
-	if hi, lo, ok := g.CanonicalHash(); ok {
-		info["canonical_hash"] = fmt.Sprintf("%016x%016x", hi, lo)
-	}
-	return info
-}
-
-func (s *server) handleGraphInfo(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
-	id := r.PathValue("id")
-	g, ok := s.reg.Get(id)
-	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no registered graph %q", id)})
-		return
-	}
-	writeJSON(w, http.StatusOK, graphInfoJSON(id, g))
-}
-
-func (s *server) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
-	id := r.PathValue("id")
-	if !s.reg.Delete(id) {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no registered graph %q", id)})
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"deleted": true, "id": id})
-}
-
-func (s *server) handleHamiltonian(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
-		return
-	}
-	s.requests.Add(1)
-	var req hamiltonianRequest
-	if err := decode(w, r, &req); err != nil {
-		badRequest(w, err)
-		return
-	}
-	// Hamiltonicity is cograph-only (no degraded backend exists), so the
-	// edge-list form must recognize regardless of strict mode.
-	g, err := req.graph(true)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	ctx, cancel := requestCtx(r)
-	defer cancel()
-	start := time.Now()
-	var (
-		path []int
-		ok   bool
-	)
-	if req.Cycle {
-		path, ok, err = s.pool.HamiltonianCycle(ctx, g)
-	} else {
-		path, ok, err = s.pool.HamiltonianPath(ctx, g)
-	}
-	if err != nil {
-		fail(w, err)
-		return
-	}
-	if path == nil {
-		path = []int{}
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":         ok,
-		"cycle":      req.Cycle,
-		"path":       path,
-		"n":          g.N(),
-		"elapsed_ms": float64(time.Since(start).Nanoseconds()) / 1e6,
-	})
-}
-
-func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
-		return
-	}
-	s.requests.Add(1)
-	var req batchRequest
-	if err := decode(w, r, &req); err != nil {
-		badRequest(w, err)
-		return
-	}
-	if len(req.Graphs) == 0 {
-		badRequest(w, errors.New("empty batch"))
-		return
-	}
-	strict := strictMode(r)
-	gs := make([]*pathcover.Graph, len(req.Graphs))
-	for i := range req.Graphs {
-		g, err := req.Graphs[i].graph(strict)
-		if err != nil {
-			badRequest(w, fmt.Errorf("graph %d: %w", i, err))
-			return
-		}
-		gs[i] = g
-	}
-	opts, err := coverOpts(req.Backend, strict)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	ctx, cancel := requestCtx(r)
-	defer cancel()
-	start := time.Now()
-	covs, err := s.pool.CoverBatch(ctx, gs, opts...)
-	if err != nil {
-		fail(w, err)
-		return
-	}
-	elapsed := time.Since(start)
-	out := make([]coverResponse, len(covs))
-	for i, cov := range covs {
-		if *verify {
-			if err := gs[i].Verify(cov.Paths); err != nil {
-				fail(w, fmt.Errorf("cover %d failed verification: %w", i, err))
-				return
-			}
-		}
-		out[i] = coverJSON(gs[i], cov, req.OmitPaths, 0)
-		if req.IncludeNames {
-			out[i].Names = vertexNames(gs[i])
-		}
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"covers":     out,
-		"elapsed_ms": float64(elapsed.Nanoseconds()) / 1e6,
-	})
+	s.Close()
 }

@@ -152,7 +152,7 @@ func main() {
 	report.Seed = *seed
 	switch {
 	case *attackURL != "":
-		runAttack(strings.TrimSuffix(*attackURL, "/"))
+		runAttack(*attackURL)
 	case *serveMode:
 		runServe()
 	default:

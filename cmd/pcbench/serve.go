@@ -20,20 +20,25 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pathcover"
+	"pathcover/internal/cluster"
+	"pathcover/internal/daemon"
 	"pathcover/internal/workload"
 )
 
 var (
 	serveMode = flag.Bool("serve", false, "bench the serving layer in-process (Pool vs shared Solver) instead of the e-experiments")
-	attackURL = flag.String("attack", "", "base URL of a running pathcoverd to load-test (e.g. http://127.0.0.1:8080)")
+	attackURL = flag.String("attack", "", "comma-separated base URL(s) to load-test: one pathcoverd or pathcover-gateway, or several nodes fronted by an in-process gateway (e.g. http://127.0.0.1:8080,http://127.0.0.1:8081)")
 	clients   = flag.Int("clients", 4*runtime.GOMAXPROCS(0), "concurrent clients of the serving benchmark")
 	reqCount  = flag.Int("requests", 256, "requests per serving configuration")
 	serveMin  = flag.Int("servemin", 10, "smallest serving-graph bucket as a power of two (sizes are log-uniform in [2^servemin, 2^(max+1)))")
@@ -273,6 +278,134 @@ func runServe() {
 	runServeBatch(stream, maxLg)
 	runServeZipf(maxLg)
 	runServeWidths()
+	runServeCluster(min(maxLg, 14))
+}
+
+// runServeCluster is the cache-affinity A/B the cluster routing is
+// for: the same Zipf repeat-heavy stream served by three in-process
+// daemon nodes (each with its own canonical result cache) behind (a)
+// the consistent-hash gateway — every presentation of a base graph
+// hashes to one owner, so each distinct canonical identity is solved
+// once cluster-wide — and (b) uniform-random node choice, where each
+// node must warm its own copy of the popular graphs. The hit %% column
+// is the aggregate across the three node caches; affine routing's must
+// come out higher on the same stream.
+func runServeCluster(maxLg int) {
+	const nNodes = 3
+	const zipfS = 1.1
+	stream := buildZipfStream(maxLg, zipfS)
+	specs := make(map[*pathcover.Graph][]byte, *distinct)
+	remaps := make(map[*pathcover.Graph]map[string]int, *distinct)
+	for _, r := range stream {
+		if _, ok := specs[r.g]; !ok {
+			blob, err := json.Marshal(map[string]any{"cotree": r.g.String()})
+			if err != nil {
+				panic(err)
+			}
+			specs[r.g] = blob
+			remaps[r.g] = nameIndex(r.g)
+		}
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *clients}}
+
+	header(fmt.Sprintf("S5 — cluster cache affinity, %d nodes × 32 MiB canonical caches, Zipf(%.1f) stream of %d requests over %d base graphs ×3 presentations, n in [2^%d, 2^%d)",
+		nNodes, zipfS, len(stream), *distinct, *serveMin, maxLg+1),
+		"routing", "clients", "requests", "hit %", "wall s", "req/s", "p50 ms", "p99 ms")
+
+	type coverResp struct {
+		NumPaths int      `json:"num_paths"`
+		Paths    [][]int  `json:"paths"`
+		Names    []string `json:"names"`
+		Exact    bool     `json:"exact"`
+	}
+	do := func(url string, r svReq) (*pathcover.Cover, error) {
+		resp, err := client.Post(url+"/cover?include_names=1", "application/json", bytes.NewReader(specs[r.g]))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		payload, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("/cover: HTTP %d: %s", resp.StatusCode, payload)
+		}
+		var out coverResp
+		if err := json.Unmarshal(payload, &out); err != nil {
+			return nil, err
+		}
+		return &pathcover.Cover{Paths: remapPaths(remaps[r.g], out.Paths, out.Names), NumPaths: out.NumPaths, Exact: out.Exact}, nil
+	}
+
+	run := func(name string, affine bool) {
+		// Fresh nodes per mode: both sides start with cold caches.
+		nodeURLs := make([]string, nNodes)
+		var cleanup []func()
+		for i := range nodeURLs {
+			ds := daemon.New(daemon.Config{Shards: 1, CacheMB: 32})
+			srv := httptest.NewServer(ds.Handler())
+			nodeURLs[i] = srv.URL
+			cleanup = append(cleanup, srv.Close, ds.Close)
+		}
+		defer func() {
+			for _, c := range cleanup {
+				c()
+			}
+		}()
+
+		var lat []time.Duration
+		var wall time.Duration
+		if affine {
+			// Hedging off (threshold far beyond any solve): a hedge would
+			// warm a replica's cache and blur the affinity measurement.
+			gw := cluster.New(nodeURLs, cluster.Options{HedgeAfter: time.Hour})
+			defer gw.Close()
+			gsrv := httptest.NewServer(gw.Handler())
+			defer gsrv.Close()
+			lat, wall = drive(stream, *clients, func(_ int, r svReq) (*pathcover.Cover, error) {
+				return do(gsrv.URL, r)
+			})
+		} else {
+			rngs := make([]*rand.Rand, *clients)
+			for i := range rngs {
+				rngs[i] = rand.New(rand.NewPCG(*seed, uint64(i)))
+			}
+			lat, wall = drive(stream, *clients, func(cli int, r svReq) (*pathcover.Cover, error) {
+				return do(nodeURLs[rngs[cli].IntN(nNodes)], r)
+			})
+		}
+
+		// Aggregate hit rate across the node caches.
+		var agg pathcover.CacheStats
+		for _, u := range nodeURLs {
+			resp, err := client.Get(u + "/stats")
+			if err != nil {
+				panic(err)
+			}
+			var peek struct {
+				Pool struct {
+					Cache *pathcover.CacheStats `json:"cache"`
+				} `json:"pool"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&peek)
+			resp.Body.Close()
+			if err != nil {
+				panic(err)
+			}
+			if c := peek.Pool.Cache; c != nil {
+				agg.Hits += c.Hits
+				agg.Misses += c.Misses
+				agg.Coalesced += c.Coalesced
+			}
+		}
+		row(name, fmt.Sprint(*clients), fmt.Sprint(len(stream)), hitPct(&agg),
+			fmt.Sprintf("%.2f", wall.Seconds()),
+			fmt.Sprintf("%.1f", float64(len(stream))/wall.Seconds()),
+			ms(pctl(lat, 0.50)), ms(pctl(lat, 0.99)))
+	}
+	run("gateway, cache-affine ring", true)
+	run("uniform-random node", false)
 }
 
 // runServeWidths is the width-tier A/B: one serving-size-class cograph
@@ -533,11 +666,74 @@ func nameIndex(g *pathcover.Graph) map[string]int {
 	return byName
 }
 
-// runAttack drives a running pathcoverd: /cover per request from C
-// clients, then the same stream in /batch chunks, then a registered-
-// graph session run over a Zipf stream. Graphs travel as cotree text;
-// responses are fully verified client-side.
-func runAttack(base string) {
+// remapPaths rewrites a response's server-numbered paths onto the
+// client graph's numbering: server vertex v is the client vertex
+// sharing its name (byName from nameIndex). Cotree text re-numbers by
+// leaf order on the server's parse; names travel with the vertices
+// through every rewrite, so the remapped cover verifies against the
+// client's own Graph directly.
+func remapPaths(byName map[string]int, paths [][]int, names []string) [][]int {
+	out := make([][]int, len(paths))
+	for i, p := range paths {
+		q := make([]int, len(p))
+		for j, v := range p {
+			if v < 0 || v >= len(names) {
+				panic(fmt.Sprintf("response path vertex %d outside names array (n=%d)", v, len(names)))
+			}
+			cid, ok := byName[names[v]]
+			if !ok {
+				panic(fmt.Sprintf("response names vertex %q unknown to the client graph", names[v]))
+			}
+			q[j] = cid
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// splitURLs parses the -attack target list: comma-separated base URLs,
+// trimmed of whitespace and trailing slashes.
+func splitURLs(target string) []string {
+	var urls []string
+	for _, u := range strings.Split(target, ",") {
+		if u = strings.TrimSuffix(strings.TrimSpace(u), "/"); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
+}
+
+// runAttack drives a serving target over HTTP: /cover per request from
+// C clients, then the same stream in /batch chunks, then a registered-
+// graph session run over a Zipf stream. The target is one pathcoverd
+// (or pathcover-gateway) URL, or a comma-separated node list fronted
+// by an in-process cluster gateway — either way the A-section titles
+// stay target-free so gateway and direct-node runs -compare against
+// each other; when the target is (or wraps) a gateway, A3 reports the
+// per-node routed/retried/hedged breakdown from its stats. Graphs
+// travel as cotree text; responses are fully verified client-side.
+func runAttack(target string) {
+	urls := splitURLs(target)
+	if len(urls) == 0 {
+		panic("pcbench: -attack got no URLs")
+	}
+	base := urls[0]
+	var gw *cluster.Gateway
+	if len(urls) > 1 {
+		// Multi-URL: front the nodes with an in-process gateway — the same
+		// routing/retry/hedging tier pathcover-gateway serves — and attack
+		// through it.
+		gw = cluster.New(urls, cluster.Options{})
+		defer gw.Close()
+		gw.Start()
+		gsrv := httptest.NewServer(gw.Handler())
+		defer gsrv.Close()
+		base = gsrv.URL
+		fmt.Printf("\nattack: in-process gateway over %d nodes: %s\n", len(urls), strings.Join(urls, ", "))
+	} else {
+		fmt.Printf("\nattack: %s\n", base)
+	}
+
 	maxLg := min(*maxLog, 14) // HTTP transport: keep bodies sane by default
 	stream, edgeSpecs := buildStream(maxLg)
 	specs := make(map[*pathcover.Graph]map[string]any, *distinct)
@@ -563,8 +759,8 @@ func runAttack(base string) {
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *clients}}
 
 	exactN, approxN := streamMix(stream)
-	header(fmt.Sprintf("A1 — pathcoverd attack %s, %s n in [2^%d, 2^%d), %d requests (%d exact-routed, %d approx-routed; widths %s)",
-		base, classOrDie(), *serveMin, maxLg+1, len(stream), exactN, approxN, widthMix(stream)),
+	header(fmt.Sprintf("A1 — serving attack, %s n in [2^%d, 2^%d), %d requests (%d exact-routed, %d approx-routed; widths %s)",
+		classOrDie(), *serveMin, maxLg+1, len(stream), exactN, approxN, widthMix(stream)),
 		"configuration", "clients", "requests", "wall s", "req/s", "p50 ms", "p99 ms")
 
 	type coverResp struct {
@@ -575,27 +771,8 @@ func runAttack(base string) {
 		Backend  string   `json:"backend"`
 		Gap      int      `json:"gap"`
 	}
-	// remap rewrites a response's server-numbered paths onto the client
-	// graph's numbering: server vertex v is the client vertex sharing its
-	// name. This replaces the old round-trip reparse of the cotree text.
 	remap := func(g *pathcover.Graph, paths [][]int, names []string) [][]int {
-		byName := remaps[g]
-		out := make([][]int, len(paths))
-		for i, p := range paths {
-			q := make([]int, len(p))
-			for j, v := range p {
-				if v < 0 || v >= len(names) {
-					panic(fmt.Sprintf("response path vertex %d outside names array (n=%d)", v, len(names)))
-				}
-				cid, ok := byName[names[v]]
-				if !ok {
-					panic(fmt.Sprintf("response names vertex %q unknown to the client graph", names[v]))
-				}
-				q[j] = cid
-			}
-			out[i] = q
-		}
-		return out
+		return remapPaths(remaps[g], paths, names)
 	}
 	finish := func(path string, resp *http.Response, err error, dst any) error {
 		if err != nil {
@@ -698,30 +875,71 @@ func runAttack(base string) {
 	const zipfS = 1.1
 	zstream := buildZipfStream(maxLg, zipfS)
 	ids := make(map[*pathcover.Graph]string, len(zstream))
+	var idMu sync.Mutex
+	register := func(g *pathcover.Graph) error {
+		var info struct {
+			ID string `json:"id"`
+		}
+		if err := post("/graphs", map[string]any{"cotree": g.String()}, &info); err != nil {
+			return err
+		}
+		if info.ID == "" {
+			return fmt.Errorf("POST /graphs returned no id")
+		}
+		idMu.Lock()
+		ids[g] = info.ID
+		idMu.Unlock()
+		return nil
+	}
 	for _, r := range zstream {
 		if _, ok := ids[r.g]; ok {
 			continue
 		}
-		var info struct {
-			ID string `json:"id"`
-		}
-		if err := post("/graphs", map[string]any{"cotree": r.g.String()}, &info); err != nil {
+		if err := register(r.g); err != nil {
 			panic(err)
 		}
-		if info.ID == "" {
-			panic("POST /graphs returned no id")
-		}
-		ids[r.g] = info.ID
 		remaps[r.g] = nameIndex(r.g)
 	}
 
-	header(fmt.Sprintf("A2 — registered-graph sessions %s, Zipf(%.1f) stream of %d requests over %d registered presentations",
-		base, zipfS, len(zstream), len(ids)),
+	header(fmt.Sprintf("A2 — registered-graph sessions, Zipf(%.1f) stream of %d requests over %d registered presentations",
+		zipfS, len(zstream), len(ids)),
 		"configuration", "clients", "requests", "hit %", "wall s", "req/s", "p50 ms", "p99 ms")
 	before := readCache()
+	getCode := func(path string, dst any) (int, error) {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		payload, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return resp.StatusCode, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return resp.StatusCode, fmt.Errorf("%s: HTTP %d: %s", path, resp.StatusCode, payload)
+		}
+		return resp.StatusCode, json.Unmarshal(payload, dst)
+	}
 	zlat, zwall := drive(zstream, *clients, func(_ int, r svReq) (*pathcover.Cover, error) {
 		var out coverResp
-		if err := get("/cover?id="+ids[r.g]+"&include_names=1", &out); err != nil {
+		for attempt := 0; ; attempt++ {
+			idMu.Lock()
+			id := ids[r.g]
+			idMu.Unlock()
+			code, err := getCode("/cover?id="+id+"&include_names=1", &out)
+			if err == nil {
+				break
+			}
+			// A restarted node comes back with an empty registry, so its
+			// ids answer 404 (and a dying hop can surface as 502/503).
+			// Re-register and retry: the session survives node churn, which
+			// is exactly what the cluster-smoke kill exercises.
+			if attempt < 8 && (code == http.StatusNotFound ||
+				code == http.StatusBadGateway || code == http.StatusServiceUnavailable) {
+				if rerr := register(r.g); rerr == nil {
+					continue
+				}
+			}
 			return nil, err
 		}
 		return &pathcover.Cover{Paths: remap(r.g, out.Paths, out.Names), NumPaths: out.NumPaths, Exact: out.Exact}, nil
@@ -742,18 +960,51 @@ func runAttack(base string) {
 
 	// Deregister the session graphs so repeated attacks against one
 	// daemon don't accumulate registry residents (and so DELETE gets
-	// exercised outside the smoke test).
+	// exercised outside the smoke test). Node churn may already have
+	// emptied a restarted registry — its ids answer 404, which is the
+	// outcome deletion wanted, so 404 passes.
 	for _, id := range ids {
 		req, err := http.NewRequest(http.MethodDelete, base+"/graphs/"+id, nil)
 		if err != nil {
 			panic(err)
 		}
-		var out struct {
-			Deleted bool `json:"deleted"`
-		}
 		resp, err := client.Do(req)
-		if err := finish("/graphs/"+id, resp, err, &out); err != nil || !out.Deleted {
-			panic(fmt.Sprintf("DELETE /graphs/%s: deleted=%v err=%v", id, out.Deleted, err))
+		if err != nil {
+			panic(fmt.Sprintf("DELETE /graphs/%s: %v", id, err))
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+			panic(fmt.Sprintf("DELETE /graphs/%s: HTTP %d", id, resp.StatusCode))
 		}
 	}
+
+	// A3 — per-node routing counters: from the in-process gateway when
+	// -attack got a node list, else from the target's /stats when it is
+	// a pathcover-gateway. A plain daemon has no nodes table and skips
+	// the section; when present, the title and columns are target-free
+	// so gateway and multi-node runs -compare against each other.
+	var st cluster.GatewayStats
+	if gw != nil {
+		st = gw.Stats()
+	} else {
+		var peek struct {
+			Gateway cluster.GatewayStats `json:"gateway"`
+		}
+		if err := get("/stats", &peek); err != nil {
+			return
+		}
+		st = peek.Gateway
+	}
+	if len(st.Nodes) == 0 {
+		return
+	}
+	header("A3 — per-node cluster routing counters",
+		"node", "state", "routed", "retried", "hedged", "ejections", "readmissions")
+	for _, ns := range st.Nodes {
+		row(ns.Name, ns.State, fmt.Sprint(ns.Routed), fmt.Sprint(ns.Retried),
+			fmt.Sprint(ns.Hedged), fmt.Sprint(ns.Ejections), fmt.Sprint(ns.Readmissions))
+	}
+	row("total", "-", fmt.Sprint(st.Routed), fmt.Sprint(st.Retries),
+		fmt.Sprint(st.Hedged), fmt.Sprint(st.Ejections), fmt.Sprint(st.Readmissions))
 }

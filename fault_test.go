@@ -20,6 +20,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -274,6 +275,91 @@ func TestFaultSlotLeakSaturateRecover(t *testing.T) {
 	}
 	if st.Restarts != 6 {
 		t.Fatalf("Restarts = %d, want 6", st.Restarts)
+	}
+}
+
+// TestFaultStatsSnapshotConsistency is the regression test for the
+// Stats race window on shard rebuilds: the serving record used to be
+// four independent atomics bumped one by one (and restartShard ticked
+// Restarts after swapping the Solver), so a concurrent Stats could
+// observe torn rows — a call's Calls without its Vertices, a rebuilt
+// shard without its restart. Rows now commit and snapshot under the
+// shard's stats lock. Every request here is the same n-vertex graph,
+// so any consistent row must satisfy Vertices == Calls*n exactly; the
+// reader hammers Stats during panic-driven rebuilds and fails on the
+// first torn row, non-monotonic total, or (under -race) racy access.
+func TestFaultStatsSnapshotConsistency(t *testing.T) {
+	const n = 256
+	p := pathcover.NewPool(pathcover.WithShards(2))
+	defer p.Close()
+	g := faultGraph(t, 13, n)
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		var lastCalls, lastRestarts int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := p.Stats()
+			for _, row := range st.Shards {
+				if row.Vertices != row.Calls*int64(n) {
+					t.Errorf("torn shard row: Calls=%d Vertices=%d, want %d",
+						row.Calls, row.Vertices, row.Calls*int64(n))
+					return
+				}
+				if row.Calls > 0 && row.SimTime <= 0 {
+					t.Errorf("torn shard row: Calls=%d with SimTime=%d", row.Calls, row.SimTime)
+					return
+				}
+			}
+			if st.Calls < lastCalls || st.Restarts < lastRestarts {
+				t.Errorf("totals went backwards: Calls %d->%d, Restarts %d->%d",
+					lastCalls, st.Calls, lastRestarts, st.Restarts)
+				return
+			}
+			lastCalls, lastRestarts = st.Calls, st.Restarts
+		}
+	}()
+
+	var panics atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				opt := noFault
+				if (w+i)%3 == 0 {
+					opt = pathcover.WithFaultInjector(panicAt("step2"))
+				}
+				_, err := p.MinimumPathCover(context.Background(), g, opt)
+				switch {
+				case err == nil:
+				case errors.Is(err, pathcover.ErrSolverPanic):
+					panics.Add(1)
+				default:
+					t.Errorf("worker %d call %d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	st := p.Stats()
+	if st.Restarts != panics.Load() {
+		t.Fatalf("Restarts = %d, want %d (one per PanicError)", st.Restarts, panics.Load())
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("InFlight = %d after quiesce, want 0", st.InFlight)
 	}
 }
 

@@ -48,6 +48,14 @@ func (h Hash) Less(o Hash) bool {
 	return h.Lo < o.Lo
 }
 
+// Fold64 compresses the 128-bit hash to a single well-mixed 64-bit
+// word, for consumers that key on uint64 — a consistent-hash ring
+// placing graphs by canonical identity, most notably. Both halves feed
+// the fold, so graphs differing in either lane land differently.
+func (h Hash) Fold64() uint64 {
+	return mix(mix(h.Hi, h.Lo*mulC+1), h.Hi^bits.RotateLeft64(h.Lo, 17))
+}
+
 // Form is the canonical identity of a cotree: its hash plus the vertex
 // permutation between the input numbering and the canonical numbering
 // (vertices numbered 0..n-1 in depth-first order of the canonically

@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// backoffDelay computes the sleep before retry attempt (0-based): an
+// exponential base<<attempt capped at max, with half-width jitter
+// (uniform in [d/2, d]) so a fleet of clients retrying a recovering
+// node does not re-stampede it in lockstep.
+func backoffDelay(attempt int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	if max <= 0 {
+		max = time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int64N(int64(half)+1))
+}
+
+// parseRetryAfter reads a 503's Retry-After header (delta-seconds or
+// HTTP-date), returning 0 when absent or unparsable. The returned hint
+// is what the node asked for; callers take the max of it and their own
+// backoff.
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if sec, err := strconv.Atoi(v); err == nil {
+		if sec < 0 {
+			return 0
+		}
+		return time.Duration(sec) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// XXH64 primes.
+const (
+	prime1 uint64 = 0x9e3779b185ebca87
+	prime2 uint64 = 0xc2b2ae3d27d4eb4f
+	prime3 uint64 = 0x165667b19e3779f9
+	prime4 uint64 = 0x85ebca77c2b2ae63
+	prime5 uint64 = 0x27d4eb2f165667c5
+)
+
+// Hash64 is XXH64 (seed 0), implemented in-repo so the ring carries no
+// dependency. It places virtual nodes on the ring and keys requests
+// that have no canonical graph identity (registered-graph ids, opaque
+// bodies); canonical identities come pre-hashed from internal/canon
+// and fold through canon.Hash.Fold64 instead.
+func Hash64(b []byte) uint64 {
+	n := uint64(len(b))
+	var h uint64
+	if len(b) >= 32 {
+		v1, v2, v3, v4 := prime1, prime2, uint64(0), uint64(0)
+		v1 += prime2 // wraps mod 2^64, as the reference accumulators do
+		v4 -= prime1
+		for len(b) >= 32 {
+			v1 = xxRound(v1, binary.LittleEndian.Uint64(b))
+			v2 = xxRound(v2, binary.LittleEndian.Uint64(b[8:]))
+			v3 = xxRound(v3, binary.LittleEndian.Uint64(b[16:]))
+			v4 = xxRound(v4, binary.LittleEndian.Uint64(b[24:]))
+			b = b[32:]
+		}
+		h = bits.RotateLeft64(v1, 1) + bits.RotateLeft64(v2, 7) +
+			bits.RotateLeft64(v3, 12) + bits.RotateLeft64(v4, 18)
+		h = xxMerge(h, v1)
+		h = xxMerge(h, v2)
+		h = xxMerge(h, v3)
+		h = xxMerge(h, v4)
+	} else {
+		h = prime5
+	}
+	h += n
+	for len(b) >= 8 {
+		h ^= xxRound(0, binary.LittleEndian.Uint64(b))
+		h = bits.RotateLeft64(h, 27)*prime1 + prime4
+		b = b[8:]
+	}
+	if len(b) >= 4 {
+		h ^= uint64(binary.LittleEndian.Uint32(b)) * prime1
+		h = bits.RotateLeft64(h, 23)*prime2 + prime3
+		b = b[4:]
+	}
+	for _, c := range b {
+		h ^= uint64(c) * prime5
+		h = bits.RotateLeft64(h, 11) * prime1
+	}
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}
+
+// Hash64String is Hash64 over the string's bytes, allocation-free.
+func Hash64String(s string) uint64 {
+	// The compiler elides this copy for the conversion-only use.
+	return Hash64([]byte(s))
+}
+
+func xxRound(acc, input uint64) uint64 {
+	acc += input * prime2
+	return bits.RotateLeft64(acc, 31) * prime1
+}
+
+func xxMerge(h, v uint64) uint64 {
+	h ^= xxRound(0, v)
+	return h*prime1 + prime4
+}

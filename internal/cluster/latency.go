@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyTracker keeps a sliding window of successful-request
+// durations and serves their p99, driving adaptive hedging: a request
+// still in flight past the tracked p99 is slow enough to justify a
+// duplicate on the next replica. The p99 is recomputed lazily every
+// recomputeEvery observations (a sort of the 512-sample window per
+// request would cost more than the routing it informs).
+const (
+	latencyWindow  = 512
+	latencyMinObs  = 32 // no adaptive hedging before this many samples
+	recomputeEvery = 32
+)
+
+type latencyTracker struct {
+	mu      sync.Mutex
+	samples [latencyWindow]time.Duration
+	n       int // total observations
+	cached  time.Duration
+	stale   int // observations since the cached p99
+}
+
+func (t *latencyTracker) observe(d time.Duration) {
+	t.mu.Lock()
+	t.samples[t.n%latencyWindow] = d
+	t.n++
+	t.stale++
+	t.mu.Unlock()
+}
+
+// p99 returns the tracked 99th percentile; ok is false until enough
+// samples have accumulated for the number to mean anything.
+func (t *latencyTracker) p99() (time.Duration, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n < latencyMinObs {
+		return 0, false
+	}
+	if t.stale >= recomputeEvery || t.cached == 0 {
+		w := t.n
+		if w > latencyWindow {
+			w = latencyWindow
+		}
+		sorted := make([]time.Duration, w)
+		copy(sorted, t.samples[:w])
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		t.cached = sorted[w*99/100]
+		t.stale = 0
+	}
+	return t.cached, true
+}

@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ReadyPrefix is the line a spawned node prints on stdout once it is
+// listening: "NODE_READY addr=127.0.0.1:PORT". The supervisor scans
+// for it to learn the ephemeral port; everything else a child says
+// goes to (or is passed through to) stderr.
+const ReadyPrefix = "NODE_READY addr="
+
+// AnnounceReady prints the ready line for addr. Called by the child
+// side (pathcover-gateway -node) right after Listen succeeds.
+func AnnounceReady(addr string) {
+	fmt.Fprintf(os.Stdout, "%s%s\n", ReadyPrefix, addr)
+}
+
+// ChildInfo is one spawned node's row in the gateway's /stats body —
+// the PID is there so CI can SIGKILL a live child mid-run.
+type ChildInfo struct {
+	Addr     string `json:"addr"`
+	PID      int    `json:"pid"`
+	Restarts int64  `json:"restarts"`
+	Alive    bool   `json:"alive"`
+}
+
+// Supervisor forks and babysits local daemon processes for the
+// single-binary -spawn mode: children start on ephemeral ports,
+// announce themselves via ReadyPrefix, and a child that dies (CI's
+// SIGKILL included) is respawned on the same concrete port after a
+// short delay — so an ejected node comes back at its old address and
+// the gateway's probation path readmits it, no reconfiguration.
+type Supervisor struct {
+	exe  string
+	args func(addr string) []string // full child argv for binding addr
+
+	// ReadyTimeout bounds the wait for a child's ready line (default
+	// 30s); RespawnDelay is the pause before restarting a dead child
+	// (default 200ms).
+	ReadyTimeout time.Duration
+	RespawnDelay time.Duration
+
+	mu       sync.Mutex
+	children []*child
+	closed   bool
+}
+
+type child struct {
+	addr     string // concrete host:port after first ready
+	cmd      *exec.Cmd
+	restarts int64
+	alive    bool
+}
+
+// NewSupervisor builds a supervisor that launches exe with
+// args("host:port") as the child argv. args must make the child bind
+// that address (":0" forms pick an ephemeral port) and AnnounceReady
+// on it.
+func NewSupervisor(exe string, args func(addr string) []string) *Supervisor {
+	return &Supervisor{
+		exe:          exe,
+		args:         args,
+		ReadyTimeout: 30 * time.Second,
+		RespawnDelay: 200 * time.Millisecond,
+	}
+}
+
+// StartN spawns n children on ephemeral ports and returns their base
+// URLs once all are ready. Each child gets a watchdog goroutine that
+// respawns it on its concrete port if it dies.
+func (s *Supervisor) StartN(n int) ([]string, error) {
+	urls := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		cmd, addr, err := s.spawn("127.0.0.1:0")
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("spawn node %d: %w", i, err)
+		}
+		c := &child{addr: addr, cmd: cmd, alive: true}
+		s.mu.Lock()
+		s.children = append(s.children, c)
+		s.mu.Unlock()
+		go s.watch(c)
+		urls = append(urls, "http://"+addr)
+	}
+	return urls, nil
+}
+
+// spawn starts one child bound to bindAddr and waits for its ready
+// line, returning the concrete address it announced.
+func (s *Supervisor) spawn(bindAddr string) (*exec.Cmd, string, error) {
+	cmd := exec.Command(s.exe, s.args(bindAddr)...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+	addrc := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, ReadyPrefix) {
+				addrc <- strings.TrimSpace(strings.TrimPrefix(line, ReadyPrefix))
+				// Keep draining so the child never blocks on stdout.
+				go io.Copy(io.Discard, stdout)
+				return
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
+		errc <- fmt.Errorf("child exited before announcing readiness")
+	}()
+	select {
+	case addr := <-addrc:
+		return cmd, addr, nil
+	case err := <-errc:
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, "", err
+	case <-time.After(s.ReadyTimeout):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, "", fmt.Errorf("child not ready within %v", s.ReadyTimeout)
+	}
+}
+
+// watch waits on a child and respawns it — on the same concrete port,
+// so its ring identity and announced URL stay valid — until Close.
+func (s *Supervisor) watch(c *child) {
+	for {
+		s.mu.Lock()
+		cmd := c.cmd
+		s.mu.Unlock()
+		cmd.Wait()
+		s.mu.Lock()
+		c.alive = false
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		time.Sleep(s.RespawnDelay)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		next, _, err := s.spawn(c.addr)
+		if err != nil {
+			// The port may need a beat to free after a SIGKILL; retry on
+			// the next loop turn rather than giving up on the node.
+			fmt.Fprintf(os.Stderr, "pathcover-gateway: respawn %s: %v\n", c.addr, err)
+			time.Sleep(time.Second)
+			continue
+		}
+		s.mu.Lock()
+		c.cmd = next
+		c.restarts++
+		c.alive = true
+		s.mu.Unlock()
+	}
+}
+
+// Children snapshots the child table (the gateway's /stats "children"
+// section).
+func (s *Supervisor) Children() []ChildInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ChildInfo, len(s.children))
+	for i, c := range s.children {
+		pid := 0
+		if c.cmd != nil && c.cmd.Process != nil {
+			pid = c.cmd.Process.Pid
+		}
+		out[i] = ChildInfo{Addr: c.addr, PID: pid, Restarts: c.restarts, Alive: c.alive}
+	}
+	return out
+}
+
+// Close stops respawning and kills every child.
+func (s *Supervisor) Close() {
+	s.mu.Lock()
+	s.closed = true
+	procs := make([]*exec.Cmd, 0, len(s.children))
+	for _, c := range s.children {
+		if c.cmd != nil {
+			procs = append(procs, c.cmd)
+		}
+	}
+	s.mu.Unlock()
+	for _, cmd := range procs {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	}
+	for _, cmd := range procs {
+		cmd.Wait()
+	}
+}

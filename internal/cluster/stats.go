@@ -1,0 +1,78 @@
+package cluster
+
+import "sync/atomic"
+
+// counters are the gateway-level serving totals surfaced at /stats.
+// Per-node breakdowns live on the members.
+type counters struct {
+	requests     atomic.Int64 // requests accepted by the gateway
+	routed       atomic.Int64 // requests answered by some node
+	retries      atomic.Int64 // retry attempts (beyond each chain's first)
+	hedged       atomic.Int64 // hedge attempts launched
+	hedgeWins    atomic.Int64 // hedges that beat the primary
+	ejections    atomic.Int64
+	readmissions atomic.Int64
+	batchItems   atomic.Int64 // batch items fanned out
+	rerouted     atomic.Int64 // batch items served off their primary owner
+}
+
+// NodeStats is one member's row in the gateway's /stats body.
+type NodeStats struct {
+	Name         string `json:"name"`
+	URL          string `json:"url"`
+	State        string `json:"state"`
+	Routed       int64  `json:"routed"`
+	Retried      int64  `json:"retried"`
+	Hedged       int64  `json:"hedged"`
+	Ejections    int64  `json:"ejections"`
+	Readmissions int64  `json:"readmissions"`
+}
+
+// GatewayStats is the gateway's /stats body (modulo the optional
+// "children" section contributed by spawn mode).
+type GatewayStats struct {
+	Nodes        []NodeStats `json:"nodes"`
+	Requests     int64       `json:"requests"`
+	Routed       int64       `json:"routed"`
+	Retries      int64       `json:"retries"`
+	Hedged       int64       `json:"hedged"`
+	HedgeWins    int64       `json:"hedge_wins"`
+	Ejections    int64       `json:"ejections"`
+	Readmissions int64       `json:"readmissions"`
+	BatchItems   int64       `json:"batch_items"`
+	Rerouted     int64       `json:"rerouted"`
+	P99MS        float64     `json:"p99_ms"`
+}
+
+// Stats snapshots the gateway's counters.
+func (g *Gateway) Stats() GatewayStats {
+	st := GatewayStats{
+		Requests:     g.stats.requests.Load(),
+		Routed:       g.stats.routed.Load(),
+		Retries:      g.stats.retries.Load(),
+		Hedged:       g.stats.hedged.Load(),
+		HedgeWins:    g.stats.hedgeWins.Load(),
+		Ejections:    g.stats.ejections.Load(),
+		Readmissions: g.stats.readmissions.Load(),
+		BatchItems:   g.stats.batchItems.Load(),
+		Rerouted:     g.stats.rerouted.Load(),
+	}
+	if p, ok := g.latency.p99(); ok {
+		st.P99MS = float64(p.Nanoseconds()) / 1e6
+	}
+	g.mu.Lock()
+	for _, m := range g.nodes {
+		st.Nodes = append(st.Nodes, NodeStats{
+			Name:         m.name,
+			URL:          m.url,
+			State:        m.state.String(),
+			Routed:       m.routed.Load(),
+			Retried:      m.retried.Load(),
+			Hedged:       m.hedged.Load(),
+			Ejections:    m.ejections,
+			Readmissions: m.readmissions,
+		})
+	}
+	g.mu.Unlock()
+	return st
+}

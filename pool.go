@@ -79,25 +79,33 @@ type Pool struct {
 // channel (capacity 1) is the shard's lock; a channel rather than a
 // mutex so that waiters can abandon the wait on context cancellation.
 type poolShard struct {
-	id      int
-	slot    chan struct{}
-	sv      *Solver      // owned by the slot holder; rebuilt after a panic
-	opts    []Option     // construction options, replayed on rebuild
-	workers int          // cached worker budget (sv is not stable for Stats)
-	load    atomic.Int64 // outstanding vertices (queued + executing)
+	id   int
+	slot chan struct{}
+	sv   *Solver      // owned by the slot holder; rebuilt after a panic
+	opts []Option     // construction options, replayed on rebuild
+	load atomic.Int64 // outstanding vertices (queued + executing)
 
+	// statsMu guards the shard's serving record as one unit, so Stats
+	// snapshots a consistent row: a reader can never observe a call's
+	// vertices without its sim counters, or a rebuilt Solver without its
+	// restart tick. calls stays atomic on top of the mutex because the
+	// leastLoaded tie-break reads it lock-free on the dispatch path.
+	statsMu  sync.Mutex
+	workers  int // worker budget of the current sv
 	calls    atomic.Int64
-	vertices atomic.Int64
-	simTime  atomic.Int64
-	simWork  atomic.Int64
-	restarts atomic.Int64 // Solvers replaced after a panic
+	vertices int64
+	simTime  int64
+	simWork  int64
+	restarts int64 // Solvers replaced after a panic
 }
 
 func (sh *poolShard) record(n int, st Stats) {
+	sh.statsMu.Lock()
 	sh.calls.Add(1)
-	sh.vertices.Add(int64(n))
-	sh.simTime.Add(st.Time)
-	sh.simWork.Add(st.Work)
+	sh.vertices += int64(n)
+	sh.simTime += st.Time
+	sh.simWork += st.Work
+	sh.statsMu.Unlock()
 }
 
 type poolConfig struct {
@@ -282,11 +290,18 @@ func (p *Pool) safeRun(sh *poolShard, f func(sh *poolShard) error) (err error) {
 // restartShard replaces a poisoned shard's Solver with a fresh one
 // built from the same options. Called with the shard's slot held, so
 // the swap is invisible to other dispatchers; the old Solver is closed
-// best-effort (its own state may be the thing that panicked).
+// best-effort (its own state may be the thing that panicked). The swap
+// and the restart tick commit together under statsMu, closing the
+// window where Stats could see the rebuilt shard with a stale Restarts
+// count.
 func (p *Pool) restartShard(sh *poolShard) {
 	old := sh.sv
-	sh.sv = NewSolver(sh.opts...)
-	sh.restarts.Add(1)
+	sv := NewSolver(sh.opts...)
+	sh.statsMu.Lock()
+	sh.sv = sv
+	sh.workers = sv.Workers()
+	sh.restarts++
+	sh.statsMu.Unlock()
 	func() {
 		defer func() { _ = recover() }()
 		old.Close()
@@ -649,7 +664,11 @@ type PoolStats struct {
 }
 
 // Stats snapshots the pool's counters. Safe to call concurrently with
-// serving (shard rows are individually atomic, not a global snapshot).
+// serving; each shard row is snapshotted under that shard's stats lock,
+// so a row is always internally consistent (a call's vertices never
+// appear without its sim counters, a rebuilt shard never without its
+// restart tick). The pool-level totals sum per-shard snapshots taken in
+// sequence, not one global cut.
 func (p *Pool) Stats() PoolStats {
 	st := PoolStats{
 		Batches:    p.batches.Load(),
@@ -659,16 +678,18 @@ func (p *Pool) Stats() PoolStats {
 		QueueDepth: p.depth,
 	}
 	for _, sh := range p.shards {
+		sh.statsMu.Lock()
 		row := ShardStats{
 			Shard:    sh.id,
 			Workers:  sh.workers,
 			Calls:    sh.calls.Load(),
-			Vertices: sh.vertices.Load(),
-			SimTime:  sh.simTime.Load(),
-			SimWork:  sh.simWork.Load(),
+			Vertices: sh.vertices,
+			SimTime:  sh.simTime,
+			SimWork:  sh.simWork,
 			Load:     sh.load.Load(),
-			Restarts: sh.restarts.Load(),
+			Restarts: sh.restarts,
 		}
+		sh.statsMu.Unlock()
 		st.Shards = append(st.Shards, row)
 		st.Calls += row.Calls
 		st.Vertices += row.Vertices
