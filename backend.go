@@ -35,6 +35,8 @@ const (
 	BackendApprox
 )
 
+// String renders the backend name used on the wire ("cograph",
+// "tree", "approx"; "auto" for the unpinned zero value).
 func (b Backend) String() string {
 	switch b {
 	case BackendAuto:
@@ -258,6 +260,15 @@ func FromEdgesAny(n int, edges [][2]int, names []string) (*Graph, error) {
 // IsCograph reports whether the graph is a cograph (and therefore
 // serves through the paper's exact pipeline).
 func (g *Graph) IsCograph() bool { return g.t != nil }
+
+// HasEdgeList reports whether the graph carries an explicit edge-list
+// representation (it was built by FromEdges or FromEdgesAny rather than
+// from a cotree). Explicit graphs can switch to the edge-walking
+// backends (BackendTree, BackendApprox) at zero conversion cost;
+// cotree-built graphs must first materialise O(m) edges — which is why
+// load-shedding layers degrade only explicit graphs (see
+// internal/daemon) and rawGraph caps the materialisation it will do.
+func (g *Graph) HasEdgeList() bool { return g.raw != nil }
 
 // IsForest reports whether the graph is acyclic. Non-cograph forests
 // route to the exact tree backend; cograph forests (unions of stars)

@@ -161,5 +161,6 @@ func coverFromEntry(e *covercache.Entry, form *canon.Form) *Cover {
 		Backend:    Backend(e.Backend),
 		LowerBound: e.LowerBound,
 		Gap:        e.Gap,
+		Shard:      -1, // served from cache, no shard occupied
 	}
 }

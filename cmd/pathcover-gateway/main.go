@@ -37,9 +37,10 @@ import (
 )
 
 var (
-	addr   = flag.String("addr", ":8090", "gateway listen address")
-	nodes  = flag.String("nodes", "", "comma-separated node base URLs to front (mutually exclusive with -spawn)")
-	spawnN = flag.Int("spawn", 0, "fork this many local daemons on ephemeral ports and front them (single-binary cluster)")
+	addr    = flag.String("addr", ":8090", "gateway listen address")
+	opsAddr = flag.String("ops", "", "operational listen address serving /metrics and /debug/pprof (empty disables; /metrics is always also on the serving port)")
+	nodes   = flag.String("nodes", "", "comma-separated node base URLs to front (mutually exclusive with -spawn)")
+	spawnN  = flag.Int("spawn", 0, "fork this many local daemons on ephemeral ports and front them (single-binary cluster)")
 
 	vnodes      = flag.Int("vnodes", 128, "virtual nodes per ring member")
 	attempts    = flag.Int("attempts", 0, "attempt cap per request chain, first try included (0 = max(4, nodes))")
@@ -138,6 +139,19 @@ func main() {
 		Addr:              *addr,
 		Handler:           gw.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if *opsAddr != "" {
+		ops := &http.Server{
+			Addr:              *opsAddr,
+			Handler:           gw.OpsHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := ops.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("pathcover-gateway: ops: %v", err)
+			}
+		}()
+		log.Printf("pathcover-gateway: ops on %s (/metrics, /debug/pprof)", *opsAddr)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -38,6 +38,13 @@ var (
 	retryAfter = flag.Duration("retry-after", time.Second,
 		"backoff hint set on 503 responses via the Retry-After header (rounded to whole seconds, minimum 1s)")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile covering the daemon's lifetime to this file on shutdown (pprof format; feeds default.pgo for PGO builds)")
+	opsAddr    = flag.String("ops", "", "operational listen address serving /metrics and /debug/pprof (empty disables; /metrics is always also on the serving port)")
+	logSample  = flag.Float64("log-sample", 0, "structured JSON request-log head-sampling rate on stderr: 1 logs every request, 0.01 every hundredth (0 disables)")
+	batchShare = flag.Float64("batch-share", 0.5, "share of the admission queue the /batch tier may occupy, so bulk load cannot starve interactive requests (>=1 disables the gate)")
+	shedAfter  = flag.Duration("shed-after", 0, "cost-shedding budget: when a request's projected queue time exceeds this, covers degrade to the approximation backend and other requests get 503 + Retry-After (0 disables)")
+	adapt      = flag.Bool("adapt", false, "adaptive shard control: grow live shards toward -adapt-max under sustained queue pressure, shrink when idle")
+	adaptMax   = flag.Int("adapt-max", 0, "physical shard ceiling under -adapt (0 = GOMAXPROCS)")
+	adaptEvery = flag.Duration("adapt-interval", 250*time.Millisecond, "adaptive controller tick interval")
 )
 
 func main() {
@@ -68,12 +75,31 @@ func main() {
 		MaxGraphs:      *maxGraphs,
 		Affinity:       *affinity,
 		RetryAfter:     *retryAfter,
+		LogSample:      *logSample,
+		BatchShare:     *batchShare,
+		ShedAfter:      *shedAfter,
+		Adapt:          *adapt,
+		AdaptMax:       *adaptMax,
+		AdaptInterval:  *adaptEvery,
 	})
 
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if *opsAddr != "" {
+		ops := &http.Server{
+			Addr:              *opsAddr,
+			Handler:           s.OpsHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := ops.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("pathcoverd: ops: %v", err)
+			}
+		}()
+		log.Printf("pathcoverd: ops on %s (/metrics, /debug/pprof)", *opsAddr)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -153,6 +153,7 @@ func main() {
 	switch {
 	case *attackURL != "":
 		runAttack(*attackURL)
+		runAttackRamp()
 	case *serveMode:
 		runServe()
 	default:

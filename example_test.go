@@ -1,6 +1,7 @@
 package pathcover_test
 
 import (
+	"context"
 	"fmt"
 
 	"pathcover"
@@ -63,4 +64,61 @@ func ExampleGraph_MinPathCoverSize() {
 	// A star K_{1,5} needs 4 paths: one through the center, 4 leftovers.
 	fmt.Println(pathcover.Star(6).MinPathCoverSize())
 	// Output: 4
+}
+
+func ExampleWithCache() {
+	// A cached pool serves repeated graphs — relabelled isomorphic
+	// presentations included — from a canonical-identity result cache.
+	pool := pathcover.NewPool(pathcover.WithShards(1), pathcover.WithCache(16<<20))
+	defer pool.Close()
+
+	a := pathcover.MustParseCotree("(1 (0 a b) c)")
+	b := pathcover.MustParseCotree("(1 c (0 b a))") // the same graph, rewritten
+	ctx := context.Background()
+	if _, err := pool.MinimumPathCover(ctx, a); err != nil {
+		panic(err)
+	}
+	cov, err := pool.MinimumPathCover(ctx, b)
+	if err != nil {
+		panic(err)
+	}
+	st := pool.Stats()
+	fmt.Println("paths:", cov.NumPaths, "shard:", cov.Shard) // -1 = served by the cache
+	fmt.Println("hits:", st.Cache.Hits, "misses:", st.Cache.Misses)
+	// Output:
+	// paths: 1 shard: -1
+	// hits: 1 misses: 1
+}
+
+func ExampleWithShardAffinity() {
+	// Pin each shard's workers to a disjoint CPU set so working sets
+	// stay in their cores' private caches (Linux; a no-op elsewhere and
+	// on single-CPU hosts — always safe to request).
+	pool := pathcover.NewPool(pathcover.WithShards(2), pathcover.WithShardAffinity())
+	defer pool.Close()
+
+	cov, err := pool.MinimumPathCover(context.Background(),
+		pathcover.MustParseCotree("(1 (0 a b) c)"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("paths:", cov.NumPaths)
+	// Output: paths: 1
+}
+
+func ExampleWithMaxShards() {
+	// Start small and resize live: WithMaxShards pre-allocates the
+	// physical ceiling, Resize moves the active count within it. This is
+	// the mechanism behind pathcoverd's adaptive controller (-adapt).
+	pool := pathcover.NewPool(pathcover.WithShards(1), pathcover.WithMaxShards(4))
+	defer pool.Close()
+
+	fmt.Println("active:", pool.ActiveShards(), "of", pool.NumShards())
+	if err := pool.Resize(4); err != nil {
+		panic(err)
+	}
+	fmt.Println("active:", pool.ActiveShards(), "resizes:", pool.Stats().Resizes)
+	// Output:
+	// active: 1 of 4
+	// active: 4 resizes: 1
 }

@@ -155,6 +155,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", g.handleHealthz)
 	mux.HandleFunc("/stats", g.handleStats)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
 	mux.HandleFunc("/cover", g.handleSolve)
 	mux.HandleFunc("/hamiltonian", g.handleSolve)
 	mux.HandleFunc("/batch", g.handleBatch)

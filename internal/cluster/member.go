@@ -27,6 +27,7 @@ const (
 	Ejected
 )
 
+// String renders the membership state as reported by /stats.
 func (s NodeState) String() string {
 	switch s {
 	case Healthy:

@@ -36,13 +36,15 @@ import (
 // removed in Step 7.
 type Role uint8
 
+// The vertex roles of the dummy-augmented pipeline.
 const (
-	RolePrimary Role = iota
-	RoleBridge
-	RoleInsert
-	RoleDummy
+	RolePrimary Role = iota // an input vertex of the graph
+	RoleBridge  Role = iota // joins two pseudo paths at a join node
+	RoleInsert  Role = iota // an insertion point awaiting an exchange
+	RoleDummy   Role = iota // placeholder bypassed in Step 7
 )
 
+// String renders the role for traces and test failures.
 func (r Role) String() string {
 	switch r {
 	case RolePrimary:
@@ -105,6 +107,7 @@ const (
 	WidthNarrow16
 )
 
+// String renders the width tier ("auto", "int16", "int32", "int").
 func (w IndexWidth) String() string {
 	switch w {
 	case WidthAuto:
@@ -163,6 +166,7 @@ type WidthError struct {
 	Width IndexWidth // the forced width that rejected
 }
 
+// Error describes the rejected input and the bound it exceeded.
 func (e *WidthError) Error() string {
 	return fmt.Sprintf("core: %d vertices exceed the %s-index bound %d", e.N, e.Width, e.Max)
 }

@@ -1,0 +1,83 @@
+package daemon
+
+import (
+	"log"
+	"time"
+)
+
+// controller defaults: pressure is admitted-calls per live shard; one
+// tick over the high water mark per required consecutive tick grows the
+// fleet, sustained idleness shrinks it one shard at a time. Growing is
+// deliberately faster than shrinking (multiplicative up, additive down)
+// because the failure modes are asymmetric: a too-small fleet queues
+// user requests, a too-large one only wastes arena warmth.
+const (
+	ctlHighWater = 1.5  // pressure above this counts toward growing
+	ctlLowWater  = 0.25 // pressure below this counts toward shrinking
+	ctlUpTicks   = 2    // consecutive high ticks before growing
+	ctlDownTicks = 10   // consecutive low ticks before shrinking
+)
+
+// ctlState is the adaptive controller's memory between ticks.
+type ctlState struct {
+	up, down int
+}
+
+// ctlStep is one pure controller decision: given the live shard count,
+// the physical ceiling and the observed pressure (admitted calls per
+// live shard), it returns the new target shard count — unchanged when
+// the evidence is not yet conclusive. Pure so the grow/shrink policy is
+// unit-testable against a scripted pressure trace without a pool or a
+// clock.
+func ctlStep(st *ctlState, active, max int, pressure float64) int {
+	switch {
+	case pressure >= ctlHighWater:
+		st.up++
+		st.down = 0
+	case pressure <= ctlLowWater:
+		st.down++
+		st.up = 0
+	default:
+		st.up, st.down = 0, 0
+	}
+	if st.up >= ctlUpTicks && active < max {
+		st.up, st.down = 0, 0
+		target := active * 2
+		if target > max {
+			target = max
+		}
+		return target
+	}
+	if st.down >= ctlDownTicks && active > 1 {
+		st.down = 0
+		return active - 1
+	}
+	return active
+}
+
+// adapt is the controller loop: every AdaptInterval it reads the pool's
+// pressure and resizes the live shard fleet when ctlStep says so. It
+// stops when the server closes. Resize failures (a pool closing under
+// the tick) end the loop — the daemon is shutting down.
+func (s *Server) adapt(interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var st ctlState
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+		active := s.pool.ActiveShards()
+		pressure := float64(s.pool.InFlight()) / float64(active)
+		target := ctlStep(&st, active, s.pool.NumShards(), pressure)
+		if target == active {
+			continue
+		}
+		if err := s.pool.Resize(target); err != nil {
+			return
+		}
+		log.Printf("pathcoverd: adapt: shards %d -> %d (pressure %.2f)", active, target, pressure)
+	}
+}

@@ -44,10 +44,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -80,6 +83,39 @@ type Config struct {
 	// RetryAfter is the hint set on 503 responses (Retry-After header,
 	// whole seconds, minimum 1). 0 defaults to one second.
 	RetryAfter time.Duration
+
+	// LogSample enables structured JSON request logging at the given
+	// head-sampling rate: 1 logs every request, 0.01 every hundredth
+	// (the decision is taken at request start from a deterministic
+	// sequence counter). 0 disables logging.
+	LogSample float64
+	// LogOutput receives the request-log lines (default os.Stderr).
+	LogOutput io.Writer
+	// BatchShare caps the /batch tier's share of the admission queue
+	// (weighted QoS admission): at most max(1, share×queue) batch
+	// requests are in the daemon at once, so bulk traffic cannot starve
+	// interactive requests. 0 defaults to 0.5; a share >= 1 or a
+	// negative value disables the gate, as does an unbounded queue.
+	BatchShare float64
+	// ShedAfter enables cost-based load shedding: when the projected
+	// queue cost of admitting a request — (outstanding vertices + the
+	// request's) × learned ns/vertex ÷ live shards — exceeds this
+	// budget, unpinned cover requests over explicit edge lists are
+	// downgraded to the approximation backend (a free route switch;
+	// cotree-built graphs would first have to materialise O(m) edges)
+	// and everything else is rejected 503 with Retry-After. 0 disables
+	// shedding.
+	ShedAfter time.Duration
+	// Adapt enables the adaptive shard controller: the live shard count
+	// grows toward AdaptMax under sustained queue pressure and shrinks
+	// back when idle, re-budgeting workers by pram.WorkersForShards at
+	// every size.
+	Adapt bool
+	// AdaptMax is the physical shard ceiling under Adapt (0 =
+	// GOMAXPROCS).
+	AdaptMax int
+	// AdaptInterval is the controller's tick (0 = 250ms).
+	AdaptInterval time.Duration
 }
 
 // Server is one pathcoverd node: a sharded pool, a graph registry and
@@ -91,6 +127,13 @@ type Server struct {
 	mux      *http.ServeMux
 	started  time.Time
 	requests atomic.Int64
+
+	met       *serverMetrics
+	reqlog    *reqLogger
+	batchGate *batchGate
+	estimator *costEstimator
+	stop      chan struct{}
+	stopOnce  sync.Once
 }
 
 // New builds a serving node. Call Close to stop the pool's workers.
@@ -101,9 +144,22 @@ func New(cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	if cfg.BatchShare == 0 {
+		cfg.BatchShare = 0.5
+	}
+	if cfg.LogOutput == nil {
+		cfg.LogOutput = os.Stderr
+	}
 	var popts []pathcover.PoolOption
 	if cfg.Shards > 0 {
 		popts = append(popts, pathcover.WithShards(cfg.Shards))
+	}
+	if cfg.Adapt {
+		max := cfg.AdaptMax
+		if max <= 0 {
+			max = runtime.GOMAXPROCS(0)
+		}
+		popts = append(popts, pathcover.WithMaxShards(max))
 	}
 	if cfg.Queue != 0 {
 		popts = append(popts, pathcover.WithQueueDepth(cfg.Queue))
@@ -115,21 +171,34 @@ func New(cfg Config) *Server {
 		popts = append(popts, pathcover.WithShardAffinity())
 	}
 	s := &Server{
-		cfg:     cfg,
-		pool:    pathcover.NewPool(popts...),
-		reg:     pathcover.NewRegistry(cfg.MaxGraphs),
-		started: time.Now(),
+		cfg:       cfg,
+		pool:      pathcover.NewPool(popts...),
+		reg:       pathcover.NewRegistry(cfg.MaxGraphs),
+		started:   time.Now(),
+		met:       newServerMetrics(),
+		reqlog:    newReqLogger(cfg.LogOutput, cfg.LogSample),
+		estimator: newCostEstimator(),
+		stop:      make(chan struct{}),
 	}
+	s.batchGate = newBatchGate(cfg.BatchShare, s.pool.QueueDepth())
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/cover", s.handleCover)
-	mux.HandleFunc("/hamiltonian", s.handleHamiltonian)
-	mux.HandleFunc("/batch", s.handleBatch)
-	mux.HandleFunc("POST /graphs", s.handleRegister)
-	mux.HandleFunc("GET /graphs/{id}", s.handleGraphInfo)
-	mux.HandleFunc("DELETE /graphs/{id}", s.handleGraphDelete)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("/cover", s.instrument("/cover", tierInteractive, s.handleCover))
+	mux.HandleFunc("/hamiltonian", s.instrument("/hamiltonian", tierInteractive, s.handleHamiltonian))
+	mux.HandleFunc("/batch", s.instrument("/batch", tierBatch, s.handleBatch))
+	mux.HandleFunc("POST /graphs", s.instrument("/graphs", tierInteractive, s.handleRegister))
+	mux.HandleFunc("GET /graphs/{id}", s.instrument("/graphs/{id}", tierInteractive, s.handleGraphInfo))
+	mux.HandleFunc("DELETE /graphs/{id}", s.instrument("/graphs/{id}", tierInteractive, s.handleGraphDelete))
 	s.mux = mux
+	if cfg.Adapt {
+		interval := cfg.AdaptInterval
+		if interval <= 0 {
+			interval = 250 * time.Millisecond
+		}
+		go s.adapt(interval)
+	}
 	return s
 }
 
@@ -139,9 +208,13 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Pool exposes the serving pool (boot logging, stats scraping).
 func (s *Server) Pool() *pathcover.Pool { return s.pool }
 
-// Close drains and stops the pool. The handler keeps answering
-// (everything solve-shaped fails 503) so a lame-duck period is safe.
-func (s *Server) Close() { s.pool.Close() }
+// Close stops the adaptive controller, then drains and stops the pool.
+// The handler keeps answering (everything solve-shaped fails 503) so a
+// lame-duck period is safe.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.pool.Close()
+}
 
 // graphSpec is the wire form of a graph: exactly one of the cotree text
 // format or an explicit edge list on vertices 0..n-1.
@@ -229,6 +302,10 @@ type coverResponse struct {
 	LowerBound int       `json:"lower_bound"`
 	Gap        int       `json:"gap"`
 	Stats      statsJSON `json:"stats"`
+	// Degraded is true when the QoS layer downgraded this request to
+	// the approximation backend instead of shedding it (the response
+	// then also carries exact:false and the certified gap).
+	Degraded bool `json:"degraded,omitempty"`
 	// ElapsedMS is per-request wall time; batch responses report one
 	// batch-level elapsed_ms instead of faking a per-cover number.
 	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
@@ -312,6 +389,9 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, pathcover.ErrPoolSaturated),
 		errors.Is(err, pathcover.ErrPoolClosed):
+		if errors.Is(err, pathcover.ErrPoolSaturated) {
+			s.met.shed.With("saturation").Inc()
+		}
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 	case errors.Is(err, pathcover.ErrNotExact),
@@ -353,6 +433,16 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 
 func badRequest(w http.ResponseWriter, err error) {
 	writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+}
+
+// shed rejects one request the QoS layer refused to admit: 503 with the
+// same Retry-After contract as saturated admission, plus the shed
+// counter under reason.
+func (s *Server) shed(w http.ResponseWriter, reason string) {
+	s.met.shed.With(reason).Inc()
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	writeJSON(w, http.StatusServiceUnavailable,
+		errorResponse{Error: "request shed: " + reason + " budget exceeded; retry after backoff"})
 }
 
 func requirePost(w http.ResponseWriter, r *http.Request) bool {
@@ -446,13 +536,47 @@ func (s *Server) handleCover(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
+	ri := info(r)
+	ri.n = g.N()
+	// QoS: project the request's queue cost before admitting it. A
+	// request free to choose its route degrades to the approximation
+	// backend — but only when the graph already carries an explicit edge
+	// list, so the "cheap tier" never starts by materialising O(m) edges
+	// from a cotree (for an implicit dense cograph that conversion costs
+	// more than the exact solve being shed). Pinned, strict, or
+	// cotree-built requests over budget can only be rejected.
+	switch s.shedCheck(g.N(), req.Backend == "" && !strict && g.HasEdgeList()) {
+	case shedReject:
+		s.shed(w, "cost")
+		return
+	case shedDegrade:
+		opts = append(opts, pathcover.WithBackend(pathcover.BackendApprox))
+		ri.degraded = true
+	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	start := time.Now()
 	cov, err := s.pool.MinimumPathCover(ctx, g, opts...)
 	if err != nil {
+		if ri.degraded {
+			// The cheap tier could not serve it either (e.g. the graph is
+			// too large to materialize for the approximation): shed.
+			ri.degraded = false
+			s.shed(w, "cost")
+			return
+		}
 		s.fail(w, err)
 		return
+	}
+	elapsed := time.Since(start)
+	ri.backend = cov.Backend.String()
+	ri.shard = cov.Shard
+	ri.cache = s.cacheOutcome(cov)
+	if cov.Shard >= 0 && !ri.degraded {
+		// Solved on a shard by the exact pipeline: fold it into the
+		// ns/vertex estimate (cache hits and approx solves would drag the
+		// estimate away from the cost being projected).
+		s.estimator.observe(g.N(), elapsed.Nanoseconds())
 	}
 	if s.cfg.Verify {
 		if err := g.Verify(cov.Paths); err != nil {
@@ -460,11 +584,26 @@ func (s *Server) handleCover(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	resp := coverJSON(g, cov, req.OmitPaths, time.Since(start))
+	resp := coverJSON(g, cov, req.OmitPaths, elapsed)
+	resp.Degraded = ri.degraded
 	if req.IncludeNames {
 		resp.Names = vertexNames(g)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// cacheOutcome classifies how a pool cover was served for the request
+// log: "hit" never occupied a shard, "miss" was solved and (when
+// eligible) filled the cache, "off" means the daemon runs uncached.
+func (s *Server) cacheOutcome(cov *pathcover.Cover) string {
+	switch {
+	case cov.Shard < 0:
+		return "hit"
+	case s.cfg.CacheMB > 0:
+		return "miss"
+	default:
+		return "off"
+	}
 }
 
 // handleRegister (POST /graphs) parses, validates and canonicalizes a
@@ -482,6 +621,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
+	info(r).n = g.N()
 	id := s.reg.Register(g)
 	writeJSON(w, http.StatusOK, graphInfoJSON(id, g))
 }
@@ -536,6 +676,15 @@ func (s *Server) handleHamiltonian(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
+	ri := info(r)
+	ri.n = g.N()
+	ri.backend = pathcover.BackendCograph.String()
+	// Hamiltonicity has no approximate tier, so over-budget requests can
+	// only be rejected.
+	if s.shedCheck(g.N(), false) == shedReject {
+		s.shed(w, "cost")
+		return
+	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	start := time.Now()
@@ -552,6 +701,7 @@ func (s *Server) handleHamiltonian(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	s.estimator.observe(g.N(), time.Since(start).Nanoseconds())
 	if path == nil {
 		path = []int{}
 	}
@@ -580,6 +730,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	strict := strictMode(r)
 	gs := make([]*pathcover.Graph, len(req.Graphs))
+	total := 0
 	for i := range req.Graphs {
 		g, err := req.Graphs[i].graph(strict)
 		if err != nil {
@@ -587,10 +738,28 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		gs[i] = g
+		total += g.N()
 	}
 	opts, err := coverOpts(req.Backend, strict)
 	if err != nil {
 		badRequest(w, err)
+		return
+	}
+	ri := info(r)
+	ri.n = total
+	// QoS: batch traffic holds at most its weighted share of the
+	// admission queue, so bulk load cannot starve interactive requests;
+	// over the share it is shed with the standard Retry-After contract.
+	gateRelease, ok := s.batchGate.admit()
+	if !ok {
+		s.shed(w, "batch_share")
+		return
+	}
+	defer gateRelease()
+	// Batches never degrade (a mixed exact/approx batch would be
+	// unusable): over the cost budget they shed whole.
+	if s.shedCheck(total, false) == shedReject {
+		s.shed(w, "cost")
 		return
 	}
 	ctx, cancel := s.requestCtx(r)

@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWriteParseRoundTrip renders one of every family kind and parses
+// it back strictly.
+func TestWriteParseRoundTrip(t *testing.T) {
+	var reqs CounterVec
+	reqs.With("200").Add(40)
+	reqs.With("503").Add(2)
+	h := NewHistogram(nil)
+	h.Observe(50 * time.Microsecond)
+	h.Observe(3 * time.Millisecond)
+	h.Observe(40 * time.Second) // +Inf bucket
+	hs := map[string]*Histogram{"interactive": h}
+
+	var b strings.Builder
+	w := NewWriter(&b)
+	w.Counter("d_requests_total", "total requests", 42)
+	w.Gauge("d_in_flight", "in-flight calls", 7)
+	w.CounterVec("d_status_total", "by status", "status", reqs.Snapshot())
+	w.Histogram("d_request_seconds", "latency", hs, "tier")
+	if err := w.Err(); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	exp, err := Parse(b.String())
+	if err != nil {
+		t.Fatalf("parse:\n%s\nerror: %v", b.String(), err)
+	}
+	for key, want := range map[string]float64{
+		"d_requests_total":                            42,
+		"d_in_flight":                                 7,
+		`d_status_total{status="200"}`:                40,
+		`d_status_total{status="503"}`:                2,
+		`d_request_seconds_count{tier="interactive"}`: 3,
+	} {
+		if got, ok := exp.Value(key); !ok || got != want {
+			t.Errorf("sample %s = %v (present=%v), want %v", key, got, ok, want)
+		}
+	}
+	if got := exp.Sum("d_status_total"); got != 42 {
+		t.Errorf("Sum(d_status_total) = %v, want 42", got)
+	}
+	if inf, ok := exp.Value(`d_request_seconds_bucket{le="+Inf",tier="interactive"}`); !ok || inf != 3 {
+		t.Errorf("+Inf bucket = %v (present=%v), want 3", inf, ok)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no type":        "foo 3\n",
+		"bad value":      "# TYPE foo counter\nfoo bar\n",
+		"dup sample":     "# TYPE foo counter\nfoo 1\nfoo 2\n",
+		"bad name":       "# TYPE 9foo counter\n9foo 3\n",
+		"unclosed label": "# TYPE foo counter\nfoo{a=\"b 3\n",
+		"unquoted label": "# TYPE foo counter\nfoo{a=b} 3\n",
+		"bad type":       "# TYPE foo enum\nfoo 3\n",
+		"non-cumulative": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 6\nh_sum 1\nh_count 6\n",
+		"missing inf":    "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+		"count mismatch": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 6\nh_sum 1\nh_count 7\n",
+		"bucket sans le": "# TYPE h histogram\nh_bucket{x=\"1\"} 5\nh_count 5\nh_sum 1\n",
+		"bad keyword":    "# BADKW foo bar\n",
+	}
+	for name, text := range cases {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("%s: Parse accepted %q", name, text)
+		}
+	}
+}
+
+// TestHistogramQuantile checks the interpolation estimate against a
+// known distribution.
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	if _, ok := h.Quantile(0.5); ok {
+		t.Fatal("empty histogram reported a quantile")
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(5 * time.Millisecond) // first bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(500 * time.Millisecond) // third bucket
+	}
+	p50, ok := h.Quantile(0.5)
+	if !ok || p50 > 0.01 {
+		t.Errorf("p50 = %v (ok=%v), want <= 0.01", p50, ok)
+	}
+	p99, ok := h.Quantile(0.99)
+	if !ok || p99 < 0.1 || p99 > 1 {
+		t.Errorf("p99 = %v (ok=%v), want in (0.1, 1]", p99, ok)
+	}
+	// Ranks inside the +Inf bucket clamp to the largest finite bound.
+	h.Observe(30 * time.Second)
+	if p, _ := h.Quantile(0.9999); p != 1 {
+		t.Errorf("clamped quantile = %v, want 1", p)
+	}
+}
+
+// TestConcurrentObserve hammers one histogram and vec from many
+// goroutines (meaningful under -race) and checks totals.
+func TestConcurrentObserve(t *testing.T) {
+	h := NewHistogram(nil)
+	var vec CounterVec
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(i%7) * time.Millisecond)
+				vec.With([]string{"a", "b", "c"}[i%3]).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	total := 0.0
+	for _, lv := range vec.Snapshot() {
+		total += lv.Value
+	}
+	if total != workers*per {
+		t.Errorf("vec total = %v, want %d", total, workers*per)
+	}
+}
+
+func TestFmtVal(t *testing.T) {
+	if got := fmtVal(3); got != "3" {
+		t.Errorf("fmtVal(3) = %q", got)
+	}
+	if got := fmtVal(0.25); got != "0.25" {
+		t.Errorf("fmtVal(0.25) = %q", got)
+	}
+	if got := fmtVal(math.Inf(1)); got != "+Inf" && got != "+inf" {
+		// %g renders +Inf; both spellings parse.
+		t.Logf("fmtVal(+Inf) = %q", got)
+	}
+}

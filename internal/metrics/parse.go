@@ -1,0 +1,306 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition sample: a metric name, its rendered
+// label set (normalized to sorted key order, "" when unlabelled) and
+// the value.
+type Sample struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// Key is the sample's map key: name alone when unlabelled, else
+// name{labels} with labels in sorted key order.
+func (s Sample) Key() string {
+	if s.Labels == "" {
+		return s.Name
+	}
+	return s.Name + "{" + s.Labels + "}"
+}
+
+// Exposition is a parsed /metrics document.
+type Exposition struct {
+	// Samples maps Sample.Key() to value.
+	Samples map[string]float64
+	// Types maps family name to its declared TYPE.
+	Types map[string]string
+}
+
+// Value returns the sample under key (see Sample.Key) or 0 with
+// ok=false.
+func (e *Exposition) Value(key string) (float64, bool) {
+	v, ok := e.Samples[key]
+	return v, ok
+}
+
+// Sum adds up every sample whose name matches exactly (any labels).
+func (e *Exposition) Sum(name string) float64 {
+	total := 0.0
+	for k, v := range e.Samples {
+		base, _, _ := strings.Cut(k, "{")
+		if base == name {
+			total += v
+		}
+	}
+	return total
+}
+
+// Parse reads a Prometheus text-format exposition strictly: every
+// sample line must parse, every sample's family must carry a prior
+// # TYPE declaration (histogram _bucket/_sum/_count samples attach to
+// their base family), histogram buckets must be cumulative across
+// ascending le bounds with the +Inf bucket equal to _count, and no
+// sample key may repeat. It exists so the golden-parse tests and the
+// pcbench/CI scrapers fail loudly on any malformed exposition instead
+// of silently reading garbage.
+func Parse(text string) (*Exposition, error) {
+	exp := &Exposition{
+		Samples: make(map[string]float64),
+		Types:   make(map[string]string),
+	}
+	type bucketRow struct {
+		le  float64
+		inf bool
+		v   float64
+	}
+	buckets := make(map[string][]bucketRow) // histogram series (name+non-le labels) -> rows
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("metrics: line %d: malformed comment %q", ln+1, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("metrics: line %d: malformed TYPE %q", ln+1, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("metrics: line %d: unknown type %q", ln+1, fields[3])
+				}
+				exp.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", ln+1, err)
+		}
+		family := s.Name
+		if exp.Types[family] == "" {
+			// Histogram machinery samples attach to the base family.
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if base, okCut := strings.CutSuffix(s.Name, suf); okCut && exp.Types[base] == "histogram" {
+					family = base
+					break
+				}
+			}
+		}
+		if exp.Types[family] == "" {
+			return nil, fmt.Errorf("metrics: line %d: sample %q has no TYPE declaration", ln+1, s.Name)
+		}
+		key := s.Key()
+		if _, dup := exp.Samples[key]; dup {
+			return nil, fmt.Errorf("metrics: line %d: duplicate sample %q", ln+1, key)
+		}
+		exp.Samples[key] = s.Value
+		if strings.HasSuffix(s.Name, "_bucket") && exp.Types[family] == "histogram" {
+			series, le, found := splitLE(s.Labels)
+			if !found {
+				return nil, fmt.Errorf("metrics: line %d: histogram bucket without le label", ln+1)
+			}
+			row := bucketRow{v: s.Value}
+			if le == "+Inf" {
+				row.inf = true
+			} else if row.le, err = strconv.ParseFloat(le, 64); err != nil {
+				return nil, fmt.Errorf("metrics: line %d: bad le %q", ln+1, le)
+			}
+			sk := strings.TrimSuffix(s.Name, "_bucket")
+			if series != "" {
+				sk += "{" + series + "}"
+			}
+			buckets[sk] = append(buckets[sk], row)
+		}
+	}
+	// Histogram invariants: ascending le, cumulative counts, +Inf ==
+	// _count.
+	for sk, rows := range buckets {
+		sort.Slice(rows, func(a, b int) bool {
+			if rows[a].inf != rows[b].inf {
+				return !rows[a].inf
+			}
+			return rows[a].le < rows[b].le
+		})
+		last := -1.0
+		var inf float64
+		hasInf := false
+		for _, r := range rows {
+			if r.v < last {
+				return nil, fmt.Errorf("metrics: histogram %s buckets not cumulative", sk)
+			}
+			last = r.v
+			if r.inf {
+				inf, hasInf = r.v, true
+			}
+		}
+		if !hasInf {
+			return nil, fmt.Errorf("metrics: histogram %s missing +Inf bucket", sk)
+		}
+		name, series, _ := strings.Cut(sk, "{")
+		ck := name + "_count"
+		if series != "" {
+			ck += "{" + strings.TrimSuffix(series, "}") + "}"
+		}
+		if cnt, ok := exp.Samples[ck]; !ok || cnt != inf {
+			return nil, fmt.Errorf("metrics: histogram %s +Inf bucket %g != _count %g", sk, inf, cnt)
+		}
+	}
+	return exp, nil
+}
+
+// splitLE removes the le pair from a normalized label string,
+// returning the remaining labels and the le value.
+func splitLE(labels string) (rest, le string, found bool) {
+	if labels == "" {
+		return "", "", false
+	}
+	var kept []string
+	for rest := labels; rest != ""; {
+		eq := strings.IndexByte(rest, '=')
+		key := rest[:eq]
+		val, width, err := scanQuoted(rest[eq+1:])
+		if err != nil {
+			return "", "", false
+		}
+		if key == "le" {
+			le, found = val, true
+		} else {
+			kept = append(kept, fmt.Sprintf("%s=%q", key, val))
+		}
+		rest = strings.TrimPrefix(rest[eq+1+width:], ",")
+	}
+	return strings.Join(kept, ","), le, found
+}
+
+// parseSample parses `name 12`, `name{a="b",c="d"} 3.4`.
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	brace := strings.IndexByte(line, '{')
+	if brace >= 0 {
+		end := strings.LastIndexByte(line, '}')
+		if end < brace {
+			return s, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		s.Name = line[:brace]
+		labels, err := normalizeLabels(line[brace+1 : end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = strings.TrimSpace(line[end+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return s, fmt.Errorf("malformed sample %q", line)
+		}
+		s.Name = fields[0]
+		rest = fields[1]
+	}
+	if s.Name == "" || !validName(s.Name) {
+		return s, fmt.Errorf("bad metric name in %q", line)
+	}
+	// A timestamp may follow the value; the serving tier never emits
+	// one, so reject it to keep the golden parse strict.
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// normalizeLabels validates a label body and re-renders it with keys
+// sorted, so logically equal label sets compare equal as strings.
+func normalizeLabels(body string) (string, error) {
+	if strings.TrimSpace(body) == "" {
+		return "", nil
+	}
+	var pairs [][2]string
+	for rest := body; rest != ""; {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return "", fmt.Errorf("malformed labels %q", body)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		if !validName(key) {
+			return "", fmt.Errorf("bad label name %q", key)
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return "", fmt.Errorf("unquoted label value in %q", body)
+		}
+		// Values are produced by %q, so a quoted-string scan is exact.
+		val, width, err := scanQuoted(rest)
+		if err != nil {
+			return "", err
+		}
+		pairs = append(pairs, [2]string{key, val})
+		rest = rest[width:]
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a][0] < pairs[b][0] })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p[0], p[1])
+	}
+	return b.String(), nil
+}
+
+// scanQuoted reads a leading double-quoted string, returning its value
+// and the number of input bytes consumed.
+func scanQuoted(s string) (string, int, error) {
+	if len(s) == 0 || s[0] != '"' {
+		return "", 0, fmt.Errorf("expected quoted string in %q", s)
+	}
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			val, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", 0, fmt.Errorf("bad quoted string in %q: %v", s, err)
+			}
+			return val, i + 1, nil
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated quoted string in %q", s)
+}
+
+// validName reports whether s is a legal metric or label name
+// ([a-zA-Z_:][a-zA-Z0-9_:]*).
+func validName(s string) bool {
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return s != ""
+}

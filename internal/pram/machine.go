@@ -41,6 +41,7 @@ type Violation struct {
 	Writes int // how many of the conflicting accesses were writes
 }
 
+// String renders one access-model violation for test failures.
 func (v Violation) String() string {
 	return fmt.Sprintf("step %d: array %s cell %d accessed by procs %v (%d writes)",
 		v.Step, v.Array, v.Cell, v.Procs, v.Writes)

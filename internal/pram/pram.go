@@ -260,6 +260,8 @@ func (s *Sim) Stats() Stats {
 	return Stats{Procs: s.procs, Time: s.time, Work: s.work, Phases: s.phases}
 }
 
+// String renders the counters in the fixed key=value form the CLI
+// -stats output uses.
 func (st Stats) String() string {
 	return fmt.Sprintf("procs=%d time=%d work=%d phases=%d", st.Procs, st.Time, st.Work, st.Phases)
 }

@@ -2,6 +2,7 @@ package pram
 
 import (
 	"math/bits"
+	"sync/atomic"
 	"unsafe"
 )
 
@@ -21,7 +22,19 @@ import (
 type Scratch struct {
 	aux   map[any]any
 	debug bool
+	// bytes counts the capacity bytes currently resident in the
+	// freelists. It is atomic — the only Scratch state that is — because
+	// observability scrapes read it from other goroutines while the
+	// driving goroutine mutates the arena.
+	bytes atomic.Int64
 }
+
+// Bytes reports the capacity bytes currently retained in the arena
+// freelists (idle, reusable memory). Buffers checked out to callers are
+// not counted; the gauge therefore measures the arena's standing
+// footprint between solves, not peak usage during one. Safe to call
+// from any goroutine.
+func (sc *Scratch) Bytes() int64 { return sc.bytes.Load() }
 
 // numClasses bounds the size classes at 2^47 elements — far beyond any
 // real slice, so class indexing never needs a range check.
@@ -58,6 +71,7 @@ func (sc *Scratch) SetDebug(on bool) { sc.debug = on }
 // stay valid; they simply become ordinary garbage once dropped.
 func (sc *Scratch) Reclaim() {
 	clear(sc.aux)
+	sc.bytes.Store(0)
 }
 
 func poolOf[T any](s *Sim) *slicePool[T] {
@@ -95,6 +109,7 @@ func GrabNoClear[T any](s *Sim, n int) []T {
 		b := l[len(l)-1]
 		l[len(l)-1] = nil
 		p.classes[c] = l[:len(l)-1]
+		s.scratch.bytes.Add(-int64(uintptr(1<<c) * unsafe.Sizeof(*new(T))))
 		return b[:n]
 	}
 	return make([]T, n, 1<<c)
@@ -118,4 +133,5 @@ func Release[T any](s *Sim, b []T) {
 		}
 	}
 	p.classes[c] = append(p.classes[c], b)
+	s.scratch.bytes.Add(int64(uintptr(1<<c) * unsafe.Sizeof(*new(T))))
 }

@@ -107,3 +107,29 @@ func TestAuxRegistry(t *testing.T) {
 		t.Fatal("Reclaim did not drop aux state")
 	}
 }
+
+func TestArenaByteAccounting(t *testing.T) {
+	s := NewSerial()
+	sc := s.Scratch()
+	if sc.Bytes() != 0 {
+		t.Fatalf("fresh arena Bytes() = %d, want 0", sc.Bytes())
+	}
+	b := Grab[int64](s, 100) // class cap 128, freshly made: nothing retained yet
+	if sc.Bytes() != 0 {
+		t.Fatalf("Bytes() after Grab = %d, want 0 (buffer checked out)", sc.Bytes())
+	}
+	Release(s, b)
+	want := int64(128 * 8)
+	if sc.Bytes() != want {
+		t.Fatalf("Bytes() after Release = %d, want %d", sc.Bytes(), want)
+	}
+	b = Grab[int64](s, 65) // reuses the class-7 (cap-128) buffer
+	if sc.Bytes() != 0 {
+		t.Fatalf("Bytes() after reuse = %d, want 0", sc.Bytes())
+	}
+	Release(s, b)
+	sc.Reclaim()
+	if sc.Bytes() != 0 {
+		t.Fatalf("Bytes() after Reclaim = %d, want 0", sc.Bytes())
+	}
+}

@@ -1,0 +1,224 @@
+// Command doccheck is the repo's documentation linter, run by the CI
+// docs job. It enforces two properties with no dependencies beyond the
+// standard library:
+//
+//  1. every exported top-level symbol (and every exported method on an
+//     exported type) in every non-test Go file has a doc comment, and
+//     every package has a package comment in at least one file;
+//  2. every intra-repo markdown link — [text](relative/path) in any
+//     tracked *.md file — resolves to a file that exists.
+//
+// Usage: go run ./internal/tools/doccheck [repo root, default "."].
+// Exits 1 listing every violation; prints nothing on success.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+	problems = append(problems, checkGoDocs(root)...)
+	problems = append(problems, checkMarkdownLinks(root)...)
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// skipDir reports directories the walkers never descend into.
+func skipDir(name string) bool {
+	return name == ".git" || name == "testdata" || name == "node_modules"
+}
+
+// checkGoDocs parses every non-test .go file under root and returns one
+// problem line per missing doc comment.
+func checkGoDocs(root string) []string {
+	var problems []string
+	// Package comments may live in any file of the package; collect per
+	// directory and report once at the end.
+	pkgHasDoc := map[string]bool{}
+	pkgName := map[string]string{}
+
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		dir := filepath.Dir(path)
+		pkgName[dir] = f.Name.Name
+		if f.Doc != nil {
+			pkgHasDoc[dir] = true
+		}
+		rel := relPath(root, path)
+		for _, decl := range f.Decls {
+			problems = append(problems, checkDecl(fset, rel, decl)...)
+		}
+		return nil
+	})
+	if err != nil {
+		problems = append(problems, fmt.Sprintf("doccheck: %v", err))
+	}
+	for dir, name := range pkgName {
+		if name == "main" {
+			// Command packages document themselves via the command doc
+			// comment, which the loop above already requires on the file
+			// that carries it — but only one file must carry it.
+		}
+		if !pkgHasDoc[dir] {
+			problems = append(problems,
+				fmt.Sprintf("%s: package %s has no package comment", relPath(root, dir), name))
+		}
+	}
+	return problems
+}
+
+// checkDecl returns a problem line for each undocumented exported
+// symbol introduced by one top-level declaration.
+func checkDecl(fset *token.FileSet, file string, decl ast.Decl) []string {
+	var problems []string
+	missing := func(pos token.Pos, kind, name string) {
+		problems = append(problems,
+			fmt.Sprintf("%s:%d: exported %s %s has no doc comment",
+				file, fset.Position(pos).Line, kind, name))
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || d.Doc != nil {
+			return nil
+		}
+		name := d.Name.Name
+		if d.Recv != nil && len(d.Recv.List) > 0 {
+			recv := receiverName(d.Recv.List[0].Type)
+			if recv != "" && !ast.IsExported(recv) {
+				return nil // method on an unexported type
+			}
+			name = recv + "." + name
+		}
+		missing(d.Pos(), "function", name)
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+					missing(s.Pos(), "type", s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				// A doc comment on the grouped decl ("// Errors returned
+				// by...") covers every spec in the group, matching godoc.
+				if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						missing(n.Pos(), "value", n.Name)
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// receiverName unwraps a method receiver type to its named type.
+func receiverName(t ast.Expr) string {
+	for {
+		switch rt := t.(type) {
+		case *ast.StarExpr:
+			t = rt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = rt.X
+		case *ast.IndexListExpr:
+			t = rt.X
+		case *ast.Ident:
+			return rt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// mdLink matches inline markdown links; group 1 is the target.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkMarkdownLinks verifies every relative link in every *.md file
+// under root points at an existing file. Absolute URLs and pure
+// fragments are ignored; a "path#fragment" link is checked for the
+// file's existence only.
+func checkMarkdownLinks(root string) []string {
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, statErr := os.Stat(resolved); statErr != nil {
+				problems = append(problems,
+					fmt.Sprintf("%s: broken link %q", relPath(root, path), m[1]))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		problems = append(problems, fmt.Sprintf("doccheck: %v", err))
+	}
+	return problems
+}
+
+// relPath renders path relative to root for stable, short output.
+func relPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil {
+		return rel
+	}
+	return path
+}

@@ -31,6 +31,7 @@ const (
 	KindNearCograph
 )
 
+// String renders the catalog-entry kind for table headers.
 func (k Kind) String() string {
 	switch k {
 	case KindCograph:
@@ -171,6 +172,7 @@ const (
 	SizeServing
 )
 
+// String renders the size-class name as accepted by -sizeclass.
 func (c SizeClass) String() string {
 	switch c {
 	case SizeLogUniform:

@@ -30,6 +30,7 @@ const (
 	Caterpillar
 )
 
+// String renders the cotree shape name as accepted by -shape.
 func (s Shape) String() string {
 	switch s {
 	case Mixed:

@@ -67,6 +67,7 @@ type SizeError struct {
 	Max int // the supported maximum
 }
 
+// Error describes the unsupported vertex count.
 func (e *SizeError) Error() string {
 	if e.N < 0 {
 		return fmt.Sprintf("pathcover: negative vertex count %d", e.N)
@@ -554,6 +555,12 @@ type Cover struct {
 	// Gap is NumPaths - LowerBound: zero for exact routes, and an upper
 	// bound on how far an approximate answer can be from optimal.
 	Gap int
+
+	// Shard identifies, for covers returned by Pool methods, which pool
+	// shard solved the request; -1 means the cover was served from the
+	// result cache without occupying a shard. Covers produced outside a
+	// Pool leave it zero — interpret it only on Pool results.
+	Shard int
 
 	// arena marks paths still backed by a Solver's arena (the parallel
 	// cograph route); Pool and the Graph methods clone before handing

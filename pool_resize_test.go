@@ -1,0 +1,153 @@
+package pathcover
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"pathcover/internal/pram"
+)
+
+// TestPoolResizeClamps checks the clamp range and the stats bookkeeping
+// around grow/shrink.
+func TestPoolResizeClamps(t *testing.T) {
+	p := NewPool(WithShards(1), WithMaxShards(4))
+	defer p.Close()
+	if p.NumShards() != 4 || p.ActiveShards() != 1 {
+		t.Fatalf("NumShards=%d ActiveShards=%d, want 4/1", p.NumShards(), p.ActiveShards())
+	}
+	if err := p.Resize(99); err != nil {
+		t.Fatal(err)
+	}
+	if p.ActiveShards() != 4 {
+		t.Fatalf("ActiveShards after Resize(99) = %d, want 4 (clamped)", p.ActiveShards())
+	}
+	if err := p.Resize(-3); err != nil {
+		t.Fatal(err)
+	}
+	if p.ActiveShards() != 1 {
+		t.Fatalf("ActiveShards after Resize(-3) = %d, want 1 (clamped)", p.ActiveShards())
+	}
+	if err := p.Resize(1); err != nil { // no-op resize
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Resizes != 2 {
+		t.Errorf("Resizes = %d, want 2 (no-op resize uncounted)", st.Resizes)
+	}
+	if st.ActiveShards != 1 {
+		t.Errorf("stats ActiveShards = %d, want 1", st.ActiveShards)
+	}
+	for _, row := range st.Shards {
+		if want := row.Shard < 1; row.Active != want {
+			t.Errorf("shard %d Active = %v, want %v", row.Shard, row.Active, want)
+		}
+	}
+}
+
+// TestPoolResizeWorkerBudget checks that every live shard's worker
+// budget tracks pram.WorkersForShards(active) across resizes, so
+// shards×workers never oversubscribes the host.
+func TestPoolResizeWorkerBudget(t *testing.T) {
+	p := NewPool(WithShards(1), WithMaxShards(3))
+	defer p.Close()
+	for _, k := range []int{3, 2, 1, 3} {
+		if err := p.Resize(k); err != nil {
+			t.Fatal(err)
+		}
+		want := pram.WorkersForShards(k)
+		for _, row := range p.Stats().Shards {
+			if row.Shard < k && row.Workers != want {
+				t.Fatalf("after Resize(%d): shard %d workers = %d, want %d",
+					k, row.Shard, row.Workers, want)
+			}
+		}
+	}
+}
+
+// TestPoolResizeDispatch checks that inactive shards receive no calls.
+func TestPoolResizeDispatch(t *testing.T) {
+	p := NewPool(WithShards(2), WithMaxShards(4))
+	defer p.Close()
+	if err := p.Resize(1); err != nil {
+		t.Fatal(err)
+	}
+	g := Random(7, 64, Balanced)
+	for i := 0; i < 8; i++ {
+		cov, err := p.MinimumPathCover(context.Background(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cov.Shard != 0 {
+			t.Fatalf("call landed on shard %d while only shard 0 is live", cov.Shard)
+		}
+	}
+	st := p.Stats()
+	for _, row := range st.Shards[1:] {
+		if row.Calls != 0 {
+			t.Errorf("inactive shard %d served %d calls", row.Shard, row.Calls)
+		}
+	}
+	if st.Shards[0].ArenaBytes <= 0 {
+		t.Errorf("shard 0 ArenaBytes = %d, want > 0 after parallel solves", st.Shards[0].ArenaBytes)
+	}
+	// Batches must also respect the live count after a grow.
+	if err := p.Resize(4); err != nil {
+		t.Fatal(err)
+	}
+	gs := make([]*Graph, 16)
+	for i := range gs {
+		gs[i] = g
+	}
+	if _, err := p.CoverBatch(context.Background(), gs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolResizeConcurrent drives covers and resizes at the same time;
+// meaningful under -race, and asserts the pool stays correct throughout.
+func TestPoolResizeConcurrent(t *testing.T) {
+	p := NewPool(WithShards(1), WithMaxShards(4), WithQueueDepth(-1))
+	defer p.Close()
+	g := Random(9, 96, Balanced)
+	want, err := p.MinimumPathCover(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				cov, err := p.MinimumPathCover(context.Background(), g)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if cov.NumPaths != want.NumPaths {
+					t.Errorf("NumPaths = %d, want %d", cov.NumPaths, want.NumPaths)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := p.Resize(1 + i%4); err != nil {
+				t.Errorf("Resize: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := p.Resize(2); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if err := p.Resize(3); err != ErrPoolClosed {
+		t.Fatalf("Resize after Close = %v, want ErrPoolClosed", err)
+	}
+}

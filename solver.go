@@ -71,6 +71,19 @@ func (sv *Solver) Stats() Stats {
 	return statsOf(sv.sim)
 }
 
+// ArenaBytes reports the bytes currently retained in the Solver's
+// scratch arena freelists — the solver's standing memory footprint
+// between calls. Zero until the first parallel run. Like every Solver
+// method it follows the single-goroutine discipline; Pool snapshots it
+// under the shard lock after each call, which is how the daemon's
+// /metrics endpoint observes it without racing a live solve.
+func (sv *Solver) ArenaBytes() int64 {
+	if sv.sim == nil {
+		return 0
+	}
+	return sv.sim.Scratch().Bytes()
+}
+
 func (sv *Solver) ensureSim() *pram.Sim {
 	if sv.sim == nil {
 		w := sv.cfg.workers
